@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+func TestRunGeneratesDecodableDocument(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "25", "-seed", "9", "-days", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := flexoffer.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(offers) != 25 {
+		t.Fatalf("generated %d offers, want 25", len(offers))
+	}
+}
+
+func TestRunDeterministicAcrossInvocations(t *testing.T) {
+	var a, b bytes.Buffer
+	if err := run([]string{"-n", "10", "-seed", "4"}, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "10", "-seed", "4"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("same seed must give identical output")
+	}
+}
+
+func TestRunSingleDevice(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-device", "solar-panel", "-n", "5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := flexoffer.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range offers {
+		if f.Kind() != flexoffer.Negative {
+			t.Fatalf("solar offer should be production: %v", f)
+		}
+	}
+}
+
+func TestRunOutputFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "offers.json")
+	if err := run([]string{"-n", "3", "-o", path}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "flexOffers") {
+		t.Fatal("output file missing document envelope")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{"-n", "0"},
+		{"-mix", "bogus"},
+		{"-device", "bogus"},
+	}
+	for _, args := range cases {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestConsumptionMixFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-n", "30", "-mix", "consumption", "-seed", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	offers, err := flexoffer.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range offers {
+		if f.Kind() != flexoffer.Positive {
+			t.Fatalf("consumption mix produced %v offer", f.Kind())
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package flex_test
+
+import (
+	"fmt"
+	"log"
+
+	flex "flexmeasures"
+)
+
+// Example reproduces the paper's Examples 1–3 on the Figure 1
+// flex-offer.
+func Example() {
+	f, err := flex.NewFlexOffer(1, 6,
+		flex.Slice{Min: 1, Max: 3}, flex.Slice{Min: 2, Max: 4},
+		flex.Slice{Min: 0, Max: 5}, flex.Slice{Min: 0, Max: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("tf:", flex.TimeFlexibility(f))
+	fmt.Println("ef:", flex.EnergyFlexibility(f))
+	fmt.Println("product:", flex.ProductFlexibility(f))
+	// Output:
+	// tf: 5
+	// ef: 12
+	// product: 60
+}
+
+// ExampleAssignmentFlexibility counts the assignments of the paper's f2
+// and f6 (Examples 6 and 14).
+func ExampleAssignmentFlexibility() {
+	f2, err := flex.NewFlexOffer(0, 2, flex.Slice{Min: 0, Max: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f6, err := flex.NewFlexOffer(0, 2,
+		flex.Slice{Min: -1, Max: 2}, flex.Slice{Min: -4, Max: -1}, flex.Slice{Min: -3, Max: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(flex.AssignmentFlexibility(f2))
+	fmt.Println(flex.AssignmentFlexibility(f6))
+	// Output:
+	// 9
+	// 240
+}
+
+// ExampleRelativeAreaFlexibility evaluates the paper's Example 10.
+func ExampleRelativeAreaFlexibility() {
+	f4, err := flex.NewFlexOffer(0, 4, flex.Slice{Min: 2, Max: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := flex.RelativeAreaFlexibility(f4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("absolute: %d\n", flex.AbsoluteAreaFlexibility(f4))
+	fmt.Printf("relative: %g\n", rel)
+	// Output:
+	// absolute: 8
+	// relative: 4
+}
+
+// ExampleMeasure shows the uniform Measure interface over a set of
+// offers.
+func ExampleMeasure() {
+	a, err := flex.NewFlexOffer(0, 3, flex.Slice{Min: 0, Max: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := flex.NewFlexOffer(2, 4, flex.Slice{Min: 1, Max: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	m, err := flex.LookupMeasure("product")
+	if err != nil {
+		log.Fatal(err)
+	}
+	setValue, err := m.SetValue([]*flex.FlexOffer{a, b})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("set product flexibility: %g\n", setValue)
+	// Output:
+	// set product flexibility: 10
+}
+
+// ExampleAggregate aggregates two offers and quantifies the flexibility
+// loss (the paper's Scenario 1).
+func ExampleAggregate() {
+	a, err := flex.NewFlexOffer(0, 3, flex.Slice{Min: 0, Max: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := flex.NewFlexOffer(0, 1, flex.Slice{Min: 0, Max: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ag, err := flex.Aggregate([]*flex.FlexOffer{a, b})
+	if err != nil {
+		log.Fatal(err)
+	}
+	loss, err := ag.Loss(flex.ProductMeasure{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("aggregate window:", ag.Offer.EarliestStart, "..", ag.Offer.LatestStart)
+	fmt.Println("product flexibility lost:", loss)
+	// Output:
+	// aggregate window: 0 .. 1
+	// product flexibility lost: 2
+}
+
+// ExampleFlexOffer_Refine converts an hourly offer to half-hour
+// granularity (the paper's Section 2 scaling coefficient).
+func ExampleFlexOffer_Refine() {
+	f, err := flex.NewFlexOffer(1, 2, flex.Slice{Min: 4, Max: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	half, err := f.Refine(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(half)
+	// Output:
+	// ([2,4],⟨[2,4],[2,4]⟩,cmin=4,cmax=8)
+}

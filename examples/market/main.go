@@ -1,0 +1,96 @@
+// The market example plays the paper's Scenario 2: an aggregator
+// collects small prosumer flex-offers (too small to trade individually),
+// aggregates them into market-sized units, prices their flexibility
+// against a day-ahead spot curve, and settles the delivered schedule
+// with imbalance penalties. It closes with the Scenario 2 question the
+// measures answer: which measure predicts market value best?
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	flex "flexmeasures"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(2015))
+	offers, err := flex.Population(rng, 300, 2, flex.ConsumptionMix())
+	if err != nil {
+		log.Fatal(err)
+	}
+	prices := flex.DayAheadPrices(rand.New(rand.NewSource(7)), 3*flex.SlotsPerDay)
+
+	// Individually the offers are too small to trade; aggregate to
+	// market-sized units first (Scenario 2).
+	ags, err := flex.AggregateAll(offers, flex.GroupParams{ESTTolerance: 3, TFTolerance: 4, MaxGroupSize: 40})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("aggregator: %d prosumer offers → %d tradeable aggregates\n\n", len(offers), len(ags))
+
+	// Price each aggregate's flexibility.
+	type priced struct {
+		id      string
+		value   float64
+		product float64
+	}
+	var book []priced
+	var totalValue float64
+	for _, ag := range ags {
+		v, err := flex.ValueOfFlexibility(ag.Offer, prices)
+		if err != nil {
+			log.Fatal(err)
+		}
+		book = append(book, priced{
+			id:      ag.Offer.ID,
+			value:   v.Value(),
+			product: float64(flex.ProductFlexibility(ag.Offer)),
+		})
+		totalValue += v.Value()
+	}
+	sort.Slice(book, func(i, j int) bool { return book[i].value > book[j].value })
+	fmt.Println("top 5 aggregates by market value of flexibility:")
+	for _, p := range book[:5] {
+		fmt.Printf("  %-10s value %8.1f   product flexibility %8.0f\n", p.id, p.value, p.product)
+	}
+	fmt.Printf("portfolio flexibility value: %.1f\n\n", totalValue)
+
+	// Settlement: deliver the price-optimal schedule for an aggregate
+	// that was traded at its inflexible baseline; the deviation to the
+	// cheap hours pays imbalance penalties.
+	var (
+		ag      = ags[0]
+		traded  flex.Assignment
+		optimal flex.Assignment
+	)
+	for _, cand := range ags {
+		t, err := cand.Offer.EarliestAssignment()
+		if err != nil {
+			log.Fatal(err)
+		}
+		o, err := flex.CheapestAssignment(cand.Offer, prices)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ag, traded, optimal = cand, t, o
+		if o.Start != t.Start {
+			break // found one whose optimum actually moves
+		}
+	}
+	const penalty = 25.0
+	asTraded, err := flex.Settlement(traded.Series(), traded.Series(), prices, penalty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	deviating, err := flex.Settlement(optimal.Series(), traded.Series(), prices, penalty)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("settlement of %s: deliver as traded %.1f; deviate to the cheap hours %.1f\n",
+		ag.Offer.ID, asTraded, deviating)
+	fmt.Println("→ with flexibility traded explicitly, the aggregator re-optimises without penalties;")
+	fmt.Println("  without it, every deviation from the baseline pays the imbalance price.")
+}

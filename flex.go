@@ -1,0 +1,297 @@
+// Package flex is the public API of flexmeasures, a Go implementation of
+// the flex-offer energy-flexibility model and the eight flexibility
+// measures of
+//
+//	E. Valsomatzis, K. Hose, T. B. Pedersen, L. Šikšnys:
+//	"Measuring and Comparing Energy Flexibilities",
+//	Proceedings of the Workshops of the EDBT/ICDT 2015 Joint Conference.
+//
+// A flex-offer (Definition 1) describes a prosumer's flexible energy
+// need: a start-time window [tes, tls], a profile of unit-duration
+// slices each carrying an energy range [amin, amax], and total energy
+// constraints [cmin, cmax]. An Assignment (Definition 2) instantiates
+// the offer into a concrete start time and energy values. The package
+// quantifies how much flexibility an offer (or a set of offers) holds
+// via the paper's measures — time, energy, product, vector, time-series,
+// assignments, absolute area and relative area — plus a displacement
+// extension, and ships the substrates the paper's two application
+// scenarios need: aggregation with disaggregation, target-tracking
+// scheduling, and market valuation.
+//
+// # Quick start
+//
+//	f, err := flex.NewFlexOffer(1, 6,
+//		flex.Slice{Min: 1, Max: 3}, flex.Slice{Min: 2, Max: 4},
+//		flex.Slice{Min: 0, Max: 5}, flex.Slice{Min: 0, Max: 3})
+//	if err != nil { ... }
+//	fmt.Println(flex.ProductFlexibility(f)) // 60, the paper's Example 3
+//
+// The examples/ directory contains runnable programs for the paper's EV
+// use case, aggregation (Scenario 1) and flexibility trading
+// (Scenario 2); cmd/flexbench regenerates every table and figure of the
+// paper.
+package flex
+
+import (
+	"math/big"
+
+	"flexmeasures/internal/aggregate"
+	"flexmeasures/internal/core"
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/grid"
+	"flexmeasures/internal/timeseries"
+)
+
+// Model types (Definitions 1 and 2).
+type (
+	// FlexOffer is the paper's Definition 1.
+	FlexOffer = flexoffer.FlexOffer
+	// Slice is one unit-duration element of the energy profile.
+	Slice = flexoffer.Slice
+	// Assignment is the paper's Definition 2.
+	Assignment = flexoffer.Assignment
+	// Kind classifies offers as consumption, production or mixed.
+	Kind = flexoffer.Kind
+	// Builder assembles flex-offers fluently.
+	Builder = flexoffer.Builder
+	// Series is an integer-valued time series.
+	Series = timeseries.Series
+	// Norm selects a norm (L1, L2, LInf) for vectors and series.
+	Norm = timeseries.Norm
+)
+
+// Kind values.
+const (
+	Positive = flexoffer.Positive
+	Negative = flexoffer.Negative
+	Mixed    = flexoffer.Mixed
+)
+
+// Norm values.
+const (
+	L1   = timeseries.L1
+	L2   = timeseries.L2
+	LInf = timeseries.LInf
+)
+
+// NewFlexOffer returns a validated flex-offer with the totals defaulted
+// to the slice sums; see flexoffer.New.
+func NewFlexOffer(earliestStart, latestStart int, slices ...Slice) (*FlexOffer, error) {
+	return flexoffer.New(earliestStart, latestStart, slices...)
+}
+
+// NewFlexOfferWithTotals returns a validated flex-offer with explicit
+// total energy constraints cmin and cmax.
+func NewFlexOfferWithTotals(earliestStart, latestStart int, slices []Slice, totalMin, totalMax int64) (*FlexOffer, error) {
+	return flexoffer.NewWithTotals(earliestStart, latestStart, slices, totalMin, totalMax)
+}
+
+// NewBuilder starts a fluent flex-offer builder.
+func NewBuilder() *Builder { return flexoffer.NewBuilder() }
+
+// NewAssignment returns an assignment with a copy of the values.
+func NewAssignment(start int, values ...int64) Assignment {
+	return flexoffer.NewAssignment(start, values...)
+}
+
+// NewSeries returns a time series starting at start.
+func NewSeries(start int, values ...int64) Series {
+	return timeseries.New(start, values...)
+}
+
+// Measure presents any of the paper's flexibility measures uniformly;
+// see the core package documentation for the Section 4 set semantics.
+type Measure = core.Measure
+
+// Characteristics is one column of the paper's Table 1.
+type Characteristics = core.Characteristics
+
+// Vector is the Definition 4 flexibility vector ⟨tf, ef⟩.
+type Vector = core.Vector
+
+// The eight canonical measures as Measure implementations.
+type (
+	// TimeMeasure is Section 3.1's time flexibility.
+	TimeMeasure = core.TimeMeasure
+	// EnergyMeasure is Section 3.1's energy flexibility.
+	EnergyMeasure = core.EnergyMeasure
+	// ProductMeasure is Definition 3.
+	ProductMeasure = core.ProductMeasure
+	// VectorMeasure is Definition 4 under a norm.
+	VectorMeasure = core.VectorMeasure
+	// SeriesMeasure is Definition 7 under a norm.
+	SeriesMeasure = core.SeriesMeasure
+	// AssignmentsMeasure is Definition 8.
+	AssignmentsMeasure = core.AssignmentsMeasure
+	// AbsoluteAreaMeasure is Definition 10.
+	AbsoluteAreaMeasure = core.AbsoluteAreaMeasure
+	// RelativeAreaMeasure is Definition 11.
+	RelativeAreaMeasure = core.RelativeAreaMeasure
+	// WeightedMeasure combines measures as Section 4 suggests.
+	WeightedMeasure = core.WeightedMeasure
+)
+
+// TimeFlexibility returns tf(f) = tls − tes.
+func TimeFlexibility(f *FlexOffer) int { return core.TimeFlexibility(f) }
+
+// EnergyFlexibility returns ef(f) = cmax − cmin.
+func EnergyFlexibility(f *FlexOffer) int64 { return core.EnergyFlexibility(f) }
+
+// ProductFlexibility returns tf(f)·ef(f) (Definition 3).
+func ProductFlexibility(f *FlexOffer) int64 { return core.ProductFlexibility(f) }
+
+// VectorFlexibility returns ⟨tf(f), ef(f)⟩ (Definition 4).
+func VectorFlexibility(f *FlexOffer) Vector { return core.VectorFlexibility(f) }
+
+// SeriesFlexibility returns the Definition 7 value under the norm.
+func SeriesFlexibility(f *FlexOffer, n Norm) (float64, error) {
+	return core.SeriesFlexibility(f, n)
+}
+
+// AssignmentFlexibility returns the Definition 8 assignment count.
+func AssignmentFlexibility(f *FlexOffer) *big.Int { return core.AssignmentFlexibility(f) }
+
+// AbsoluteAreaFlexibility returns the Definition 10 value.
+func AbsoluteAreaFlexibility(f *FlexOffer) int64 { return core.AbsoluteAreaFlexibility(f) }
+
+// RelativeAreaFlexibility returns the Definition 11 value.
+func RelativeAreaFlexibility(f *FlexOffer) (float64, error) {
+	return core.RelativeAreaFlexibility(f)
+}
+
+// DisplacementFlexibility is this library's extension measure curing the
+// time blindness of the series measure (paper Example 13).
+func DisplacementFlexibility(f *FlexOffer) (float64, error) {
+	return core.DisplacementFlexibility(f)
+}
+
+// UnionAreaSize returns |⋃ area(fa)| over all assignments (Definition 10's
+// first operand).
+func UnionAreaSize(f *FlexOffer) int64 { return grid.UnionAreaSize(f) }
+
+// AllMeasures returns the paper's eight measures in Table 1 order.
+func AllMeasures() []Measure { return core.AllMeasures() }
+
+// LookupMeasure resolves a measure by name (e.g. "product", "vector_l2").
+func LookupMeasure(name string) (Measure, error) { return core.LookupMeasure(name) }
+
+// MeasureNames lists the canonical measure names in Table 1 order.
+func MeasureNames() []string { return core.MeasureNames() }
+
+// NewWeightedMeasure validates and returns a weighted composite measure
+// (Section 4's "Weighting is one way of combining different flexibility
+// measures").
+func NewWeightedMeasure(label string, measures []Measure, weights []float64) (*WeightedMeasure, error) {
+	return core.NewWeightedMeasure(label, measures, weights)
+}
+
+// Table1 reproduces the paper's Table 1 for the given measures.
+func Table1(measures []Measure) (cols []string, rows []string, cells [][]bool) {
+	return core.Table1(measures)
+}
+
+// VerifyCharacteristics empirically checks a measure's declared Table 1
+// row by probing it with witness flex-offers.
+func VerifyCharacteristics(m Measure) error { return core.VerifyCharacteristics(m) }
+
+// Aggregation (Scenario 1). See the aggregate package for the start-
+// alignment semantics and the balance-aware variant.
+type (
+	// Aggregated couples an aggregate flex-offer with its constituents.
+	Aggregated = aggregate.Aggregated
+	// GroupParams controls similarity-based grouping.
+	GroupParams = aggregate.GroupParams
+	// BalanceParams controls balance-aware grouping.
+	BalanceParams = aggregate.BalanceParams
+)
+
+// Aggregate combines a group of flex-offers into one by start alignment.
+func Aggregate(group []*FlexOffer) (*Aggregated, error) { return aggregate.Aggregate(group) }
+
+// GroupOffers partitions offers into aggregation-compatible groups.
+func GroupOffers(offers []*FlexOffer, p GroupParams) [][]*FlexOffer {
+	return aggregate.Group(offers, p)
+}
+
+// BalanceGroups partitions offers into groups mixing production and
+// consumption so each aggregate nets out near zero (reference [14]).
+func BalanceGroups(offers []*FlexOffer, p BalanceParams) [][]*FlexOffer {
+	return aggregate.BalanceGroups(offers, p)
+}
+
+// AggregateAll groups and aggregates in one call.
+func AggregateAll(offers []*FlexOffer, p GroupParams) ([]*Aggregated, error) {
+	return aggregate.AggregateAll(offers, p)
+}
+
+// Alignment selects the anchoring of constituents inside an aggregate
+// (AlignEarliest or AlignLatest).
+type Alignment = aggregate.Alignment
+
+// Alignment strategies.
+const (
+	AlignEarliest = aggregate.AlignEarliest
+	AlignLatest   = aggregate.AlignLatest
+)
+
+// AggregateAligned combines a group under the chosen alignment.
+func AggregateAligned(group []*FlexOffer, al Alignment) (*Aggregated, error) {
+	return aggregate.AggregateAligned(group, al)
+}
+
+// AggregateSafe aggregates after tightening total constraints into the
+// slice bounds, guaranteeing that every valid aggregate assignment
+// disaggregates; AggregateAllSafe is the grouped form.
+func AggregateSafe(group []*FlexOffer) (*Aggregated, error) {
+	return aggregate.AggregateSafe(group)
+}
+
+// AggregateAllSafe groups and safe-aggregates in one call.
+func AggregateAllSafe(offers []*FlexOffer, p GroupParams) ([]*Aggregated, error) {
+	return aggregate.AggregateAllSafe(offers, p)
+}
+
+// OptimizeParams controls loss-bounded optimizing aggregation.
+type OptimizeParams = aggregate.OptimizeParams
+
+// OptimizeGroups partitions offers by greedy agglomerative merging under
+// a relative flexibility-loss bound — the paper's Section 6 future work
+// of performing aggregation jointly with flexibility optimization.
+func OptimizeGroups(offers []*FlexOffer, p OptimizeParams) ([][]*FlexOffer, error) {
+	return aggregate.OptimizeGroups(offers, p)
+}
+
+// RetainedFraction reports the share of the constituents' flexibility
+// the aggregates keep under measure m (1 = lossless).
+func RetainedFraction(ags []*Aggregated, m Measure) (float64, error) {
+	return aggregate.RetainedFraction(ags, m)
+}
+
+// Extension measures beyond the paper's eight (Section 6 direction).
+type (
+	// EntropyMeasure is log₂ of the assignment count.
+	EntropyMeasure = core.EntropyMeasure
+	// DisplacementMeasure is the earth-mover travel of the maximal
+	// profile across the start window.
+	DisplacementMeasure = core.DisplacementMeasure
+	// TemporalSeriesMeasure is Definition 7 under the temporal Lp norm
+	// of the paper's reference [7].
+	TemporalSeriesMeasure = core.TemporalSeriesMeasure
+)
+
+// ExtensionMeasures returns this library's measures beyond the paper's
+// eight.
+func ExtensionMeasures() []Measure { return core.ExtensionMeasures() }
+
+// EntropyFlexibility returns log₂ of the Definition 8 assignment count.
+func EntropyFlexibility(f *FlexOffer) float64 { return core.EntropyFlexibility(f) }
+
+// EncodeJSON writes offers as an indented JSON document; DecodeJSON
+// reads one back. EncodeBinary/DecodeBinary use the compact varint
+// stream format for bulk storage.
+var (
+	EncodeJSON   = flexoffer.Encode
+	DecodeJSON   = flexoffer.Decode
+	EncodeBinary = flexoffer.EncodeBinary
+	DecodeBinary = flexoffer.DecodeBinary
+)

@@ -1,0 +1,167 @@
+package flex_test
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	flex "flexmeasures"
+)
+
+// TestEndToEndPipeline runs the full production pipeline through the
+// public API: generate a population → persist (both formats) → measure
+// → group and aggregate → schedule the aggregates against wind →
+// disaggregate every assignment → verify per-prosumer validity and
+// grid-level balance → settle against day-ahead prices.
+func TestEndToEndPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(2015))
+	offers, err := flex.Population(rng, 250, 2, flex.ConsumptionMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Persistence round-trips in both formats.
+	var jsonBuf, binBuf bytes.Buffer
+	if err := flex.EncodeJSON(&jsonBuf, offers); err != nil {
+		t.Fatal(err)
+	}
+	if err := flex.EncodeBinary(&binBuf, offers); err != nil {
+		t.Fatal(err)
+	}
+	fromJSON, err := flex.DecodeJSON(&jsonBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := flex.DecodeBinary(&binBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range offers {
+		if !fromJSON[i].Equal(offers[i]) || !fromBin[i].Equal(offers[i]) {
+			t.Fatalf("persistence round-trip mismatch at offer %d", i)
+		}
+	}
+
+	// Every canonical measure evaluates on the whole set.
+	for _, m := range flex.AllMeasures() {
+		if _, err := m.SetValue(offers); err != nil {
+			t.Fatalf("%s set value: %v", m.Name(), err)
+		}
+	}
+
+	// Aggregate for scheduling (Scenario 1). The safe variant tightens
+	// total constraints into the slice bounds so every scheduled
+	// aggregate assignment is guaranteed to disaggregate.
+	ags, err := flex.AggregateAllSafe(offers, flex.GroupParams{
+		ESTTolerance: 2, TFTolerance: 4, MaxGroupSize: 25,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ags) >= len(offers) {
+		t.Fatalf("aggregation did not reduce: %d aggregates for %d offers", len(ags), len(offers))
+	}
+	kept, err := flex.RetainedFraction(ags, flex.VectorMeasure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kept <= 0 || kept > 1.0001 {
+		t.Fatalf("retained fraction %g out of range", kept)
+	}
+
+	// Schedule the aggregates against a wind target.
+	aggOffers := make([]*flex.FlexOffer, len(ags))
+	var expected int64
+	for i, ag := range ags {
+		aggOffers[i] = ag.Offer
+		expected += (ag.Offer.TotalMin + ag.Offer.TotalMax) / 2
+	}
+	horizon := 3 * flex.SlotsPerDay
+	target := flex.WindProfile(rng, horizon, expected/int64(horizon))
+	res, err := flex.Schedule(aggOffers, target, flex.ScheduleOptions{
+		Order:   flex.OrderLeastFlexibleFirst,
+		Measure: flex.VectorMeasure{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Disaggregate every aggregate assignment back to prosumers.
+	var scheduledProsumers int
+	for i, ag := range ags {
+		parts, err := ag.Disaggregate(res.Assignments[i])
+		if err != nil {
+			t.Fatalf("aggregate %d: %v", i, err)
+		}
+		var sum flex.Series
+		for j, p := range parts {
+			if err := ag.Constituents[j].ValidateAssignment(p); err != nil {
+				t.Fatalf("aggregate %d constituent %d: %v", i, j, err)
+			}
+			sum = addSeries(sum, p.Series())
+			scheduledProsumers++
+		}
+		if !sum.EquivalentZeroPadded(res.Assignments[i].Series()) {
+			t.Fatalf("aggregate %d: disaggregation changed the grid-level profile", i)
+		}
+	}
+	if scheduledProsumers != len(offers) {
+		t.Fatalf("scheduled %d prosumers of %d", scheduledProsumers, len(offers))
+	}
+
+	// Settle the delivered load against prices (Scenario 2).
+	prices := flex.DayAheadPrices(rng, horizon+flex.SlotsPerDay)
+	cost, err := flex.Settlement(res.Load, res.Load, prices, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost <= 0 {
+		t.Fatalf("settlement of a consumption fleet should cost money, got %g", cost)
+	}
+}
+
+// addSeries adds two series via the public API types.
+func addSeries(a, b flex.Series) flex.Series {
+	lo, hi := a.Start, a.End()
+	if b.Start < lo || a.IsEmpty() {
+		lo = b.Start
+	}
+	if b.End() > hi {
+		hi = b.End()
+	}
+	if a.IsEmpty() && b.IsEmpty() {
+		return flex.Series{}
+	}
+	out := flex.Series{Start: lo, Values: make([]int64, hi-lo)}
+	for t := lo; t < hi; t++ {
+		out.Values[t-lo] = a.At(t) + b.At(t)
+	}
+	return out
+}
+
+// TestEndToEndImproveTightensSchedule exercises ScheduleOptions +
+// Improve through the facade and asserts monotone improvement.
+func TestEndToEndImproveTightensSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	offers, err := flex.Population(rng, 120, 1, flex.ConsumptionMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expected int64
+	for _, f := range offers {
+		expected += (f.TotalMin + f.TotalMax) / 2
+	}
+	horizon := 2 * flex.SlotsPerDay
+	target := flex.WindProfile(rng, horizon, expected/int64(horizon))
+	base, err := flex.Schedule(offers, target, flex.ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	improved, err := flex.Improve(offers, target, base, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved.Imbalance(target) > base.Imbalance(target) {
+		t.Fatalf("Improve worsened: %g → %g", base.Imbalance(target), improved.Imbalance(target))
+	}
+}

@@ -1,0 +1,212 @@
+package aggregate
+
+import (
+	"flexmeasures/internal/flexoffer"
+)
+
+// Multi-hop repair for Disaggregate. The single-hop pass in aggregate.go
+// moves energy directly between two constituents sharing a slot; when a
+// deficient constituent's neighbours have no slack of their own, the
+// transfer must chain through intermediaries (A gains from B at slot t,
+// B regains from C at slot t', …, until the chain ends at a constituent
+// with genuine slack). That is an augmenting path in the bipartite
+// offers×slots transfer graph, and searching for one per missing unit
+// solves the underlying transportation feasibility problem exactly: if
+// no augmenting path exists, the aggregate assignment is genuinely
+// undecomposable and ErrRepairInfeasible is correct.
+
+// repairStep records one hop of an augmenting path: constituent gainer
+// takes the bottleneck amount from constituent loser in absolute slot
+// abs.
+type repairStep struct {
+	gainer, loser int
+	abs           int
+}
+
+// pathState is one constituent's BFS bookkeeping.
+type pathState struct {
+	prev    int   // predecessor constituent, -1 for the source
+	prevAbs int   // absolute slot used to reach this constituent
+	cap     int64 // bottleneck capacity of the chain so far
+}
+
+// augmentInto raises constituent target's total by up to need using
+// augmenting-path transfers, preserving all slot sums and slice bounds
+// and never driving any other constituent below its own total minimum.
+// It returns the amount actually moved.
+func (ag *Aggregated) augmentInto(out []flexoffer.Assignment, target int, need int64) int64 {
+	var moved int64
+	for moved < need {
+		path, bottleneck := ag.findPath(out, target, need-moved)
+		if len(path) == 0 || bottleneck <= 0 {
+			break
+		}
+		for _, st := range path {
+			jg := st.abs - out[st.gainer].Start
+			jl := st.abs - out[st.loser].Start
+			out[st.gainer].Values[jg] += bottleneck
+			out[st.loser].Values[jl] -= bottleneck
+		}
+		moved += bottleneck
+	}
+	return moved
+}
+
+// augmentOutOf lowers constituent target's total by up to excess, the
+// mirror image of augmentInto: the chain pushes energy away from target
+// towards a constituent with headroom below its total maximum.
+func (ag *Aggregated) augmentOutOf(out []flexoffer.Assignment, target int, excess int64) int64 {
+	var moved int64
+	for moved < excess {
+		path, bottleneck := ag.findDrainPath(out, target, excess-moved)
+		if len(path) == 0 || bottleneck <= 0 {
+			break
+		}
+		for _, st := range path {
+			jg := st.abs - out[st.gainer].Start
+			jl := st.abs - out[st.loser].Start
+			out[st.gainer].Values[jg] += bottleneck
+			out[st.loser].Values[jl] -= bottleneck
+		}
+		moved += bottleneck
+	}
+	return moved
+}
+
+// findPath searches breadth-first for a chain of same-slot transfers
+// ending at a constituent that can give up energy while staying at or
+// above its total minimum. Hops are returned in application order with
+// the bottleneck amount (capped at want).
+func (ag *Aggregated) findPath(out []flexoffer.Assignment, target int, want int64) ([]repairStep, int64) {
+	n := len(ag.Constituents)
+	visited := make([]bool, n)
+	states := make([]pathState, n)
+	queue := []int{target}
+	visited[target] = true
+	states[target] = pathState{prev: -1, cap: want}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		f := ag.Constituents[cur]
+		for j := 0; j < f.NumSlices(); j++ {
+			abs := out[cur].Start + j
+			gainRoom := f.Slices[j].Max - out[cur].Values[j]
+			if gainRoom <= 0 {
+				continue
+			}
+			for k, g := range ag.Constituents {
+				if visited[k] || k == cur {
+					continue
+				}
+				jk := abs - out[k].Start
+				if jk < 0 || jk >= g.NumSlices() {
+					continue
+				}
+				slotSpare := out[k].Values[jk] - g.Slices[jk].Min
+				if slotSpare <= 0 {
+					continue
+				}
+				cap := states[cur].cap
+				if gainRoom < cap {
+					cap = gainRoom
+				}
+				if slotSpare < cap {
+					cap = slotSpare
+				}
+				visited[k] = true
+				states[k] = pathState{prev: cur, prevAbs: abs, cap: cap}
+				if totalSpare := out[k].TotalEnergy() - g.TotalMin; totalSpare > 0 {
+					if totalSpare < cap {
+						cap = totalSpare
+					}
+					return tracePath(states, k), cap
+				}
+				queue = append(queue, k)
+			}
+		}
+	}
+	return nil, 0
+}
+
+// findDrainPath is findPath with the transfer direction reversed: the
+// source sheds energy hop by hop until a constituent with total headroom
+// absorbs it.
+func (ag *Aggregated) findDrainPath(out []flexoffer.Assignment, target int, want int64) ([]repairStep, int64) {
+	n := len(ag.Constituents)
+	visited := make([]bool, n)
+	states := make([]pathState, n)
+	queue := []int{target}
+	visited[target] = true
+	states[target] = pathState{prev: -1, cap: want}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		f := ag.Constituents[cur]
+		for j := 0; j < f.NumSlices(); j++ {
+			abs := out[cur].Start + j
+			loseSpare := out[cur].Values[j] - f.Slices[j].Min
+			if loseSpare <= 0 {
+				continue
+			}
+			for k, g := range ag.Constituents {
+				if visited[k] || k == cur {
+					continue
+				}
+				jk := abs - out[k].Start
+				if jk < 0 || jk >= g.NumSlices() {
+					continue
+				}
+				gainRoom := g.Slices[jk].Max - out[k].Values[jk]
+				if gainRoom <= 0 {
+					continue
+				}
+				cap := states[cur].cap
+				if loseSpare < cap {
+					cap = loseSpare
+				}
+				if gainRoom < cap {
+					cap = gainRoom
+				}
+				visited[k] = true
+				states[k] = pathState{prev: cur, prevAbs: abs, cap: cap}
+				if headroom := g.TotalMax - out[k].TotalEnergy(); headroom > 0 {
+					if headroom < cap {
+						cap = headroom
+					}
+					return traceDrainPath(states, k), cap
+				}
+				queue = append(queue, k)
+			}
+		}
+	}
+	return nil, 0
+}
+
+// tracePath reconstructs hops for findPath: walking predecessors from
+// the chain end towards the target, each predecessor gains from its
+// successor.
+func tracePath(states []pathState, end int) []repairStep {
+	var path []repairStep
+	for cur := end; states[cur].prev >= 0; cur = states[cur].prev {
+		path = append(path, repairStep{
+			gainer: states[cur].prev,
+			loser:  cur,
+			abs:    states[cur].prevAbs,
+		})
+	}
+	return path
+}
+
+// traceDrainPath reconstructs hops for findDrainPath: each predecessor
+// loses to its successor.
+func traceDrainPath(states []pathState, end int) []repairStep {
+	var path []repairStep
+	for cur := end; states[cur].prev >= 0; cur = states[cur].prev {
+		path = append(path, repairStep{
+			gainer: cur,
+			loser:  states[cur].prev,
+			abs:    states[cur].prevAbs,
+		})
+	}
+	return path
+}

@@ -1,0 +1,146 @@
+package aggregate
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/timeseries"
+)
+
+// chainFixture builds a three-constituent case that defeats single-hop
+// repair and requires a transfer chain:
+//
+//   - A (slots 0–1) needs cmin 2 but water-filling hands slot 1's energy
+//     to B first;
+//   - B (slots 1–2, cmin 6) holds energy at slot 1 but has zero total
+//     slack, so it can only donate to A if it simultaneously regains at
+//     slot 2 from C;
+//   - C (slot 2) has the total slack.
+//
+// The required repair is the two-hop chain A←B@1, B←C@2.
+func chainFixture(t *testing.T) (*Aggregated, flexoffer.Assignment) {
+	t.Helper()
+	c := flexoffer.MustNew(2, 2, sl(0, 4))
+	c.ID = "C"
+	b, err := flexoffer.NewWithTotals(1, 1, []flexoffer.Slice{{Min: 0, Max: 4}, {Min: 0, Max: 6}}, 6, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.ID = "B"
+	a, err := flexoffer.NewWithTotals(0, 0, []flexoffer.Slice{{Min: 0, Max: 2}, {Min: 0, Max: 2}}, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.ID = "A"
+	// Constituent order (C, B, A) steers the water-fill so B absorbs
+	// slot 1 before A and C absorbs slot 2 before B.
+	ag, err := Aggregate([]*flexoffer.FlexOffer{c, b, a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slots (0,1,2) carry (0,2,6): water-filling leaves A at 0 < cmin 2
+	// and B at 4 < cmin 6; the single-hop pass can feed B from C but
+	// cannot feed A, whose only co-resident B has no total slack.
+	assignment := flexoffer.NewAssignment(0, 0, 2, 6)
+	if err := ag.Offer.ValidateAssignment(assignment); err != nil {
+		t.Fatal(err)
+	}
+	return ag, assignment
+}
+
+func TestMultiHopRepairSolvesChain(t *testing.T) {
+	ag, assignment := chainFixture(t)
+	parts, err := ag.Disaggregate(assignment)
+	if err != nil {
+		t.Fatalf("multi-hop repair failed: %v", err)
+	}
+	var sum timeseries.Series
+	for i, p := range parts {
+		if err := ag.Constituents[i].ValidateAssignment(p); err != nil {
+			t.Fatalf("constituent %d invalid: %v", i, err)
+		}
+		sum = timeseries.Add(sum, p.Series())
+	}
+	if !sum.EquivalentZeroPadded(assignment.Series()) {
+		t.Fatalf("slot sums changed: %v vs %v", sum, assignment.Series())
+	}
+	if got := parts[2].TotalEnergy(); got < 2 {
+		t.Fatalf("A received %d, needs ≥ 2", got)
+	}
+}
+
+func TestRepairReportsGenuineInfeasibility(t *testing.T) {
+	// A needs 2 units but shares no slot chain that can reach the
+	// energy: the donor D occupies disjoint slots with no intermediary.
+	a, err := flexoffer.NewWithTotals(0, 0, []flexoffer.Slice{{Min: 0, Max: 2}}, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := flexoffer.MustNew(5, 5, sl(0, 2))
+	ag, err := Aggregate([]*flexoffer.FlexOffer{a, d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate slices: slot 0 [0,2], slots 1–4 [0,0], slot 5 [0,2];
+	// totals [2,4]. Park the mandatory energy in slot 5.
+	assignment := flexoffer.NewAssignment(0, 0, 0, 0, 0, 0, 2)
+	if err := ag.Offer.ValidateAssignment(assignment); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ag.Disaggregate(assignment); !errors.Is(err, ErrRepairInfeasible) {
+		t.Fatalf("got %v, want ErrRepairInfeasible", err)
+	}
+	// The same assignment shifted into A's slot disaggregates fine.
+	ok := flexoffer.NewAssignment(0, 2, 0, 0, 0, 0, 0)
+	if _, err := ag.Disaggregate(ok); err != nil {
+		t.Fatalf("feasible assignment rejected: %v", err)
+	}
+}
+
+func TestPropertyMultiHopRepairPreservesInvariants(t *testing.T) {
+	// Whenever Disaggregate succeeds, slot sums and all constituent
+	// constraints hold — under random aggregates AND random (not just
+	// earliest) assignments.
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		group := make([]*flexoffer.FlexOffer, 1+r.Intn(5))
+		for i := range group {
+			group[i] = randomOfferForAgg(r)
+		}
+		ag, err := Aggregate(group)
+		if err != nil {
+			return false
+		}
+		a := flexoffer.Assignment{
+			Start:  ag.Offer.EarliestStart + r.Intn(ag.Offer.TimeFlexibility()+1),
+			Values: make([]int64, ag.Offer.NumSlices()),
+		}
+		for j, s := range ag.Offer.Slices {
+			a.Values[j] = s.Min + r.Int63n(s.Span()+1)
+		}
+		if ag.Offer.ValidateAssignment(a) != nil {
+			return true // random values missed the aggregate totals; skip
+		}
+		parts, err := ag.Disaggregate(a)
+		if errors.Is(err, ErrRepairInfeasible) {
+			return true // genuinely undecomposable assignments exist
+		}
+		if err != nil {
+			return false
+		}
+		var sum timeseries.Series
+		for i, p := range parts {
+			if ag.Constituents[i].ValidateAssignment(p) != nil {
+				return false
+			}
+			sum = timeseries.Add(sum, p.Series())
+		}
+		return sum.EquivalentZeroPadded(a.Series())
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

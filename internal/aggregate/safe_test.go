@@ -1,0 +1,235 @@
+package aggregate
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexmeasures/internal/core"
+	"flexmeasures/internal/flexoffer"
+)
+
+func TestAggregateSafeDisaggregatesEveryAssignment(t *testing.T) {
+	// The adversarial case that defeats plain Aggregate: constituents
+	// with tight cmin covering disjoint time ranges, and an aggregate
+	// assignment that parks the energy where the needy constituent
+	// cannot reach it.
+	ev1, err := flexoffer.NewWithTotals(0, 0, []flexoffer.Slice{{Min: 0, Max: 40}, {Min: 0, Max: 40}}, 48, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev2, err := flexoffer.NewWithTotals(0, 0, []flexoffer.Slice{{Min: 0, Max: 40}, {Min: 0, Max: 40}}, 48, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ag, err := AggregateSafe([]*flexoffer.FlexOffer{ev1, ev2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Enumerating all assignments is infeasible; probe the extremes and
+	// a random sample instead.
+	probes := []flexoffer.Assignment{ag.Offer.MinAssignment(), ag.Offer.MaxAssignment()}
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		a := flexoffer.Assignment{Start: ag.Offer.EarliestStart, Values: make([]int64, ag.Offer.NumSlices())}
+		for j, s := range ag.Offer.Slices {
+			a.Values[j] = s.Min + r.Int63n(s.Span()+1)
+		}
+		probes = append(probes, a)
+	}
+	for _, a := range probes {
+		if err := ag.Offer.ValidateAssignment(a); err != nil {
+			continue // extremes may violate the (tightened) totals
+		}
+		parts, err := ag.Disaggregate(a)
+		if err != nil {
+			t.Fatalf("safe aggregate failed to disaggregate %v: %v", a, err)
+		}
+		for j, p := range parts {
+			if err := ag.Constituents[j].ValidateAssignment(p); err != nil {
+				t.Fatalf("constituent %d invalid: %v", j, err)
+			}
+		}
+	}
+}
+
+func TestTightenTotalsSemantics(t *testing.T) {
+	f, err := flexoffer.NewWithTotals(0, 2, []flexoffer.Slice{{Min: 0, Max: 5}, {Min: 0, Max: 5}}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := f.TightenTotals()
+	if tt.SumMin() != tt.TotalMin || tt.SumMax() != tt.TotalMax {
+		t.Fatalf("tightened sums [%d,%d] != totals [%d,%d]",
+			tt.SumMin(), tt.SumMax(), tt.TotalMin, tt.TotalMax)
+	}
+	if err := tt.Validate(); err != nil {
+		t.Fatalf("tightened offer invalid: %v", err)
+	}
+	// Tightening never increases flexibility under any measure.
+	for _, m := range core.AllMeasures() {
+		before, err1 := m.Value(f)
+		after, err2 := m.Value(tt)
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		if after > before+1e-9 {
+			t.Errorf("%s grew under tightening: %g → %g", m.Name(), before, after)
+		}
+	}
+}
+
+func TestAggregateAllSafeMatchesGrouping(t *testing.T) {
+	offers := []*flexoffer.FlexOffer{
+		flexoffer.MustNew(0, 2, sl(1, 2)),
+		flexoffer.MustNew(0, 2, sl(1, 2)),
+		flexoffer.MustNew(9, 11, sl(1, 2)),
+	}
+	safe, err := AggregateAllSafe(offers, GroupParams{ESTTolerance: 1, TFTolerance: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := AggregateAll(offers, GroupParams{ESTTolerance: 1, TFTolerance: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(safe) != len(plain) {
+		t.Fatalf("safe %d groups, plain %d", len(safe), len(plain))
+	}
+}
+
+func TestAggregateSafeNilConstituent(t *testing.T) {
+	if _, err := AggregateSafe([]*flexoffer.FlexOffer{nil}); err == nil {
+		t.Fatal("nil constituent must be rejected")
+	}
+}
+
+func TestPropertyTightenedAssignmentsValidForOriginal(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomOfferForAgg(r)
+		tt := f.TightenTotals()
+		if tt.Validate() != nil {
+			return false
+		}
+		// A random slice-valid assignment of the tightened offer must
+		// satisfy the original's totals.
+		a := flexoffer.Assignment{Start: tt.EarliestStart, Values: make([]int64, tt.NumSlices())}
+		for j, s := range tt.Slices {
+			a.Values[j] = s.Min + r.Int63n(s.Span()+1)
+		}
+		if tt.ValidateAssignment(a) != nil {
+			// Tightened totals equal the slice sums, so every
+			// slice-valid assignment must validate.
+			return false
+		}
+		return f.ValidateAssignment(a) == nil
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySafeAggregateAlwaysDisaggregates(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		group := make([]*flexoffer.FlexOffer, 1+r.Intn(4))
+		for i := range group {
+			group[i] = randomOfferForAgg(r)
+		}
+		ag, err := AggregateSafe(group)
+		if err != nil {
+			return false
+		}
+		// A random valid assignment of the safe aggregate.
+		a := flexoffer.Assignment{
+			Start:  ag.Offer.EarliestStart + r.Intn(ag.Offer.TimeFlexibility()+1),
+			Values: make([]int64, ag.Offer.NumSlices()),
+		}
+		for j, s := range ag.Offer.Slices {
+			a.Values[j] = s.Min + r.Int63n(s.Span()+1)
+		}
+		if ag.Offer.ValidateAssignment(a) != nil {
+			return false // safe aggregates are slice-bounded: cannot happen
+		}
+		parts, err := ag.Disaggregate(a)
+		if err != nil {
+			return false
+		}
+		for i, p := range parts {
+			if ag.Constituents[i].ValidateAssignment(p) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregateAlignedLatest(t *testing.T) {
+	// Two offers with different windows: under latest alignment the
+	// profiles line up at their deadlines instead of their releases.
+	a := flexoffer.MustNew(0, 6, sl(1, 1)) // tf 6
+	b := flexoffer.MustNew(4, 6, sl(1, 1)) // tf 2
+	early, err := Aggregate([]*flexoffer.FlexOffer{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late, err := AggregateAligned([]*flexoffer.FlexOffer{a, b}, AlignLatest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Earliest alignment anchors at tes: offsets 0 and 4 → profile
+	// spread over 5 slots. Latest alignment anchors at tls−minTF: 4 and
+	// 4 → the two unit slices coincide.
+	if early.Offer.NumSlices() != 5 {
+		t.Errorf("earliest-aligned profile spans %d slots, want 5", early.Offer.NumSlices())
+	}
+	if late.Offer.NumSlices() != 1 {
+		t.Errorf("latest-aligned profile spans %d slots, want 1", late.Offer.NumSlices())
+	}
+	if late.Offer.Slices[0] != (flexoffer.Slice{Min: 2, Max: 2}) {
+		t.Errorf("latest-aligned slice = %v, want [2,2]", late.Offer.Slices[0])
+	}
+	if late.Offer.TimeFlexibility() != 2 {
+		t.Errorf("latest-aligned tf = %d, want 2", late.Offer.TimeFlexibility())
+	}
+}
+
+func TestAggregateAlignedLatestDisaggregates(t *testing.T) {
+	a := flexoffer.MustNew(0, 6, sl(1, 3))
+	b := flexoffer.MustNew(4, 6, sl(2, 5))
+	ag, err := AggregateAligned([]*flexoffer.FlexOffer{a, b}, AlignLatest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for delta := 0; delta <= ag.Offer.TimeFlexibility(); delta++ {
+		assignment := flexoffer.Assignment{
+			Start:  ag.Offer.EarliestStart + delta,
+			Values: make([]int64, ag.Offer.NumSlices()),
+		}
+		for j, s := range ag.Offer.Slices {
+			assignment.Values[j] = s.Min
+		}
+		parts, err := ag.Disaggregate(assignment)
+		if err != nil {
+			t.Fatalf("δ=%d: %v", delta, err)
+		}
+		for i, p := range parts {
+			if err := ag.Constituents[i].ValidateAssignment(p); err != nil {
+				t.Fatalf("δ=%d constituent %d: %v", delta, i, err)
+			}
+		}
+	}
+}
+
+func TestAggregateAlignedUnknown(t *testing.T) {
+	if _, err := AggregateAligned([]*flexoffer.FlexOffer{flexoffer.MustNew(0, 1, sl(1, 1))}, Alignment(9)); err == nil {
+		t.Fatal("unknown alignment must fail")
+	}
+	if Alignment(9).String() == "" || AlignEarliest.String() != "earliest" || AlignLatest.String() != "latest" {
+		t.Error("alignment names wrong")
+	}
+}

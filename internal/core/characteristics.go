@@ -1,0 +1,214 @@
+package core
+
+import (
+	"fmt"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+// Characteristics is one column of the paper's Table 1: which aspects of
+// flexibility a measure captures and which flex-offer kinds it supports.
+type Characteristics struct {
+	// CapturesTime: the value changes when only the start-time window
+	// widens (with no energy flexibility present).
+	CapturesTime bool
+	// CapturesEnergy: the value changes when only the energy range
+	// widens (with no time flexibility present).
+	CapturesEnergy bool
+	// CapturesTimeAndEnergy: with both flexibilities positive, the
+	// value responds to changes in either dimension.
+	CapturesTimeAndEnergy bool
+	// CapturesSize: the value depends on the magnitude of the energy
+	// amounts, not only on the widths of the flexible ranges.
+	CapturesSize bool
+	// CapturesPositive/CapturesNegative/CapturesMixed: the measure
+	// meaningfully expresses flexibility for consumption, production
+	// and mixed flex-offers respectively.
+	CapturesPositive bool
+	CapturesNegative bool
+	CapturesMixed    bool
+	// SingleValue: the measure reduces to a single number (true for
+	// all eight proposed measures).
+	SingleValue bool
+}
+
+// CharacteristicNames returns the Table 1 row labels in paper order.
+func CharacteristicNames() []string {
+	return []string{
+		"Captures time",
+		"Captures energy",
+		"Captures time & energy",
+		"Captures size",
+		"Captures positive flex-offers",
+		"Captures negative flex-offers",
+		"Captures Mixed flex-offers",
+		"Single Value",
+	}
+}
+
+// Row returns the characteristic values in the order of
+// CharacteristicNames.
+func (c Characteristics) Row() []bool {
+	return []bool{
+		c.CapturesTime,
+		c.CapturesEnergy,
+		c.CapturesTimeAndEnergy,
+		c.CapturesSize,
+		c.CapturesPositive,
+		c.CapturesNegative,
+		c.CapturesMixed,
+		c.SingleValue,
+	}
+}
+
+// Table1 reproduces the paper's Table 1: for each measure (column) the
+// declared characteristics (rows). The first returned slice holds the
+// column headers (measure names), the second the row labels, and the
+// matrix is indexed [row][column].
+func Table1(measures []Measure) (cols []string, rows []string, cells [][]bool) {
+	rows = CharacteristicNames()
+	cols = make([]string, len(measures))
+	cells = make([][]bool, len(rows))
+	for i := range cells {
+		cells[i] = make([]bool, len(measures))
+	}
+	for j, m := range measures {
+		cols[j] = m.Name()
+		for i, v := range m.Characteristics().Row() {
+			cells[i][j] = v
+		}
+	}
+	return cols, rows, cells
+}
+
+// Witness flex-offers used by the probe engine. They follow the paper's
+// own examples: the size pair is Example 11/12's fx/fy.
+var (
+	// timeOnlyNarrow/timeOnlyWide differ only in tf; ef = 0.
+	probeTimeNarrow = flexoffer.MustNew(0, 1, flexoffer.Slice{Min: 5, Max: 5})
+	probeTimeWide   = flexoffer.MustNew(0, 2, flexoffer.Slice{Min: 5, Max: 5})
+	// energyOnlyNarrow/Wide differ only in ef; tf = 0.
+	probeEnergyNarrow = flexoffer.MustNew(0, 0, flexoffer.Slice{Min: 1, Max: 2})
+	probeEnergyWide   = flexoffer.MustNew(0, 0, flexoffer.Slice{Min: 1, Max: 3})
+	// the "both" triple: a baseline with tf=1, ef=1 and single-dimension
+	// widenings of it.
+	probeBothBase       = flexoffer.MustNew(0, 1, flexoffer.Slice{Min: 1, Max: 2})
+	probeBothMoreTime   = flexoffer.MustNew(0, 2, flexoffer.Slice{Min: 1, Max: 2})
+	probeBothMoreEnergy = flexoffer.MustNew(0, 1, flexoffer.Slice{Min: 1, Max: 3})
+	// Example 11/12's size pair: identical flexibilities, amounts 100×
+	// apart.
+	probeSizeSmall = flexoffer.MustNew(1, 3, flexoffer.Slice{Min: 1, Max: 5})
+	probeSizeLarge = flexoffer.MustNew(1, 3, flexoffer.Slice{Min: 101, Max: 105})
+	// Kind witnesses.
+	probePositive = flexoffer.MustNew(0, 1, flexoffer.Slice{Min: 1, Max: 3})
+	probeNegative = flexoffer.MustNew(0, 1, flexoffer.Slice{Min: -3, Max: -1})
+	probeMixed    = flexoffer.MustNew(0, 1, flexoffer.Slice{Min: -2, Max: 2})
+)
+
+const probeEps = 1e-9
+
+func differs(m Measure, a, b *flexoffer.FlexOffer) (bool, error) {
+	va, err := m.Value(a)
+	if err != nil {
+		return false, err
+	}
+	vb, err := m.Value(b)
+	if err != nil {
+		return false, err
+	}
+	d := va - vb
+	if d < 0 {
+		d = -d
+	}
+	return d > probeEps, nil
+}
+
+// ProbeCharacteristics determines a measure's behavioural
+// characteristics empirically, by evaluating it on witness flex-offers:
+//
+//   - CapturesTime: value differs between offers that differ only in tf
+//     while ef = 0.
+//   - CapturesEnergy: value differs between offers that differ only in
+//     ef while tf = 0.
+//   - CapturesTimeAndEnergy: with tf, ef ≥ 1, the value responds to a
+//     widening of either dimension.
+//   - CapturesSize: value differs between Example 11/12's fx and fy
+//     (equal tf and ef, amounts 100× apart).
+//
+// The kind-support and single-value rows of Table 1 are semantic claims
+// rather than behavioural ones, so the probe carries them over from the
+// declared characteristics after checking that the measure evaluates
+// without error on a witness of each supported kind.
+func ProbeCharacteristics(m Measure) (Characteristics, error) {
+	var c Characteristics
+	var err error
+	if c.CapturesTime, err = differs(m, probeTimeNarrow, probeTimeWide); err != nil {
+		return c, fmt.Errorf("time probe: %w", err)
+	}
+	if c.CapturesEnergy, err = differs(m, probeEnergyNarrow, probeEnergyWide); err != nil {
+		return c, fmt.Errorf("energy probe: %w", err)
+	}
+	respondsTime, err := differs(m, probeBothBase, probeBothMoreTime)
+	if err != nil {
+		return c, fmt.Errorf("joint time probe: %w", err)
+	}
+	respondsEnergy, err := differs(m, probeBothBase, probeBothMoreEnergy)
+	if err != nil {
+		return c, fmt.Errorf("joint energy probe: %w", err)
+	}
+	c.CapturesTimeAndEnergy = respondsTime && respondsEnergy
+	if c.CapturesSize, err = differs(m, probeSizeSmall, probeSizeLarge); err != nil {
+		return c, fmt.Errorf("size probe: %w", err)
+	}
+	decl := m.Characteristics()
+	c.CapturesPositive = decl.CapturesPositive
+	c.CapturesNegative = decl.CapturesNegative
+	c.CapturesMixed = decl.CapturesMixed
+	c.SingleValue = decl.SingleValue
+	kindWitness := map[string]*flexoffer.FlexOffer{}
+	if decl.CapturesPositive {
+		kindWitness["positive"] = probePositive
+	}
+	if decl.CapturesNegative {
+		kindWitness["negative"] = probeNegative
+	}
+	if decl.CapturesMixed {
+		kindWitness["mixed"] = probeMixed
+	}
+	for kind, w := range kindWitness {
+		if _, err := m.Value(w); err != nil {
+			return c, fmt.Errorf("measure %s fails on supported %s offer: %w", m.Name(), kind, err)
+		}
+	}
+	return c, nil
+}
+
+// VerifyCharacteristics probes the measure and compares the behavioural
+// rows (time, energy, time & energy, size) against the declared
+// characteristics, returning a descriptive error on the first mismatch.
+// The experiments harness uses it to regenerate Table 1 from behaviour
+// rather than from declarations.
+func VerifyCharacteristics(m Measure) error {
+	probed, err := ProbeCharacteristics(m)
+	if err != nil {
+		return err
+	}
+	decl := m.Characteristics()
+	type row struct {
+		name           string
+		probed, stated bool
+	}
+	rows := []row{
+		{"captures time", probed.CapturesTime, decl.CapturesTime},
+		{"captures energy", probed.CapturesEnergy, decl.CapturesEnergy},
+		{"captures time & energy", probed.CapturesTimeAndEnergy, decl.CapturesTimeAndEnergy},
+		{"captures size", probed.CapturesSize, decl.CapturesSize},
+	}
+	for _, r := range rows {
+		if r.probed != r.stated {
+			return fmt.Errorf("core: measure %s: %s probed %v but declared %v",
+				m.Name(), r.name, r.probed, r.stated)
+		}
+	}
+	return nil
+}

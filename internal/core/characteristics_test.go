@@ -1,0 +1,110 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"flexmeasures/internal/timeseries"
+)
+
+// paperTable1 is the paper's Table 1, rows in CharacteristicNames order,
+// columns in AllMeasures order (Time, Energy, Product, Vector,
+// Time-series, Assignments, Abs. Area, Rel. Area).
+var paperTable1 = [][]bool{
+	{true, false, false, true, false, true, true, true},    // captures time
+	{false, true, false, true, true, true, true, true},     // captures energy
+	{false, false, true, true, false, true, true, true},    // captures time & energy
+	{false, false, false, false, false, false, true, true}, // captures size
+	{true, true, true, true, true, true, true, true},       // captures positive
+	{true, true, true, true, true, true, true, true},       // captures negative
+	{true, true, true, true, true, true, false, false},     // captures mixed
+	{true, true, true, true, true, true, true, true},       // single value
+}
+
+func TestTable1MatchesPaper(t *testing.T) {
+	cols, rows, cells := Table1(AllMeasures())
+	if len(cols) != 8 || len(rows) != 8 {
+		t.Fatalf("Table1 shape = %d cols × %d rows", len(cols), len(rows))
+	}
+	for i, row := range paperTable1 {
+		for j, want := range row {
+			if cells[i][j] != want {
+				t.Errorf("Table1[%q][%q] = %v, paper says %v",
+					rows[i], cols[j], cells[i][j], want)
+			}
+		}
+	}
+}
+
+func TestVerifyCharacteristicsAllCanonicalMeasures(t *testing.T) {
+	// Every declared Table 1 cell must be confirmed by behavioural
+	// probing — this is the empirical reproduction of Table 1.
+	for _, m := range AllMeasures() {
+		if err := VerifyCharacteristics(m); err != nil {
+			t.Errorf("measure %s: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestVerifyCharacteristicsNormVariants(t *testing.T) {
+	variants := []Measure{
+		VectorMeasure{NormKind: timeseries.L2},
+		VectorMeasure{NormKind: timeseries.LInf},
+		SeriesMeasure{NormKind: timeseries.L2, Aligned: true},
+	}
+	for _, m := range variants {
+		if err := VerifyCharacteristics(m); err != nil {
+			t.Errorf("measure %s: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestPositionedSeriesIsSizeDependent(t *testing.T) {
+	// Deviation D4: the literal Definition 7 measure (extremes at their
+	// own start times) does capture size, unlike the paper's Table 1
+	// row; its declared characteristics say so, and the probe agrees.
+	m := SeriesMeasure{} // positioned
+	probed, err := ProbeCharacteristics(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !probed.CapturesSize {
+		t.Error("positioned series measure should probe as size-dependent")
+	}
+	if err := VerifyCharacteristics(m); err != nil {
+		t.Errorf("declared characteristics disagree with probe: %v", err)
+	}
+}
+
+func TestProbeDetectsMisdeclaredCharacteristics(t *testing.T) {
+	// A deliberately wrong declaration must be caught.
+	if err := VerifyCharacteristics(misdeclaredMeasure{}); err == nil {
+		t.Fatal("VerifyCharacteristics accepted a misdeclared measure")
+	} else if !strings.Contains(err.Error(), "captures time") {
+		t.Errorf("unexpected mismatch report: %v", err)
+	}
+}
+
+// misdeclaredMeasure is the time measure claiming it does not capture
+// time.
+type misdeclaredMeasure struct{ TimeMeasure }
+
+func (misdeclaredMeasure) Name() string { return "misdeclared" }
+
+func (misdeclaredMeasure) Characteristics() Characteristics {
+	c := TimeMeasure{}.Characteristics()
+	c.CapturesTime = false
+	return c
+}
+
+func TestCharacteristicNamesRowAlignment(t *testing.T) {
+	names := CharacteristicNames()
+	c := Characteristics{CapturesTime: true, SingleValue: true}
+	row := c.Row()
+	if len(names) != len(row) {
+		t.Fatalf("%d names for %d row entries", len(names), len(row))
+	}
+	if !row[0] || row[1] || !row[len(row)-1] {
+		t.Error("Row order does not match CharacteristicNames order")
+	}
+}

@@ -1,0 +1,122 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+// ErrBadWeights is returned when a composite's weights are unusable.
+var ErrBadWeights = errors.New("core: weights must be non-empty, match the measures, and not all be zero")
+
+// WeightedMeasure combines several measures into one, as Section 4
+// suggests: "Weighting is one way of combining different flexibility
+// measures and balancing their influences to fulfill specific
+// characteristics mentioned in Table 1."
+//
+// The value is Σ wᵢ·mᵢ(f) / Σ wᵢ. A combined characteristic is captured
+// when any positively weighted component captures it; kind support
+// requires every positively weighted component to support the kind (a
+// component that cannot express a mixed offer poisons the combination
+// for mixed offers).
+type WeightedMeasure struct {
+	// Label names the composite; Name returns it when non-empty.
+	Label string
+	// Measures are the components.
+	Measures []Measure
+	// Weights holds one non-negative weight per component.
+	Weights []float64
+}
+
+// NewWeightedMeasure validates and returns a weighted composite.
+func NewWeightedMeasure(label string, measures []Measure, weights []float64) (*WeightedMeasure, error) {
+	w := &WeightedMeasure{Label: label, Measures: measures, Weights: weights}
+	if err := w.validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *WeightedMeasure) validate() error {
+	if len(w.Measures) == 0 || len(w.Measures) != len(w.Weights) {
+		return fmt.Errorf("%w: %d measures, %d weights", ErrBadWeights, len(w.Measures), len(w.Weights))
+	}
+	var sum float64
+	for _, wt := range w.Weights {
+		if wt < 0 {
+			return fmt.Errorf("%w: negative weight %g", ErrBadWeights, wt)
+		}
+		sum += wt
+	}
+	if sum == 0 {
+		return fmt.Errorf("%w: all weights zero", ErrBadWeights)
+	}
+	return nil
+}
+
+// Name implements Measure.
+func (w *WeightedMeasure) Name() string {
+	if w.Label != "" {
+		return w.Label
+	}
+	return "weighted"
+}
+
+// Value implements Measure as the weighted mean of the component values.
+func (w *WeightedMeasure) Value(f *flexoffer.FlexOffer) (float64, error) {
+	return w.eval(func(m Measure) (float64, error) { return m.Value(f) })
+}
+
+// SetValue implements Measure as the weighted mean of the component set
+// values, letting each component keep its own Section 4 set semantics.
+func (w *WeightedMeasure) SetValue(fs []*flexoffer.FlexOffer) (float64, error) {
+	return w.eval(func(m Measure) (float64, error) { return m.SetValue(fs) })
+}
+
+func (w *WeightedMeasure) eval(value func(Measure) (float64, error)) (float64, error) {
+	if err := w.validate(); err != nil {
+		return 0, err
+	}
+	var num, den float64
+	for i, m := range w.Measures {
+		wt := w.Weights[i]
+		if wt == 0 {
+			continue
+		}
+		v, err := value(m)
+		if err != nil {
+			return 0, fmt.Errorf("component %s: %w", m.Name(), err)
+		}
+		num += wt * v
+		den += wt
+	}
+	return num / den, nil
+}
+
+// Characteristics implements Measure: coverage rows (time, energy,
+// time & energy, size) are the union of the positively weighted
+// components; kind-support rows are the intersection.
+func (w *WeightedMeasure) Characteristics() Characteristics {
+	c := Characteristics{
+		CapturesPositive: true,
+		CapturesNegative: true,
+		CapturesMixed:    true,
+		SingleValue:      true,
+	}
+	for i, m := range w.Measures {
+		if i >= len(w.Weights) || w.Weights[i] == 0 {
+			continue
+		}
+		mc := m.Characteristics()
+		c.CapturesTime = c.CapturesTime || mc.CapturesTime
+		c.CapturesEnergy = c.CapturesEnergy || mc.CapturesEnergy
+		c.CapturesTimeAndEnergy = c.CapturesTimeAndEnergy || mc.CapturesTimeAndEnergy
+		c.CapturesSize = c.CapturesSize || mc.CapturesSize
+		c.CapturesPositive = c.CapturesPositive && mc.CapturesPositive
+		c.CapturesNegative = c.CapturesNegative && mc.CapturesNegative
+		c.CapturesMixed = c.CapturesMixed && mc.CapturesMixed
+		c.SingleValue = c.SingleValue && mc.SingleValue
+	}
+	return c
+}

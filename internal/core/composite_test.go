@@ -1,0 +1,116 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+func TestWeightedMeasureValue(t *testing.T) {
+	// Equal-weight blend of time (5) and energy (12) on Figure 1.
+	w, err := NewWeightedMeasure("blend", []Measure{TimeMeasure{}, EnergyMeasure{}}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Value(figure1)
+	if err != nil || got != 8.5 {
+		t.Errorf("blend = %g, %v; want 8.5", got, err)
+	}
+	if w.Name() != "blend" {
+		t.Errorf("Name = %q", w.Name())
+	}
+}
+
+func TestWeightedMeasureWeighting(t *testing.T) {
+	w, err := NewWeightedMeasure("", []Measure{TimeMeasure{}, EnergyMeasure{}}, []float64{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := w.Value(figure1)
+	want := (3*5.0 + 1*12.0) / 4
+	if err != nil || math.Abs(got-want) > 1e-12 {
+		t.Errorf("weighted = %g, %v; want %g", got, err, want)
+	}
+	if w.Name() != "weighted" {
+		t.Errorf("default Name = %q", w.Name())
+	}
+}
+
+func TestWeightedMeasureZeroWeightSkipsComponent(t *testing.T) {
+	// A zero-weighted relative-area component must not poison a mixed
+	// offer evaluation.
+	w, err := NewWeightedMeasure("", []Measure{VectorMeasure{}, RelativeAreaMeasure{}}, []float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := flexoffer.MustNew(0, 1, sl(0, 0)) // relative area errors here
+	got, err := w.Value(zero)
+	if err != nil || got != 1 {
+		t.Errorf("value = %g, %v; want vector L1 = 1", got, err)
+	}
+}
+
+func TestWeightedMeasureSetValue(t *testing.T) {
+	w, err := NewWeightedMeasure("", []Measure{TimeMeasure{}, EnergyMeasure{}}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := []*flexoffer.FlexOffer{figure1, figure1.Clone()}
+	got, err := w.SetValue(set)
+	if err != nil || got != 17 { // (10 + 24) / 2
+		t.Errorf("set value = %g, %v; want 17", got, err)
+	}
+}
+
+func TestWeightedMeasureValidation(t *testing.T) {
+	cases := []struct {
+		name     string
+		measures []Measure
+		weights  []float64
+	}{
+		{"empty", nil, nil},
+		{"arity", []Measure{TimeMeasure{}}, []float64{1, 2}},
+		{"negative", []Measure{TimeMeasure{}}, []float64{-1}},
+		{"all zero", []Measure{TimeMeasure{}}, []float64{0}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := NewWeightedMeasure("", c.measures, c.weights); !errors.Is(err, ErrBadWeights) {
+				t.Errorf("got %v, want ErrBadWeights", err)
+			}
+		})
+	}
+}
+
+func TestWeightedMeasureCharacteristics(t *testing.T) {
+	// vector (mixed: yes) + absolute area (mixed: no) → combination
+	// cannot express mixed offers, but gains the size row from the area
+	// component (Section 4's motivation for weighting).
+	w, err := NewWeightedMeasure("", []Measure{VectorMeasure{}, AbsoluteAreaMeasure{}}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := w.Characteristics()
+	if !c.CapturesTime || !c.CapturesEnergy || !c.CapturesTimeAndEnergy || !c.CapturesSize {
+		t.Errorf("coverage rows should be the union: %+v", c)
+	}
+	if c.CapturesMixed {
+		t.Error("mixed support should be the intersection")
+	}
+	if !c.CapturesPositive || !c.CapturesNegative || !c.SingleValue {
+		t.Errorf("kind rows wrong: %+v", c)
+	}
+}
+
+func TestWeightedMeasureComponentErrorIsNamed(t *testing.T) {
+	w, err := NewWeightedMeasure("", []Measure{RelativeAreaMeasure{}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	zero := flexoffer.MustNew(0, 1, sl(0, 0))
+	if _, err := w.Value(zero); !errors.Is(err, ErrZeroTotals) {
+		t.Errorf("component error = %v, want wrapped ErrZeroTotals", err)
+	}
+}

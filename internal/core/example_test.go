@@ -1,0 +1,92 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"flexmeasures/internal/core"
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/timeseries"
+)
+
+// Example reproduces the paper's Examples 1–3.
+func Example() {
+	f := flexoffer.MustNew(1, 6,
+		flexoffer.Slice{Min: 1, Max: 3}, flexoffer.Slice{Min: 2, Max: 4},
+		flexoffer.Slice{Min: 0, Max: 5}, flexoffer.Slice{Min: 0, Max: 3})
+	fmt.Println(core.TimeFlexibility(f), core.EnergyFlexibility(f), core.ProductFlexibility(f))
+	// Output: 5 12 60
+}
+
+// ExampleVectorFlexibility evaluates Definition 4 with both norms of the
+// paper's Example 4.
+func ExampleVectorFlexibility() {
+	f := flexoffer.MustNew(1, 6,
+		flexoffer.Slice{Min: 1, Max: 3}, flexoffer.Slice{Min: 2, Max: 4},
+		flexoffer.Slice{Min: 0, Max: 5}, flexoffer.Slice{Min: 0, Max: 3})
+	v := core.VectorFlexibility(f)
+	fmt.Printf("%s L1=%.0f L2=%.3f\n", v, v.L1(), v.L2())
+	// Output: ⟨5,12⟩ L1=17 L2=13.000
+}
+
+// ExampleSeriesFlexibility evaluates Definition 7 on the paper's
+// Example 5 flex-offer.
+func ExampleSeriesFlexibility() {
+	f1 := flexoffer.MustNew(0, 1, flexoffer.Slice{Min: 0, Max: 1})
+	l1, err := core.SeriesFlexibility(f1, timeseries.L1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(l1)
+	// Output: 1
+}
+
+// ExampleAbsoluteAreaFlexibility evaluates Definitions 10–11 on the
+// paper's f4 (Examples 8 and 10).
+func ExampleAbsoluteAreaFlexibility() {
+	f4 := flexoffer.MustNew(0, 4, flexoffer.Slice{Min: 2, Max: 2})
+	abs := core.AbsoluteAreaFlexibility(f4)
+	rel, err := core.RelativeAreaFlexibility(f4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(abs, rel)
+	// Output: 8 4
+}
+
+// ExampleProbeCharacteristics verifies a Table 1 column empirically.
+func ExampleProbeCharacteristics() {
+	probed, err := core.ProbeCharacteristics(core.ProductMeasure{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(probed.CapturesTime, probed.CapturesEnergy, probed.CapturesTimeAndEnergy)
+	// Output: false false true
+}
+
+// ExampleNewWeightedMeasure blends two measures as Section 4 suggests.
+func ExampleNewWeightedMeasure() {
+	w, err := core.NewWeightedMeasure("blend",
+		[]core.Measure{core.TimeMeasure{}, core.EnergyMeasure{}},
+		[]float64{1, 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	f := flexoffer.MustNew(1, 6,
+		flexoffer.Slice{Min: 1, Max: 3}, flexoffer.Slice{Min: 2, Max: 4},
+		flexoffer.Slice{Min: 0, Max: 5}, flexoffer.Slice{Min: 0, Max: 3})
+	v, err := w.Value(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v) // (5 + 12) / 2
+	// Output: 8.5
+}
+
+// ExampleEntropyFlexibility shows the extension measure on the paper's
+// f2: 9 assignments ≈ 3.17 bits.
+func ExampleEntropyFlexibility() {
+	f2 := flexoffer.MustNew(0, 2, flexoffer.Slice{Min: 0, Max: 2})
+	fmt.Printf("%.2f\n", core.EntropyFlexibility(f2))
+	// Output: 3.17
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"math"
+	"math/big"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+// This file implements extension measures beyond the paper's eight, in
+// the direction its Section 6 sketches ("we will extend the current
+// proposals to new types of measures capturing more aspects of flexible
+// electrical loads"). Each is a full Measure, so it participates in the
+// registry, the probe engine and the set semantics.
+
+// EntropyFlexibility returns log₂ of the Definition 8 assignment count:
+// the number of bits needed to name one assignment. Where the raw count
+// explodes exponentially with the number of slices (the paper's own
+// criticism of Definition 8: "energy flexibility has an exponential
+// impact"), the entropy grows additively — one extra independent slice
+// adds log₂(span+1) bits — which puts time and energy flexibility back
+// on comparable footing.
+func EntropyFlexibility(f *flexoffer.FlexOffer) float64 {
+	count := f.AssignmentCount()
+	if count.Sign() <= 0 {
+		return 0
+	}
+	// Exact enough for any realistic offer: float conversion of a big
+	// integer keeps ~53 significant bits and log₂ compresses the rest.
+	v, _ := new(big.Float).SetInt(count).Float64()
+	if math.IsInf(v, +1) {
+		// Beyond float64: use the bit length as a tight bound.
+		return float64(count.BitLen() - 1)
+	}
+	return math.Log2(v)
+}
+
+// EntropyMeasure is EntropyFlexibility as a Measure.
+type EntropyMeasure struct{}
+
+// Name implements Measure.
+func (EntropyMeasure) Name() string { return "entropy" }
+
+// Value implements Measure.
+func (EntropyMeasure) Value(f *flexoffer.FlexOffer) (float64, error) {
+	return EntropyFlexibility(f), nil
+}
+
+// SetValue implements Measure. The joint assignment space of independent
+// offers is the product of the counts, so the joint entropy is the sum —
+// summation here is exactly the Section 4 product rule, taken in logs.
+func (m EntropyMeasure) SetValue(fs []*flexoffer.FlexOffer) (float64, error) {
+	return sumSet(m, fs)
+}
+
+// Characteristics implements Measure. Entropy inherits the assignments
+// measure's column of Table 1: it sees both dimensions, ignores size,
+// and applies to every flex-offer kind.
+func (EntropyMeasure) Characteristics() Characteristics {
+	return Characteristics{
+		CapturesTime:          true,
+		CapturesEnergy:        true,
+		CapturesTimeAndEnergy: true,
+		CapturesPositive:      true,
+		CapturesNegative:      true,
+		CapturesMixed:         true,
+		SingleValue:           true,
+	}
+}
+
+// DisplacementMeasure is DisplacementFlexibility as a Measure: the
+// temporal L1 (earth-mover) distance between the maximal profile
+// executed at the earliest and the latest start. It cures the series
+// measure's time blindness (Example 13) and, because the moved energy is
+// weighted by its amount, it sees the size of the offer.
+type DisplacementMeasure struct{}
+
+// Name implements Measure.
+func (DisplacementMeasure) Name() string { return "displacement" }
+
+// Value implements Measure.
+func (DisplacementMeasure) Value(f *flexoffer.FlexOffer) (float64, error) {
+	return DisplacementFlexibility(f)
+}
+
+// SetValue implements Measure by summation: displaced watt-hours add up
+// across a fleet.
+func (m DisplacementMeasure) SetValue(fs []*flexoffer.FlexOffer) (float64, error) {
+	return sumSet(m, fs)
+}
+
+// Characteristics implements Measure.
+//
+// Displacement captures time (a wider window lets the energy travel
+// further) and size (more energy moved counts for more). With no time
+// flexibility at all it is identically zero, so the pure-energy row is
+// No; but when tf > 0 it does respond to a widening of the slice maxima
+// (the travelling profile grows), so the joint row is Yes.
+func (DisplacementMeasure) Characteristics() Characteristics {
+	return Characteristics{
+		CapturesTime:          true,
+		CapturesTimeAndEnergy: true,
+		CapturesSize:          true,
+		CapturesPositive:      true,
+		CapturesNegative:      true,
+		CapturesMixed:         true,
+		SingleValue:           true,
+	}
+}
+
+// TemporalSeriesMeasure evaluates Definition 7's difference series under
+// the temporal Lp norm of the paper's reference [7] (Lee & Verleysen)
+// instead of a pointwise norm: the cumulative-domain distance between
+// the positioned extreme assignments. For offers whose slice minima are
+// non-zero it responds to *where* the extremes sit in time, not only to
+// how much their values differ. (For Example 13's offers, whose minimum
+// assignment is identically zero, there is no energy to displace and
+// the value coincides with the plain measure; DisplacementMeasure is
+// the variant that separates that pair.)
+type TemporalSeriesMeasure struct {
+	// P is the norm order; the zero value defaults to 1.
+	P float64
+}
+
+func (m TemporalSeriesMeasure) order() float64 {
+	if m.P == 0 {
+		return 1
+	}
+	return m.P
+}
+
+// Name implements Measure.
+func (m TemporalSeriesMeasure) Name() string {
+	if m.order() == 1 {
+		return "series_temporal_l1"
+	}
+	return "series_temporal_lp"
+}
+
+// Value implements Measure.
+func (m TemporalSeriesMeasure) Value(f *flexoffer.FlexOffer) (float64, error) {
+	return SeriesDifference(f).TemporalLp(m.order())
+}
+
+// SetValue implements Measure by summation, like the plain series
+// measure.
+func (m TemporalSeriesMeasure) SetValue(fs []*flexoffer.FlexOffer) (float64, error) {
+	return sumSet(m, fs)
+}
+
+// Characteristics implements Measure. The cumulative domain makes both
+// the temporal placement and the magnitude of the extremes visible, so
+// the measure captures time, energy and size — at the price of mixing
+// them into one number with no principled exchange rate (the same
+// trade-off the paper notes for the product measure).
+func (TemporalSeriesMeasure) Characteristics() Characteristics {
+	return Characteristics{
+		CapturesTime:          true,
+		CapturesEnergy:        true,
+		CapturesTimeAndEnergy: true,
+		CapturesSize:          true,
+		CapturesPositive:      true,
+		CapturesNegative:      true,
+		CapturesMixed:         true,
+		SingleValue:           true,
+	}
+}
+
+// ExtensionMeasures returns this library's measures beyond the paper's
+// eight, in a stable order. They satisfy the same probe engine as the
+// canonical measures.
+func ExtensionMeasures() []Measure {
+	return []Measure{
+		EntropyMeasure{},
+		DisplacementMeasure{},
+		TemporalSeriesMeasure{},
+	}
+}
+
+// Compile-time interface checks for every measure in the package.
+var (
+	_ Measure = TimeMeasure{}
+	_ Measure = EnergyMeasure{}
+	_ Measure = ProductMeasure{}
+	_ Measure = VectorMeasure{}
+	_ Measure = SeriesMeasure{}
+	_ Measure = AssignmentsMeasure{}
+	_ Measure = AbsoluteAreaMeasure{}
+	_ Measure = RelativeAreaMeasure{}
+	_ Measure = EntropyMeasure{}
+	_ Measure = DisplacementMeasure{}
+	_ Measure = TemporalSeriesMeasure{}
+	_ Measure = (*WeightedMeasure)(nil)
+)

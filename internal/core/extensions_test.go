@@ -1,0 +1,218 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+func TestEntropyFlexibilityBasics(t *testing.T) {
+	// f2 has 9 assignments → log₂9 bits.
+	got := EntropyFlexibility(f2)
+	if math.Abs(got-math.Log2(9)) > 1e-9 {
+		t.Errorf("entropy(f2) = %g, want log2(9)", got)
+	}
+	// An inflexible offer has exactly one assignment → zero bits.
+	fixed := flexoffer.MustNew(3, 3, sl(5, 5))
+	if EntropyFlexibility(fixed) != 0 {
+		t.Errorf("entropy of inflexible offer = %g, want 0", EntropyFlexibility(fixed))
+	}
+}
+
+func TestEntropyAdditiveWhereCountIsMultiplicative(t *testing.T) {
+	// Appending an independent slice of span 3 adds exactly log₂4 bits.
+	base := flexoffer.MustNew(0, 2, sl(0, 2))
+	ext := flexoffer.MustNew(0, 2, sl(0, 2), sl(0, 3))
+	delta := EntropyFlexibility(ext) - EntropyFlexibility(base)
+	if math.Abs(delta-2) > 1e-9 {
+		t.Errorf("entropy delta = %g, want 2 bits", delta)
+	}
+}
+
+func TestEntropyHugeOfferStaysFinite(t *testing.T) {
+	// 500 slices of span 9: count = (tf+1)·10^500 overflows float64;
+	// the bit-length fallback must stay finite and close to the truth.
+	slices := make([]flexoffer.Slice, 500)
+	for i := range slices {
+		slices[i] = sl(0, 9)
+	}
+	f := flexoffer.MustNew(0, 0, slices...)
+	got := EntropyFlexibility(f)
+	want := 500 * math.Log2(10)
+	if math.IsInf(got, 0) || math.Abs(got-want) > 2 {
+		t.Errorf("entropy = %g, want ≈%g", got, want)
+	}
+}
+
+func TestDisplacementMeasureValues(t *testing.T) {
+	// Example 13's pair: 1 and 10 (the measure's reason to exist).
+	f1prime := flexoffer.MustNew(0, 10, sl(0, 1))
+	m := DisplacementMeasure{}
+	v1, err := m.Value(f1)
+	if err != nil || v1 != 1 {
+		t.Errorf("displacement(f1) = %g, %v; want 1", v1, err)
+	}
+	v10, err := m.Value(f1prime)
+	if err != nil || v10 != 10 {
+		t.Errorf("displacement(f1') = %g, %v; want 10", v10, err)
+	}
+	// Zero time flexibility → zero displacement.
+	fixed := flexoffer.MustNew(2, 2, sl(0, 9))
+	v, err := m.Value(fixed)
+	if err != nil || v != 0 {
+		t.Errorf("displacement with tf=0 = %g, %v; want 0", v, err)
+	}
+}
+
+func TestDisplacementScalesWithEnergyAndTime(t *testing.T) {
+	m := DisplacementMeasure{}
+	base := flexoffer.MustNew(0, 2, sl(3, 3))
+	v, err := m.Value(base)
+	if err != nil || v != 6 { // 3 units moved 2 slots
+		t.Fatalf("displacement = %g, %v; want 6", v, err)
+	}
+	double, err := m.Value(base.ScaleEnergy(2))
+	if err != nil || double != 12 {
+		t.Errorf("scaled displacement = %g, %v; want 12", double, err)
+	}
+}
+
+func TestTemporalSeriesMeasureSeesTemporalPlacement(t *testing.T) {
+	// For offers with a non-zero mandatory profile the plain series
+	// norm is blind to the start-window width, while the temporal
+	// variant grows with it: the mandatory energy travels further.
+	near := flexoffer.MustNew(0, 1, sl(5, 5))
+	far := flexoffer.MustNew(0, 4, sl(5, 5))
+	plain := SeriesMeasure{}
+	pNear, err := plain.Value(near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pFar, err := plain.Value(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pNear != pFar {
+		t.Fatalf("plain series should be window-blind here: %g vs %g", pNear, pFar)
+	}
+	m := TemporalSeriesMeasure{}
+	a, err := m.Value(near)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.Value(far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a >= b {
+		t.Errorf("temporal series: %g should be < %g", a, b)
+	}
+	// Example 13's pair has a zero minimum assignment, so the temporal
+	// variant coincides with the plain measure there (both 1); the
+	// displacement measure is the one that separates that pair.
+	f1prime := flexoffer.MustNew(0, 10, sl(0, 1))
+	v1, err := m.Value(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v10, err := m.Value(f1prime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != 1 || v10 != 1 {
+		t.Errorf("Example 13 temporal values = %g, %g; want 1, 1", v1, v10)
+	}
+}
+
+func TestExtensionMeasuresVerifyTheirCharacteristics(t *testing.T) {
+	for _, m := range ExtensionMeasures() {
+		if err := VerifyCharacteristics(m); err != nil {
+			t.Errorf("%s: %v", m.Name(), err)
+		}
+	}
+}
+
+func TestExtensionMeasuresInRegistry(t *testing.T) {
+	for _, m := range ExtensionMeasures() {
+		got, err := LookupMeasure(m.Name())
+		if err != nil {
+			t.Errorf("LookupMeasure(%q): %v", m.Name(), err)
+			continue
+		}
+		if got.Name() != m.Name() {
+			t.Errorf("registry returned %q for %q", got.Name(), m.Name())
+		}
+	}
+}
+
+func TestExtensionSetValues(t *testing.T) {
+	set := []*flexoffer.FlexOffer{f2, f2.Clone()}
+	// Joint entropy of independent offers = sum of entropies.
+	e, err := (EntropyMeasure{}).SetValue(set)
+	if err != nil || math.Abs(e-2*math.Log2(9)) > 1e-9 {
+		t.Errorf("entropy set = %g, %v; want 2·log2(9)", e, err)
+	}
+	d, err := (DisplacementMeasure{}).SetValue(set)
+	if err != nil || d <= 0 {
+		t.Errorf("displacement set = %g, %v", d, err)
+	}
+}
+
+func TestTemporalSeriesMeasureNames(t *testing.T) {
+	if (TemporalSeriesMeasure{}).Name() != "series_temporal_l1" {
+		t.Errorf("name = %q", TemporalSeriesMeasure{}.Name())
+	}
+	if (TemporalSeriesMeasure{P: 2}).Name() != "series_temporal_lp" {
+		t.Errorf("name = %q", TemporalSeriesMeasure{P: 2}.Name())
+	}
+}
+
+func TestPropertyEntropyIsLogOfCount(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(4)
+		slices := make([]flexoffer.Slice, n)
+		for i := range slices {
+			lo := int64(r.Intn(7) - 3)
+			slices[i] = flexoffer.Slice{Min: lo, Max: lo + int64(r.Intn(4))}
+		}
+		es := r.Intn(4)
+		f := flexoffer.MustNew(es, es+r.Intn(4), slices...)
+		count, _ := (AssignmentsMeasure{}).Value(f)
+		return math.Abs(EntropyFlexibility(f)-math.Log2(count)) < 1e-9
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDisplacementNonNegativeAndMonotoneInWindow(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(3)
+		slices := make([]flexoffer.Slice, n)
+		for i := range slices {
+			v := int64(r.Intn(6))
+			slices[i] = flexoffer.Slice{Min: 0, Max: v}
+		}
+		es := r.Intn(3)
+		f := flexoffer.MustNew(es, es+r.Intn(4), slices...)
+		wider := f.Clone()
+		wider.LatestStart++
+		a, err := DisplacementFlexibility(f)
+		if err != nil || a < 0 {
+			return false
+		}
+		b, err := DisplacementFlexibility(wider)
+		if err != nil {
+			return false
+		}
+		return b >= a
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/timeseries"
+)
+
+func TestAllMeasuresNamesAndOrder(t *testing.T) {
+	want := []string{
+		"time", "energy", "product", "vector_l1",
+		"series_aligned_l1", "assignments", "absolute_area", "relative_area",
+	}
+	got := MeasureNames()
+	if len(got) != len(want) {
+		t.Fatalf("MeasureNames = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MeasureNames = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestLookupMeasure(t *testing.T) {
+	for _, name := range append(MeasureNames(),
+		"vector_l2", "vector_linf", "series_l1", "series_l2", "series_aligned_l2") {
+		m, err := LookupMeasure(name)
+		if err != nil {
+			t.Errorf("LookupMeasure(%q): %v", name, err)
+			continue
+		}
+		if m.Name() != name {
+			t.Errorf("LookupMeasure(%q).Name() = %q", name, m.Name())
+		}
+	}
+	if _, err := LookupMeasure("bogus"); !errors.Is(err, ErrUnknownMeasure) {
+		t.Errorf("LookupMeasure(bogus) = %v, want ErrUnknownMeasure", err)
+	}
+}
+
+func TestMeasureValuesOnFigure1(t *testing.T) {
+	// Every measure evaluated on the paper's running example.
+	cases := []struct {
+		name string
+		want float64
+	}{
+		{"time", 5},
+		{"energy", 12},
+		{"product", 60},
+		{"vector_l1", 17},
+		{"vector_l2", math.Sqrt(25 + 144)},
+		{"series_aligned_l1", 2 + 2 + 5 + 3}, // per-slice spans
+		{"assignments", 6 * 3 * 3 * 6 * 4},
+		{"absolute_area", 0}, // see below
+		{"relative_area", 0},
+	}
+	for _, c := range cases {
+		m, err := LookupMeasure(c.name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := m.Value(figure1)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if c.name == "absolute_area" || c.name == "relative_area" {
+			// The area of Figure 1's offer is not stated in the paper;
+			// assert consistency between the two area measures instead.
+			abs := float64(AbsoluteAreaFlexibility(figure1))
+			rel, err := RelativeAreaFlexibility(figure1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.name == "absolute_area" && got != abs {
+				t.Errorf("absolute_area = %g, want %g", got, abs)
+			}
+			if c.name == "relative_area" && math.Abs(got-rel) > 1e-12 {
+				t.Errorf("relative_area = %g, want %g", got, rel)
+			}
+			continue
+		}
+		if math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s = %g, want %g", c.name, got, c.want)
+		}
+	}
+}
+
+func TestSetValueSummation(t *testing.T) {
+	set := []*flexoffer.FlexOffer{f4, f4.Clone()}
+	m := AbsoluteAreaMeasure{}
+	got, err := m.SetValue(set)
+	if err != nil || got != 16 {
+		t.Errorf("abs area set = %g, %v; want 16 (8+8)", got, err)
+	}
+	tm := TimeMeasure{}
+	got, err = tm.SetValue(set)
+	if err != nil || got != 8 {
+		t.Errorf("time set = %g, %v; want 8 (4+4)", got, err)
+	}
+}
+
+func TestSetValueAssignmentsIsProduct(t *testing.T) {
+	// f2 has 9 assignments; two independent copies have 81 joint ones.
+	m := AssignmentsMeasure{}
+	got, err := m.SetValue([]*flexoffer.FlexOffer{f2, f2.Clone()})
+	if err != nil || got != 81 {
+		t.Errorf("assignments set = %g, %v; want 81", got, err)
+	}
+}
+
+func TestSetValueRelativeAreaIsAverage(t *testing.T) {
+	m := RelativeAreaMeasure{}
+	// rel(f4) = 4 and rel(f5) = 16/6; average = (4+16/6)/2.
+	got, err := m.SetValue([]*flexoffer.FlexOffer{f4, f5})
+	want := (4 + 16.0/6.0) / 2
+	if err != nil || math.Abs(got-want) > 1e-9 {
+		t.Errorf("relative set = %g, %v; want %g", got, err, want)
+	}
+}
+
+func TestSetValueEmptySet(t *testing.T) {
+	for _, m := range AllMeasures() {
+		if _, err := m.SetValue(nil); !errors.Is(err, ErrEmptySet) {
+			t.Errorf("%s: empty set = %v, want ErrEmptySet", m.Name(), err)
+		}
+	}
+}
+
+func TestSetValuePropagatesErrors(t *testing.T) {
+	zero := flexoffer.MustNew(0, 1, sl(0, 0)) // relative area undefined
+	m := RelativeAreaMeasure{}
+	if _, err := m.SetValue([]*flexoffer.FlexOffer{f4, zero}); !errors.Is(err, ErrZeroTotals) {
+		t.Errorf("set error = %v, want wrapped ErrZeroTotals", err)
+	}
+}
+
+func TestVectorMeasureNormVariants(t *testing.T) {
+	v1 := VectorMeasure{}
+	if v1.Name() != "vector_l1" {
+		t.Errorf("zero-value VectorMeasure name = %q, want vector_l1", v1.Name())
+	}
+	got, err := v1.Value(fx)
+	if err != nil || got != 6 {
+		t.Errorf("vector L1(fx) = %g, %v; want 6 (Example 12)", got, err)
+	}
+	v2 := VectorMeasure{NormKind: timeseries.L2}
+	got, err = v2.Value(fx)
+	if err != nil || math.Abs(got-4.472) > 0.001 {
+		t.Errorf("vector L2(fx) = %g, %v; want 4.472 (Example 12)", got, err)
+	}
+	vinf := VectorMeasure{NormKind: timeseries.LInf}
+	got, err = vinf.Value(fx)
+	if err != nil || got != 4 {
+		t.Errorf("vector LInf(fx) = %g, %v; want 4", got, err)
+	}
+}
+
+func TestSeriesMeasureVariants(t *testing.T) {
+	pos := SeriesMeasure{}
+	if pos.Name() != "series_l1" {
+		t.Errorf("zero-value SeriesMeasure name = %q", pos.Name())
+	}
+	got, err := pos.Value(fy)
+	if err != nil || got != 206 {
+		t.Errorf("positioned series(fy) = %g, %v; want 206", got, err)
+	}
+	al := SeriesMeasure{Aligned: true}
+	got, err = al.Value(fy)
+	if err != nil || got != 4 {
+		t.Errorf("aligned series(fy) = %g, %v; want 4", got, err)
+	}
+	l2 := SeriesMeasure{NormKind: timeseries.L2, Aligned: true}
+	if l2.Name() != "series_aligned_l2" {
+		t.Errorf("name = %q", l2.Name())
+	}
+}
+
+func TestAssignmentsMeasureLargeCounts(t *testing.T) {
+	// 30 slices of span 9 → 10^30 · (tf+1); float64 conversion must be
+	// finite and positive.
+	slices := make([]flexoffer.Slice, 30)
+	for i := range slices {
+		slices[i] = sl(0, 9)
+	}
+	f := flexoffer.MustNew(0, 0, slices...)
+	got, err := (AssignmentsMeasure{}).Value(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(got, 0) || got <= 0 {
+		t.Errorf("large count conversion = %g", got)
+	}
+	if math.Abs(got-1e30)/1e30 > 1e-9 {
+		t.Errorf("count = %g, want ≈1e30", got)
+	}
+}

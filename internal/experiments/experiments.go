@@ -1,0 +1,183 @@
+// Package experiments regenerates every table and figure of Valsomatzis
+// et al. (EDBT/ICDT Workshops 2015) plus the extended experiments the
+// paper's future-work section calls for. Each experiment returns a
+// Result whose rows pair the paper's reported value with the value this
+// implementation measures, and whose Check method fails on any
+// unexplained mismatch. cmd/flexbench prints the results; bench_test.go
+// wraps each experiment in a testing.B benchmark; EXPERIMENTS.md is the
+// archived output.
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/render"
+)
+
+// ErrUnknownExperiment is returned by Run for unrecognised IDs.
+var ErrUnknownExperiment = errors.New("experiments: unknown experiment")
+
+// ErrMismatch is wrapped by Check failures.
+var ErrMismatch = errors.New("experiments: measured value disagrees with the paper")
+
+// Result is one regenerated table or figure.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (F1…F7, E4,
+	// E11-13, T1, X1…X4).
+	ID string
+	// Title describes the paper artefact.
+	Title string
+	// Header and Rows form the regenerated table.
+	Header []string
+	Rows   [][]string
+	// Figure holds an ASCII rendering when the artefact is a figure.
+	Figure string
+	// Notes records deviations and commentary (mirrored in
+	// EXPERIMENTS.md).
+	Notes []string
+	// mismatches collects row-level disagreements for Check.
+	mismatches []string
+}
+
+// Render returns the result as printable text.
+func (r *Result) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	if r.Figure != "" {
+		b.WriteString(r.Figure)
+	}
+	if len(r.Header) > 0 {
+		b.WriteString(render.Table(r.Header, r.Rows))
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Check reports whether every measured value matched the paper (modulo
+// the documented deviations, which do not count as mismatches).
+func (r *Result) Check() error {
+	if len(r.mismatches) == 0 {
+		return nil
+	}
+	return fmt.Errorf("%w: %s: %s", ErrMismatch, r.ID, strings.Join(r.mismatches, "; "))
+}
+
+// row appends a comparison row: quantity, paper value, measured value,
+// and whether they agree. A non-empty deviation replaces the boolean
+// verdict with a pointer to the documented deviation and does not count
+// as a mismatch.
+func (r *Result) row(quantity, paper, measured, deviation string) {
+	verdict := "✓"
+	if paper != measured {
+		if deviation != "" {
+			verdict = deviation
+		} else {
+			verdict = "✗"
+			r.mismatches = append(r.mismatches, fmt.Sprintf("%s: paper %s, measured %s", quantity, paper, measured))
+		}
+	}
+	r.Rows = append(r.Rows, []string{quantity, paper, measured, verdict})
+}
+
+func comparisonHeader() []string { return []string{"quantity", "paper", "measured", "match"} }
+
+// Paper fixtures, shared by the experiments.
+func sl(min, max int64) flexoffer.Slice { return flexoffer.Slice{Min: min, Max: max} }
+
+var (
+	// figure1F is Figure 1's f = ([1,6],⟨[1,3],[2,4],[0,5],[0,3]⟩).
+	figure1F = flexoffer.MustNew(1, 6, sl(1, 3), sl(2, 4), sl(0, 5), sl(0, 3))
+	// f1 is Figure 2 / Example 5's ([0,1],⟨[0,1]⟩).
+	paperF1 = flexoffer.MustNew(0, 1, sl(0, 1))
+	// f1prime is Example 13's ([0,10],⟨[0,1]⟩).
+	paperF1Prime = flexoffer.MustNew(0, 10, sl(0, 1))
+	// f2 is Figure 3 / Example 6's ([0,2],⟨[0,2]⟩).
+	paperF2 = flexoffer.MustNew(0, 2, sl(0, 2))
+	// f4 is Figure 5 / Example 8's ([0,4],⟨[2,2]⟩).
+	paperF4 = flexoffer.MustNew(0, 4, sl(2, 2))
+	// f5 is Figure 6 / Example 9's ([0,4],⟨[1,1],[2,2]⟩).
+	paperF5 = flexoffer.MustNew(0, 4, sl(1, 1), sl(2, 2))
+	// f6 is Figure 7 / Examples 14–15's ([0,2],⟨[−1,2],[−4,−1],[−3,1]⟩)
+	// (the paper prints the second slice as [−1,−4]; the bounds are
+	// normalised).
+	paperF6 = flexoffer.MustNew(0, 2, sl(-1, 2), sl(-4, -1), sl(-3, 1))
+	// fx and fy are Examples 11–12's pair.
+	paperFx = flexoffer.MustNew(1, 3, sl(1, 5))
+	paperFy = flexoffer.MustNew(1, 3, sl(101, 105))
+	// fZeroEf is Example 11's ([2,8],⟨[5,5]⟩).
+	paperFZeroEf = flexoffer.MustNew(2, 8, sl(5, 5))
+)
+
+// registry maps experiment IDs to their runners, in presentation order.
+var registry = []struct {
+	id  string
+	fn  func() (*Result, error)
+	doc string
+}{
+	{"F1", Figure1, "Figure 1 + Examples 1–3: the running flex-offer and its basic flexibilities"},
+	{"E4", Example4, "Example 4: vector flexibility under L1/L2"},
+	{"F2", Figure2, "Figure 2 + Example 5: time-series flexibility"},
+	{"F3", Figure3, "Figure 3 + Example 6: assignment flexibility of f2"},
+	{"F4", Figure4, "Figure 4 + Example 7: area of a single assignment"},
+	{"F5", Figure5, "Figure 5 + Examples 8/10: area measures of f4"},
+	{"F6", Figure6, "Figure 6 + Examples 9/10: area measures of f5"},
+	{"F7", Figure7, "Figure 7 + Examples 14/15: the mixed flex-offer f6"},
+	{"E11-13", Examples11to13, "Examples 11–13: documented measure shortcomings"},
+	{"T1", Table1Experiment, "Table 1: measure characteristics, declared and probed"},
+	{"X1", AggregationLoss, "Extended: flexibility loss vs. aggregation tolerance"},
+	{"X2", SchedulingByMeasure, "Extended: scheduling imbalance vs. ordering measure"},
+	{"X3", MarketValue, "Extended: market value of flexibility vs. measures"},
+	{"X4", MeasureCorrelation, "Extended: Spearman correlation between measures"},
+	{"X5", GroupingAblation, "Ablation: similarity vs. balance-aware vs. optimizing grouping"},
+	{"X6", SchedulerAblation, "Ablation: greedy scheduling with and without local search"},
+	{"X7", DecomposabilityCost, "Ablation: flexibility cost of guaranteed disaggregation"},
+	{"X8", PeakShaving, "Extended: peak shaving under a DSO grid cap"},
+	{"X9", AlignmentAblation, "Ablation: earliest vs. latest anchoring inside aggregates"},
+}
+
+// IDs lists every experiment in presentation order.
+func IDs() []string {
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.id
+	}
+	return out
+}
+
+// Describe returns a one-line description of the experiment.
+func Describe(id string) (string, error) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.doc, nil
+		}
+	}
+	return "", fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+}
+
+// Run executes one experiment by ID.
+func Run(id string) (*Result, error) {
+	for _, e := range registry {
+		if e.id == id {
+			return e.fn()
+		}
+	}
+	return nil, fmt.Errorf("%w: %q", ErrUnknownExperiment, id)
+}
+
+// RunAll executes every experiment in presentation order.
+func RunAll() ([]*Result, error) {
+	out := make([]*Result, 0, len(registry))
+	for _, e := range registry {
+		r, err := e.fn()
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", e.id, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

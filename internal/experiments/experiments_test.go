@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"errors"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRunAllChecksClean(t *testing.T) {
+	results, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(IDs()) {
+		t.Fatalf("%d results for %d experiments", len(results), len(IDs()))
+	}
+	for _, r := range results {
+		if err := r.Check(); err != nil {
+			t.Errorf("%v", err)
+		}
+		if out := r.Render(); !strings.Contains(out, r.ID) {
+			t.Errorf("%s: Render missing ID:\n%s", r.ID, out)
+		}
+	}
+}
+
+func TestRunByID(t *testing.T) {
+	r, err := Run("F1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ID != "F1" || len(r.Rows) == 0 {
+		t.Fatalf("Run(F1) = %+v", r)
+	}
+	if _, err := Run("nope"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("unknown experiment = %v", err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	for _, id := range IDs() {
+		doc, err := Describe(id)
+		if err != nil || doc == "" {
+			t.Errorf("Describe(%s) = %q, %v", id, doc, err)
+		}
+	}
+	if _, err := Describe("nope"); !errors.Is(err, ErrUnknownExperiment) {
+		t.Errorf("unknown describe = %v", err)
+	}
+}
+
+func TestPaperExamplesMatchExactly(t *testing.T) {
+	// The figure experiments pair every paper value with the measured
+	// one; any ✗ in the match column is a reproduction failure.
+	for _, id := range []string{"F1", "E4", "F2", "F3", "F4", "F5", "F6", "F7", "E11-13"} {
+		r, err := Run(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if err := r.Check(); err != nil {
+			t.Errorf("%s: %v", id, err)
+		}
+		for _, row := range r.Rows {
+			if row[len(row)-1] == "✗" {
+				t.Errorf("%s: mismatch row %v", id, row)
+			}
+		}
+	}
+}
+
+func TestTable1ExperimentHasNoProbeDisagreements(t *testing.T) {
+	r, err := Run("T1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Check(); err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		for _, cell := range row {
+			if strings.Contains(cell, "probed") {
+				t.Errorf("declared/probed disagreement in Table 1: %v", row)
+			}
+		}
+	}
+}
+
+func TestAggregationLossMonotoneShape(t *testing.T) {
+	r, err := Run("X1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The number of groups must shrink as the tolerance widens.
+	var prevGroups int
+	for i, row := range r.Rows {
+		groups, err := strconv.Atoi(row[1])
+		if err != nil {
+			t.Fatalf("bad groups cell %q", row[1])
+		}
+		if i > 0 && groups > prevGroups {
+			t.Errorf("groups grew with tolerance: %d → %d", prevGroups, groups)
+		}
+		prevGroups = groups
+	}
+}
+
+func TestResultRowMismatchDetection(t *testing.T) {
+	r := &Result{ID: "test", Header: comparisonHeader()}
+	r.row("q", "1", "1", "")
+	if err := r.Check(); err != nil {
+		t.Fatalf("clean result reported mismatch: %v", err)
+	}
+	r.row("q2", "1", "2", "")
+	if err := r.Check(); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("mismatch not reported: %v", err)
+	}
+	// Documented deviations do not count as mismatches.
+	r2 := &Result{ID: "test2", Header: comparisonHeader()}
+	r2.row("q", "1", "2", "D9")
+	if err := r2.Check(); err != nil {
+		t.Fatalf("documented deviation reported as mismatch: %v", err)
+	}
+}
+
+func TestSchedulerAblationImprovesEveryOrder(t *testing.T) {
+	r, err := Run("X6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		before, err1 := strconv.ParseFloat(row[1], 64)
+		after, err2 := strconv.ParseFloat(row[2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("bad imbalance cells %v", row)
+		}
+		if after > before {
+			t.Errorf("order %s: Improve worsened imbalance %g → %g", row[0], before, after)
+		}
+	}
+}
+
+func TestDecomposabilityCostNonNegative(t *testing.T) {
+	// Tightening can only remove flexibility, so the safe variant never
+	// retains more than plain under any measure.
+	r, err := Run("X7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		cost, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad cost cell %v", row)
+		}
+		if cost < -0.05 { // one decimal of display rounding
+			t.Errorf("measure %s: safe retained more than plain (cost %g)", row[0], cost)
+		}
+	}
+}
+
+func TestPeakShavingCapsAreOrdered(t *testing.T) {
+	r, err := Run("X8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 3 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	base, err := strconv.ParseInt(r.Rows[0][1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows[1:] {
+		peak, err := strconv.ParseInt(row[1], 10, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if peak > base {
+			t.Errorf("capped peak %d exceeds uncapped %d", peak, base)
+		}
+	}
+}
+
+func TestGroupingAblationOptimizerDominatesAtComparableReduction(t *testing.T) {
+	// The X5 shape claim: the optimizing rows must not retain less
+	// vector flexibility than the plain similarity row while producing
+	// no more groups (compare the loss≤50% row against similarity est=2).
+	r, err := Run("X5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var simGroups, optGroups int
+	var simKept, optKept float64
+	for _, row := range r.Rows {
+		switch {
+		case row[0] == "similarity" && row[1] == "est=2":
+			simGroups, _ = strconv.Atoi(row[2])
+			simKept, _ = strconv.ParseFloat(row[3], 64)
+		case row[0] == "optimizing" && row[1] == "loss≤50%":
+			optGroups, _ = strconv.Atoi(row[2])
+			optKept, _ = strconv.ParseFloat(row[3], 64)
+		}
+	}
+	if simGroups == 0 || optGroups == 0 {
+		t.Fatal("expected rows missing from X5")
+	}
+	if optKept+0.5 < simKept && optGroups >= simGroups {
+		t.Errorf("optimizer dominated by similarity: %d groups %.1f%% vs %d groups %.1f%%",
+			optGroups, optKept, simGroups, simKept)
+	}
+}
+
+func TestAlignmentAblationSameGroupCount(t *testing.T) {
+	r, err := Run("X9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2 alignments", len(r.Rows))
+	}
+	if r.Rows[0][1] != r.Rows[1][1] {
+		t.Errorf("alignments grouped differently: %s vs %s groups", r.Rows[0][1], r.Rows[1][1])
+	}
+}

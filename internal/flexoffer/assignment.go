@@ -1,0 +1,125 @@
+package flexoffer
+
+import (
+	"fmt"
+
+	"flexmeasures/internal/timeseries"
+)
+
+// Assignment is Definition 2: a concrete instantiation of a flex-offer,
+// fixing the start time and one energy value per slice. Slice i executes
+// during time unit Start+i.
+type Assignment struct {
+	// Start is the chosen start time tstart ∈ [tes, tls].
+	Start int `json:"start"`
+	// Values holds the chosen energy amount v(i) for each slice.
+	Values []int64 `json:"values"`
+}
+
+// NewAssignment returns an assignment with a defensive copy of values.
+func NewAssignment(start int, values ...int64) Assignment {
+	v := make([]int64, len(values))
+	copy(v, values)
+	return Assignment{Start: start, Values: v}
+}
+
+// TotalEnergy returns the sum of the assignment's energy values.
+func (a Assignment) TotalEnergy() int64 {
+	var sum int64
+	for _, v := range a.Values {
+		sum += v
+	}
+	return sum
+}
+
+// Series converts the assignment into the time series
+// {fa}^{Start+s-1}_{t=Start} = ⟨v(1),…,v(s)⟩.
+func (a Assignment) Series() timeseries.Series {
+	return timeseries.New(a.Start, a.Values...)
+}
+
+// Clone returns a deep copy of the assignment.
+func (a Assignment) Clone() Assignment {
+	return NewAssignment(a.Start, a.Values...)
+}
+
+// ValidateAssignment checks every condition of Definition 2 against the
+// flex-offer:
+//
+//   - tes <= Start <= tls,
+//   - one value per slice, each within its slice's [amin, amax],
+//   - cmin <= Σ v(i) <= cmax.
+//
+// All failures wrap ErrBadAssignment.
+func (f *FlexOffer) ValidateAssignment(a Assignment) error {
+	if f == nil {
+		return ErrNilOffer
+	}
+	if a.Start < f.EarliestStart || a.Start > f.LatestStart {
+		return fmt.Errorf("%w: start %d outside [%d,%d]",
+			ErrBadAssignment, a.Start, f.EarliestStart, f.LatestStart)
+	}
+	if len(a.Values) != len(f.Slices) {
+		return fmt.Errorf("%w: %d values for %d slices",
+			ErrBadAssignment, len(a.Values), len(f.Slices))
+	}
+	for i, v := range a.Values {
+		if !f.Slices[i].Contains(v) {
+			return fmt.Errorf("%w: value %d of slice %d outside [%d,%d]",
+				ErrBadAssignment, v, i+1, f.Slices[i].Min, f.Slices[i].Max)
+		}
+	}
+	if total := a.TotalEnergy(); total < f.TotalMin || total > f.TotalMax {
+		return fmt.Errorf("%w: total energy %d outside [%d,%d]",
+			ErrBadAssignment, total, f.TotalMin, f.TotalMax)
+	}
+	return nil
+}
+
+// MinAssignment is Definition 5: the assignment positioned at the
+// earliest start time whose values equal the slice minima.
+//
+// Note that, exactly as in the paper, the minimum assignment ignores the
+// total constraints: when cmin exceeds the sum of the slice minima the
+// returned instantiation is not a valid assignment in the sense of
+// Definition 2 (ValidateAssignment reports this). Definition 7 uses it
+// regardless, as the extreme point of the energy envelope.
+func (f *FlexOffer) MinAssignment() Assignment {
+	vals := make([]int64, len(f.Slices))
+	for i, s := range f.Slices {
+		vals[i] = s.Min
+	}
+	return Assignment{Start: f.EarliestStart, Values: vals}
+}
+
+// MaxAssignment is Definition 6: the assignment positioned at the latest
+// start time whose values equal the slice maxima. The caveat on
+// MinAssignment about total constraints applies symmetrically.
+func (f *FlexOffer) MaxAssignment() Assignment {
+	vals := make([]int64, len(f.Slices))
+	for i, s := range f.Slices {
+		vals[i] = s.Max
+	}
+	return Assignment{Start: f.LatestStart, Values: vals}
+}
+
+// EarliestAssignment returns a valid assignment at the earliest start:
+// slice minima raised just enough (left to right, within slice maxima) to
+// meet cmin. It returns ErrInfeasibleTotal if the totals admit no
+// assignment, which cannot happen for a Validated offer.
+func (f *FlexOffer) EarliestAssignment() (Assignment, error) {
+	a := f.MinAssignment()
+	deficit := f.TotalMin - a.TotalEnergy()
+	for i := 0; deficit > 0 && i < len(a.Values); i++ {
+		room := f.Slices[i].Max - a.Values[i]
+		if room > deficit {
+			room = deficit
+		}
+		a.Values[i] += room
+		deficit -= room
+	}
+	if deficit > 0 {
+		return Assignment{}, ErrInfeasibleTotal
+	}
+	return a, nil
+}

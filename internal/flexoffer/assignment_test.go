@@ -1,0 +1,195 @@
+package flexoffer
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexmeasures/internal/timeseries"
+)
+
+func TestPaperAssignmentFa1IsValid(t *testing.T) {
+	// Section 2: fa1 with {fa1}^5_{t=2} = ⟨2,3,1,2⟩ is a valid assignment
+	// of the Figure 1 flex-offer.
+	f := paperF(t)
+	a := NewAssignment(2, 2, 3, 1, 2)
+	if err := f.ValidateAssignment(a); err != nil {
+		t.Fatalf("paper's fa1 rejected: %v", err)
+	}
+	if a.TotalEnergy() != 8 {
+		t.Errorf("TotalEnergy = %d, want 8", a.TotalEnergy())
+	}
+}
+
+func TestValidateAssignmentRejections(t *testing.T) {
+	f := paperF(t)
+	cases := []struct {
+		name string
+		a    Assignment
+	}{
+		{"start too early", NewAssignment(0, 2, 3, 1, 2)},
+		{"start too late", NewAssignment(7, 2, 3, 1, 2)},
+		{"wrong arity", NewAssignment(2, 2, 3, 1)},
+		{"slice below range", NewAssignment(2, 0, 3, 1, 2)},
+		{"slice above range", NewAssignment(2, 2, 5, 1, 2)},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := f.ValidateAssignment(c.a); !errors.Is(err, ErrBadAssignment) {
+				t.Errorf("got %v, want ErrBadAssignment", err)
+			}
+		})
+	}
+}
+
+func TestValidateAssignmentTotalConstraints(t *testing.T) {
+	f, err := NewWithTotals(0, 0, []Slice{{0, 5}, {0, 5}}, 3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ValidateAssignment(NewAssignment(0, 1, 1)); !errors.Is(err, ErrBadAssignment) {
+		t.Error("total below cmin must be rejected")
+	}
+	if err := f.ValidateAssignment(NewAssignment(0, 4, 4)); !errors.Is(err, ErrBadAssignment) {
+		t.Error("total above cmax must be rejected")
+	}
+	if err := f.ValidateAssignment(NewAssignment(0, 2, 3)); err != nil {
+		t.Errorf("total within range rejected: %v", err)
+	}
+}
+
+func TestValidateAssignmentNilOffer(t *testing.T) {
+	var f *FlexOffer
+	if !errors.Is(f.ValidateAssignment(Assignment{}), ErrNilOffer) {
+		t.Error("nil offer must return ErrNilOffer")
+	}
+}
+
+func TestMinMaxAssignments(t *testing.T) {
+	// Example 5: f1 = ([0,1],⟨[0,1]⟩): fmin = ⟨0⟩@0, fmax = ⟨1⟩@1.
+	f1 := MustNew(0, 1, Slice{0, 1})
+	mn := f1.MinAssignment()
+	mx := f1.MaxAssignment()
+	if mn.Start != 0 || mn.Values[0] != 0 {
+		t.Errorf("MinAssignment = %+v", mn)
+	}
+	if mx.Start != 1 || mx.Values[0] != 1 {
+		t.Errorf("MaxAssignment = %+v", mx)
+	}
+	d := timeseries.Sub(mx.Series(), mn.Series())
+	if !d.Equal(timeseries.New(0, 0, 1)) {
+		t.Errorf("difference series = %v, want ⟨0,1⟩ (paper Figure 2)", d)
+	}
+}
+
+func TestMinMaxAssignmentsIgnoreTotals(t *testing.T) {
+	// With tightened totals, Definition 5/6 extremes may be invalid
+	// assignments; the paper still uses them for Definition 7.
+	f, err := NewWithTotals(0, 2, []Slice{{0, 4}, {0, 4}}, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mn := f.MinAssignment()
+	if mn.TotalEnergy() != 0 {
+		t.Errorf("MinAssignment total = %d, want 0", mn.TotalEnergy())
+	}
+	if err := f.ValidateAssignment(mn); !errors.Is(err, ErrBadAssignment) {
+		t.Error("extreme below cmin should be an invalid Definition-2 assignment")
+	}
+}
+
+func TestEarliestAssignment(t *testing.T) {
+	f, err := NewWithTotals(2, 5, []Slice{{0, 3}, {1, 2}, {0, 3}}, 6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := f.EarliestAssignment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Start != 2 {
+		t.Errorf("Start = %d, want earliest 2", a.Start)
+	}
+	if err := f.ValidateAssignment(a); err != nil {
+		t.Errorf("EarliestAssignment invalid: %v", err)
+	}
+	if a.TotalEnergy() != f.TotalMin {
+		t.Errorf("total = %d, want cmin=%d", a.TotalEnergy(), f.TotalMin)
+	}
+}
+
+func TestAssignmentSeriesAndClone(t *testing.T) {
+	a := NewAssignment(3, 1, 2)
+	s := a.Series()
+	if !s.Equal(timeseries.New(3, 1, 2)) {
+		t.Errorf("Series = %v", s)
+	}
+	c := a.Clone()
+	c.Values[0] = 9
+	if a.Values[0] != 1 {
+		t.Error("Clone must deep-copy values")
+	}
+}
+
+func TestNewAssignmentCopies(t *testing.T) {
+	vals := []int64{1, 2}
+	a := NewAssignment(0, vals...)
+	vals[0] = 9
+	if a.Values[0] != 1 {
+		t.Error("NewAssignment must copy values")
+	}
+}
+
+// randomOffer builds a random valid flex-offer for property tests.
+func randomOffer(r *rand.Rand) *FlexOffer {
+	nSlices := 1 + r.Intn(4)
+	slices := make([]Slice, nSlices)
+	for i := range slices {
+		lo := int64(r.Intn(9) - 4)
+		hi := lo + int64(r.Intn(4))
+		slices[i] = Slice{Min: lo, Max: hi}
+	}
+	es := r.Intn(5)
+	ls := es + r.Intn(4)
+	f := MustNew(es, ls, slices...)
+	// Occasionally tighten the totals within the legal band.
+	if r.Intn(2) == 0 && f.SumMax() > f.SumMin() {
+		span := f.SumMax() - f.SumMin()
+		lo := f.SumMin() + r.Int63n(span+1)
+		hi := lo + r.Int63n(f.SumMax()-lo+1)
+		f.TotalMin, f.TotalMax = lo, hi
+	}
+	return f
+}
+
+func TestPropertyEarliestAssignmentAlwaysValid(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomOffer(r)
+		a, err := f.EarliestAssignment()
+		if err != nil {
+			return false
+		}
+		return f.ValidateAssignment(a) == nil
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyScaleEnergyPreservesValidity(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomOffer(r)
+		for _, k := range []int64{-3, -1, 0, 2, 10} {
+			if f.ScaleEnergy(k).Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,202 @@
+package flexoffer
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	offers := []*FlexOffer{
+		paperF(t),
+		MustNew(0, 2, Slice{-1, 2}, Slice{-4, -1}, Slice{-3, 1}),
+	}
+	offers[0].ID = "figure-1"
+	tight, err := NewWithTotals(3, 9, []Slice{{0, 10}, {0, 10}}, 5, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offers = append(offers, tight)
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, offers); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(offers) {
+		t.Fatalf("decoded %d offers, want %d", len(got), len(offers))
+	}
+	for i := range offers {
+		if !got[i].Equal(offers[i]) {
+			t.Errorf("offer %d mismatch:\n got %v\nwant %v", i, got[i], offers[i])
+		}
+	}
+}
+
+func TestBinaryIsSmallerThanJSON(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	offers := make([]*FlexOffer, 200)
+	for i := range offers {
+		offers[i] = randomOffer(r)
+	}
+	var jsonBuf, binBuf bytes.Buffer
+	if err := Encode(&jsonBuf, offers); err != nil {
+		t.Fatal(err)
+	}
+	if err := EncodeBinary(&binBuf, offers); err != nil {
+		t.Fatal(err)
+	}
+	if binBuf.Len()*4 > jsonBuf.Len() {
+		t.Errorf("binary %dB not <25%% of JSON %dB", binBuf.Len(), jsonBuf.Len())
+	}
+}
+
+func TestBinaryRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad magic":   "NOPE",
+		"truncated":   "FXO1\x05",
+		"only header": "FXO1",
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := DecodeBinary(strings.NewReader(data)); err == nil {
+				t.Error("garbage accepted")
+			}
+		})
+	}
+}
+
+func TestBinaryRejectsCorruptOffer(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, []*FlexOffer{paperF(t)}); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Truncate mid-offer.
+	if _, err := DecodeBinary(bytes.NewReader(data[:len(data)-3])); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncated offer = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestBinaryEncodeValidates(t *testing.T) {
+	bad := &FlexOffer{EarliestStart: 2, LatestStart: 1, Slices: []Slice{{0, 1}}}
+	if err := EncodeBinary(&bytes.Buffer{}, []*FlexOffer{bad}); err == nil {
+		t.Fatal("invalid offer must be rejected")
+	}
+}
+
+func TestBinaryEmptyStream(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeBinary(&buf)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty stream: %d offers, %v", len(got), err)
+	}
+}
+
+func TestPropertyBinaryRoundTrips(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		offers := make([]*FlexOffer, 1+r.Intn(10))
+		for i := range offers {
+			offers[i] = randomOffer(r)
+			if r.Intn(2) == 0 {
+				offers[i].ID = "id-with-ünïcode"
+			}
+		}
+		var buf bytes.Buffer
+		if err := EncodeBinary(&buf, offers); err != nil {
+			return false
+		}
+		got, err := DecodeBinary(&buf)
+		if err != nil || len(got) != len(offers) {
+			return false
+		}
+		for i := range offers {
+			if !got[i].Equal(offers[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBinaryDecodeNeverPanicsOnCorruption(t *testing.T) {
+	// Flip, truncate and splice random bytes: DecodeBinary must always
+	// return (possibly an error), never panic, and never produce an
+	// invalid offer.
+	base := func() []byte {
+		var buf bytes.Buffer
+		offers := []*FlexOffer{
+			MustNew(1, 6, Slice{1, 3}, Slice{2, 4}, Slice{0, 5}, Slice{0, 3}),
+			MustNew(0, 2, Slice{-1, 2}, Slice{-4, -1}, Slice{-3, 1}),
+		}
+		if err := EncodeBinary(&buf, offers); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}()
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		data := append([]byte(nil), base...)
+		switch r.Intn(3) {
+		case 0: // flip a byte
+			data[r.Intn(len(data))] ^= byte(1 + r.Intn(255))
+		case 1: // truncate
+			data = data[:r.Intn(len(data))]
+		case 2: // splice garbage
+			at := r.Intn(len(data))
+			data = append(data[:at:at], byte(r.Intn(256)))
+		}
+		offers, err := DecodeBinary(bytes.NewReader(data))
+		if err != nil {
+			return true
+		}
+		for _, f := range offers {
+			if f.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestJSONDecodeNeverPanicsOnCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, []*FlexOffer{MustNew(0, 2, Slice{1, 3})}); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		data := append([]byte(nil), base...)
+		data[r.Intn(len(data))] ^= byte(1 + r.Intn(255))
+		offers, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return true
+		}
+		for _, f := range offers {
+			if f.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

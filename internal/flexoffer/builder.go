@@ -1,0 +1,79 @@
+package flexoffer
+
+// Builder assembles a FlexOffer incrementally. It is convenient when the
+// profile is constructed programmatically (e.g. by workload generators).
+// The zero Builder starts an offer at time 0 with no slices.
+//
+//	f, err := flexoffer.NewBuilder().
+//		ID("ev-42").
+//		StartWindow(23, 27).
+//		Slice(4, 6).Slice(4, 6).Slice(0, 6).
+//		TotalRange(9, 18).
+//		Build()
+type Builder struct {
+	offer     FlexOffer
+	hasTotals bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// ID sets the offer's identifier.
+func (b *Builder) ID(id string) *Builder {
+	b.offer.ID = id
+	return b
+}
+
+// StartWindow sets the start-time flexibility interval [tes, tls].
+func (b *Builder) StartWindow(earliest, latest int) *Builder {
+	b.offer.EarliestStart = earliest
+	b.offer.LatestStart = latest
+	return b
+}
+
+// Slice appends one profile slice with energy range [min, max].
+func (b *Builder) Slice(min, max int64) *Builder {
+	b.offer.Slices = append(b.offer.Slices, Slice{Min: min, Max: max})
+	return b
+}
+
+// FixedSlice appends a slice with no energy flexibility (min == max).
+func (b *Builder) FixedSlice(v int64) *Builder { return b.Slice(v, v) }
+
+// Slices appends several prepared slices at once.
+func (b *Builder) Slices(ss ...Slice) *Builder {
+	b.offer.Slices = append(b.offer.Slices, ss...)
+	return b
+}
+
+// TotalRange sets explicit total energy constraints [cmin, cmax]. When
+// not called, Build defaults the totals to the slice sums.
+func (b *Builder) TotalRange(min, max int64) *Builder {
+	b.offer.TotalMin = min
+	b.offer.TotalMax = max
+	b.hasTotals = true
+	return b
+}
+
+// Build validates and returns the flex-offer. The Builder can be reused
+// afterwards; the returned offer is independent of it.
+func (b *Builder) Build() (*FlexOffer, error) {
+	f := b.offer.Clone()
+	if !b.hasTotals {
+		f.TotalMin = f.SumMin()
+		f.TotalMax = f.SumMax()
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// MustBuild is Build but panics on error; for constant test fixtures.
+func (b *Builder) MustBuild() *FlexOffer {
+	f, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}

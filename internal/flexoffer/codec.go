@@ -1,0 +1,51 @@
+package flexoffer
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Document is the on-disk JSON envelope for sets of flex-offers, used by
+// the cmd/flexctl and cmd/flexgen tools.
+type Document struct {
+	// Version identifies the schema; currently always 1.
+	Version int `json:"version"`
+	// FlexOffers holds the payload.
+	FlexOffers []*FlexOffer `json:"flexOffers"`
+}
+
+// CurrentVersion is the document schema version written by Encode.
+const CurrentVersion = 1
+
+// Encode writes the flex-offers to w as an indented JSON document. Every
+// offer is validated first, so a document on disk is always well-formed.
+func Encode(w io.Writer, offers []*FlexOffer) error {
+	for i, f := range offers {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("flexoffer: encoding offer %d: %w", i, err)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Document{Version: CurrentVersion, FlexOffers: offers})
+}
+
+// Decode reads a JSON document from r and validates every offer.
+func Decode(r io.Reader) ([]*FlexOffer, error) {
+	var doc Document
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("flexoffer: decoding document: %w", err)
+	}
+	if doc.Version != CurrentVersion {
+		return nil, fmt.Errorf("flexoffer: unsupported document version %d", doc.Version)
+	}
+	for i, f := range doc.FlexOffers {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("flexoffer: offer %d invalid: %w", i, err)
+		}
+	}
+	return doc.FlexOffers, nil
+}

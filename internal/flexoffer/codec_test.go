@@ -1,0 +1,67 @@
+package flexoffer
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	offers := []*FlexOffer{
+		paperF(t),
+		MustNew(0, 2, Slice{-1, 2}, Slice{-4, -1}, Slice{-3, 1}),
+	}
+	offers[0].ID = "figure-1"
+	var buf bytes.Buffer
+	if err := Encode(&buf, offers); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(offers) {
+		t.Fatalf("decoded %d offers, want %d", len(got), len(offers))
+	}
+	for i := range offers {
+		if !got[i].Equal(offers[i]) {
+			t.Errorf("offer %d round-trip mismatch:\n got %v\nwant %v", i, got[i], offers[i])
+		}
+	}
+}
+
+func TestEncodeRejectsInvalidOffer(t *testing.T) {
+	bad := &FlexOffer{EarliestStart: 2, LatestStart: 0, Slices: []Slice{{0, 1}}}
+	if err := Encode(&bytes.Buffer{}, []*FlexOffer{bad}); err == nil {
+		t.Fatal("Encode must validate offers")
+	}
+}
+
+func TestDecodeRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"garbage", "not json"},
+		{"unknown fields", `{"version":1,"flexOffers":[],"bogus":true}`},
+		{"wrong version", `{"version":2,"flexOffers":[]}`},
+		{"invalid offer", `{"version":1,"flexOffers":[{"earliestStart":3,"latestStart":1,"slices":[{"min":0,"max":1}],"totalMin":0,"totalMax":1}]}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := Decode(strings.NewReader(c.doc)); err == nil {
+				t.Error("Decode must reject this document")
+			}
+		})
+	}
+}
+
+func TestDecodeEmptyDocument(t *testing.T) {
+	got, err := Decode(strings.NewReader(`{"version":1,"flexOffers":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d offers from empty document", len(got))
+	}
+}

@@ -1,0 +1,141 @@
+package flexoffer
+
+import (
+	"math/big"
+)
+
+// AssignmentCount implements Definition 8 exactly: the number of possible
+// assignments
+//
+//	(tls − tes + 1) · ∏ᵢ (s(i).amax − s(i).amin + 1).
+//
+// As in the paper, the count deliberately ignores the total energy
+// constraints cmin/cmax; use ValidAssignmentCount for the count of
+// assignments that are valid in the sense of Definition 2. The result is
+// a big integer because the product grows exponentially with the number
+// of slices (the paper's own f6 with three modest slices already has 240
+// assignments).
+func (f *FlexOffer) AssignmentCount() *big.Int {
+	n := big.NewInt(int64(f.TimeFlexibility() + 1))
+	for _, s := range f.Slices {
+		n.Mul(n, big.NewInt(s.Span()+1))
+	}
+	return n
+}
+
+// ValidAssignmentCount extends Definition 8 to honour the total energy
+// constraints: it returns the exact number of assignments satisfying
+// Definition 2, computed by dynamic programming over the reachable total
+// sums (one pass per slice; the table is indexed by total-so-far offsets,
+// so the cost is O(s · Σ span) rather than exponential).
+func (f *FlexOffer) ValidAssignmentCount() *big.Int {
+	// Offsets are relative to the running minimum sum, so the table
+	// only spans the reachable width Σ span(i) + 1.
+	width := int64(1)
+	for _, s := range f.Slices {
+		width += s.Span()
+	}
+	cur := make([]*big.Int, 1, width)
+	cur[0] = big.NewInt(1)
+	minSum := int64(0)
+	for _, s := range f.Slices {
+		minSum += s.Min
+		span := s.Span()
+		next := make([]*big.Int, int64(len(cur))+span)
+		for off, cnt := range cur {
+			if cnt == nil || cnt.Sign() == 0 {
+				continue
+			}
+			for d := int64(0); d <= span; d++ {
+				idx := int64(off) + d
+				if next[idx] == nil {
+					next[idx] = new(big.Int)
+				}
+				next[idx].Add(next[idx], cnt)
+			}
+		}
+		cur = next
+	}
+	total := new(big.Int)
+	for off, cnt := range cur {
+		if cnt == nil {
+			continue
+		}
+		sum := minSum + int64(off)
+		if sum >= f.TotalMin && sum <= f.TotalMax {
+			total.Add(total, cnt)
+		}
+	}
+	return total.Mul(total, big.NewInt(int64(f.TimeFlexibility()+1)))
+}
+
+// EnumerateAssignments calls fn for every valid assignment (Definition 2)
+// of the flex-offer, in lexicographic order of (start, values). Returning
+// false from fn stops the enumeration early. The assignment passed to fn
+// is reused between calls; clone it if it must be retained.
+//
+// limit bounds the number of assignments visited: if the offer admits
+// more than limit valid assignments, enumeration stops after limit calls
+// and ErrTooManyToEnum is returned. A limit <= 0 means no bound.
+func (f *FlexOffer) EnumerateAssignments(limit int, fn func(Assignment) bool) error {
+	if err := f.Validate(); err != nil {
+		return err
+	}
+	visited := 0
+	vals := make([]int64, len(f.Slices))
+	a := Assignment{Values: vals}
+	for start := f.EarliestStart; start <= f.LatestStart; start++ {
+		a.Start = start
+		stop, err := f.enumerateValues(0, 0, &visited, limit, &a, fn)
+		if err != nil || stop {
+			return err
+		}
+	}
+	return nil
+}
+
+// enumerateValues recurses over slice values, pruning branches whose
+// partial sum cannot reach the total constraints.
+func (f *FlexOffer) enumerateValues(i int, partial int64, visited *int, limit int, a *Assignment, fn func(Assignment) bool) (stop bool, err error) {
+	if i == len(f.Slices) {
+		if partial < f.TotalMin || partial > f.TotalMax {
+			return false, nil
+		}
+		if limit > 0 && *visited >= limit {
+			return true, ErrTooManyToEnum
+		}
+		*visited++
+		return !fn(*a), nil
+	}
+	// Bounds of the remaining slices, for pruning.
+	var remMin, remMax int64
+	for _, s := range f.Slices[i+1:] {
+		remMin += s.Min
+		remMax += s.Max
+	}
+	s := f.Slices[i]
+	for v := s.Min; v <= s.Max; v++ {
+		sum := partial + v
+		if sum+remMax < f.TotalMin || sum+remMin > f.TotalMax {
+			continue
+		}
+		a.Values[i] = v
+		stop, err = f.enumerateValues(i+1, sum, visited, limit, a, fn)
+		if err != nil || stop {
+			return stop, err
+		}
+	}
+	return false, nil
+}
+
+// Assignments collects all valid assignments up to limit (see
+// EnumerateAssignments). It is a convenience for tests and small offers;
+// prefer the callback form for large spaces.
+func (f *FlexOffer) Assignments(limit int) ([]Assignment, error) {
+	var out []Assignment
+	err := f.EnumerateAssignments(limit, func(a Assignment) bool {
+		out = append(out, a.Clone())
+		return true
+	})
+	return out, err
+}

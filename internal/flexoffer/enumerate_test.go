@@ -1,0 +1,204 @@
+package flexoffer
+
+import (
+	"errors"
+	"math/big"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAssignmentCountPaperExamples(t *testing.T) {
+	cases := []struct {
+		name string
+		f    *FlexOffer
+		want int64
+	}{
+		// Example 6 / Figure 3: f2 = ([0,2],⟨[0,2]⟩) has 9 assignments.
+		{"f2", MustNew(0, 2, Slice{0, 2}), 9},
+		// Example 5: f1 = ([0,1],⟨[0,1]⟩) has 4 assignments.
+		{"f1", MustNew(0, 1, Slice{0, 1}), 4},
+		// Example 14 / Figure 7: f6 = ([0,2],⟨[-1,2],[-4,-1],[-3,1]⟩)
+		// has 240 assignments.
+		{"f6", MustNew(0, 2, Slice{-1, 2}, Slice{-4, -1}, Slice{-3, 1}), 240},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := c.f.AssignmentCount(); got.Cmp(big.NewInt(c.want)) != 0 {
+				t.Errorf("AssignmentCount = %v, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestAssignmentCountPaperExample14Ablations(t *testing.T) {
+	// Example 14: with tf(f6)=0 f6 would have 80 assignments; with
+	// ef(f6)=0 (i.e. no slice flexibility) it would have 3.
+	noTime := MustNew(0, 0, Slice{-1, 2}, Slice{-4, -1}, Slice{-3, 1})
+	if got := noTime.AssignmentCount(); got.Cmp(big.NewInt(80)) != 0 {
+		t.Errorf("tf=0 count = %v, want 80", got)
+	}
+	noEnergy := MustNew(0, 2, Slice{2, 2}, Slice{-4, -4}, Slice{1, 1})
+	if got := noEnergy.AssignmentCount(); got.Cmp(big.NewInt(3)) != 0 {
+		t.Errorf("ef=0 count = %v, want 3", got)
+	}
+	// f2's ablation: with tf=0 Definition 8 gives 3 assignments.
+	// (The paper also states f2 with ef=0 "would have 2 possible
+	// assignments"; Definition 8 gives (2−0+1)·1 = 3 — a typo in the
+	// paper, recorded in EXPERIMENTS.md. f6's analogous ablation in the
+	// same example is consistent with Definition 8.)
+	f2NoTime := MustNew(0, 0, Slice{0, 2})
+	if got := f2NoTime.AssignmentCount(); got.Cmp(big.NewInt(3)) != 0 {
+		t.Errorf("f2 tf=0 count = %v, want 3", got)
+	}
+	f2NoEnergy := MustNew(0, 2, Slice{1, 1})
+	if got := f2NoEnergy.AssignmentCount(); got.Cmp(big.NewInt(3)) != 0 {
+		t.Errorf("f2 ef=0 count = %v, want 3 by Definition 8", got)
+	}
+}
+
+func TestEnumerateMatchesCountWithoutTotals(t *testing.T) {
+	f := MustNew(0, 2, Slice{-1, 2}, Slice{-4, -1}, Slice{-3, 1})
+	as, err := f.Assignments(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(as)) != f.AssignmentCount().Int64() {
+		t.Fatalf("enumerated %d, count says %v", len(as), f.AssignmentCount())
+	}
+	// Every enumerated assignment must be valid and distinct.
+	seen := make(map[string]bool, len(as))
+	for _, a := range as {
+		if err := f.ValidateAssignment(a); err != nil {
+			t.Fatalf("enumerated invalid assignment %+v: %v", a, err)
+		}
+		key := a.Series().String()
+		if seen[key] {
+			t.Fatalf("duplicate assignment %+v", a)
+		}
+		seen[key] = true
+	}
+}
+
+func TestEnumerateHonoursTotals(t *testing.T) {
+	f, err := NewWithTotals(0, 1, []Slice{{0, 2}, {0, 2}}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	as, err := f.Assignments(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sums in [2,3]: pairs (0,2),(1,1),(1,2),(2,0),(2,1),(0,3)? values
+	// max 2 so: sum2: (0,2),(1,1),(2,0); sum3: (1,2),(2,1) → 5 per
+	// start, 2 starts → 10.
+	if len(as) != 10 {
+		t.Fatalf("enumerated %d assignments, want 10", len(as))
+	}
+	for _, a := range as {
+		if tot := a.TotalEnergy(); tot < 2 || tot > 3 {
+			t.Fatalf("assignment total %d outside [2,3]", tot)
+		}
+	}
+}
+
+func TestEnumerateLimit(t *testing.T) {
+	f := MustNew(0, 2, Slice{0, 2})
+	var n int
+	err := f.EnumerateAssignments(4, func(Assignment) bool { n++; return true })
+	if !errors.Is(err, ErrTooManyToEnum) {
+		t.Fatalf("err = %v, want ErrTooManyToEnum", err)
+	}
+	if n != 4 {
+		t.Fatalf("visited %d, want 4", n)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	f := MustNew(0, 2, Slice{0, 2})
+	var n int
+	err := f.EnumerateAssignments(0, func(Assignment) bool { n++; return n < 3 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("visited %d, want 3", n)
+	}
+}
+
+func TestEnumerateInvalidOffer(t *testing.T) {
+	bad := &FlexOffer{EarliestStart: 2, LatestStart: 1, Slices: []Slice{{0, 1}}}
+	if err := bad.EnumerateAssignments(0, func(Assignment) bool { return true }); err == nil {
+		t.Fatal("enumerating an invalid offer must fail")
+	}
+}
+
+func TestValidAssignmentCountMatchesEnumeration(t *testing.T) {
+	f, err := NewWithTotals(0, 1, []Slice{{0, 2}, {0, 2}}, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.ValidAssignmentCount(); got.Cmp(big.NewInt(10)) != 0 {
+		t.Fatalf("ValidAssignmentCount = %v, want 10", got)
+	}
+}
+
+func TestValidAssignmentCountEqualsDefinitionWhenTotalsLoose(t *testing.T) {
+	f := MustNew(0, 2, Slice{-1, 2}, Slice{-4, -1}, Slice{-3, 1})
+	if f.ValidAssignmentCount().Cmp(f.AssignmentCount()) != 0 {
+		t.Fatalf("loose totals: DP count %v != formula %v",
+			f.ValidAssignmentCount(), f.AssignmentCount())
+	}
+}
+
+func TestValidAssignmentCountBigOffer(t *testing.T) {
+	// A large offer that cannot be enumerated: 24 slices of span 9 and
+	// tf=95 gives (95+1)*10^24 assignments; check no overflow occurs.
+	slices := make([]Slice, 24)
+	for i := range slices {
+		slices[i] = Slice{0, 9}
+	}
+	f := MustNew(0, 95, slices...)
+	want := new(big.Int).Exp(big.NewInt(10), big.NewInt(24), nil)
+	want.Mul(want, big.NewInt(96))
+	if got := f.AssignmentCount(); got.Cmp(want) != 0 {
+		t.Fatalf("AssignmentCount = %v, want %v", got, want)
+	}
+	if got := f.ValidAssignmentCount(); got.Cmp(want) != 0 {
+		t.Fatalf("ValidAssignmentCount = %v, want %v", got, want)
+	}
+}
+
+func TestPropertyDPCountMatchesEnumeration(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomOffer(r)
+		if f.AssignmentCount().Cmp(big.NewInt(3000)) > 0 {
+			return true // keep enumeration cheap
+		}
+		as, err := f.Assignments(0)
+		if err != nil {
+			return false
+		}
+		return f.ValidAssignmentCount().Cmp(big.NewInt(int64(len(as)))) == 0
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCountsMonotoneInTotals(t *testing.T) {
+	// Tightening totals can only reduce the valid-assignment count.
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomOffer(r)
+		tight := f.Clone()
+		if tight.TotalMax > tight.TotalMin {
+			tight.TotalMax--
+		}
+		return tight.ValidAssignmentCount().Cmp(f.ValidAssignmentCount()) <= 0
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

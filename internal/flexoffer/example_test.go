@@ -1,0 +1,80 @@
+package flexoffer_test
+
+import (
+	"fmt"
+	"log"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+// Example builds the paper's Figure 1 flex-offer and validates the
+// sample assignment fa1 from Section 2.
+func Example() {
+	f, err := flexoffer.New(1, 6,
+		flexoffer.Slice{Min: 1, Max: 3}, flexoffer.Slice{Min: 2, Max: 4},
+		flexoffer.Slice{Min: 0, Max: 5}, flexoffer.Slice{Min: 0, Max: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(f)
+	fa1 := flexoffer.NewAssignment(2, 2, 3, 1, 2)
+	fmt.Println("fa1 valid:", f.ValidateAssignment(fa1) == nil)
+	// Output:
+	// ([1,6],⟨[1,3],[2,4],[0,5],[0,3]⟩,cmin=3,cmax=15)
+	// fa1 valid: true
+}
+
+// ExampleFlexOffer_AssignmentCount reproduces the paper's Example 14.
+func ExampleFlexOffer_AssignmentCount() {
+	f6 := flexoffer.MustNew(0, 2,
+		flexoffer.Slice{Min: -1, Max: 2},
+		flexoffer.Slice{Min: -4, Max: -1},
+		flexoffer.Slice{Min: -3, Max: 1})
+	fmt.Println(f6.AssignmentCount())
+	// Output: 240
+}
+
+// ExampleFlexOffer_EnumerateAssignments lists the four assignments of
+// the paper's Example 5 flex-offer.
+func ExampleFlexOffer_EnumerateAssignments() {
+	f1 := flexoffer.MustNew(0, 1, flexoffer.Slice{Min: 0, Max: 1})
+	err := f1.EnumerateAssignments(0, func(a flexoffer.Assignment) bool {
+		fmt.Println(a.Series())
+		return true
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// {0..0}⟨0⟩
+	// {0..0}⟨1⟩
+	// {1..1}⟨0⟩
+	// {1..1}⟨1⟩
+}
+
+// ExampleBuilder assembles an EV offer fluently.
+func ExampleBuilder() {
+	ev, err := flexoffer.NewBuilder().
+		ID("ev-1").
+		StartWindow(23, 27).
+		Slice(0, 37).Slice(0, 37).Slice(0, 37).
+		TotalRange(66, 111).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ev.Kind(), ev.TimeFlexibility(), ev.EnergyFlexibility())
+	// Output: positive 4 45
+}
+
+// ExampleFlexOffer_TightenTotals folds an EV's 60% minimum charge into
+// its slice minima, producing the slice-bounded form.
+func ExampleFlexOffer_TightenTotals() {
+	ev, err := flexoffer.NewWithTotals(0, 2,
+		[]flexoffer.Slice{{Min: 0, Max: 10}, {Min: 0, Max: 10}}, 12, 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(ev.TightenTotals())
+	// Output: ([0,2],⟨[10,10],[2,10]⟩,cmin=12,cmax=20)
+}

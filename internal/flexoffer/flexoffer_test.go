@@ -1,0 +1,269 @@
+package flexoffer
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// paperF returns the paper's Figure 1 flex-offer
+// f = ([1,6],⟨[1,3],[2,4],[0,5],[0,3]⟩).
+func paperF(t testing.TB) *FlexOffer {
+	t.Helper()
+	f, err := New(1, 6, Slice{1, 3}, Slice{2, 4}, Slice{0, 5}, Slice{0, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewDefaultsTotalsToSliceSums(t *testing.T) {
+	f := paperF(t)
+	// Example 2: cmin = 3 (sum of minima), cmax = 15 (sum of maxima).
+	if f.TotalMin != 3 || f.TotalMax != 15 {
+		t.Fatalf("totals = [%d,%d], want [3,15]", f.TotalMin, f.TotalMax)
+	}
+}
+
+func TestPaperFigure1Flexibilities(t *testing.T) {
+	f := paperF(t)
+	if tf := f.TimeFlexibility(); tf != 5 {
+		t.Errorf("tf = %d, want 5 (paper Example 1)", tf)
+	}
+	if ef := f.EnergyFlexibility(); ef != 12 {
+		t.Errorf("ef = %d, want 12 (paper Example 2)", ef)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		f    FlexOffer
+		want error
+	}{
+		{"no slices", FlexOffer{LatestStart: 1}, ErrNoSlices},
+		{"negative time", FlexOffer{EarliestStart: -1, LatestStart: 1, Slices: []Slice{{0, 1}}}, ErrNegativeTime},
+		{"start order", FlexOffer{EarliestStart: 3, LatestStart: 1, Slices: []Slice{{0, 1}}}, ErrStartOrder},
+		{"slice order", FlexOffer{LatestStart: 1, Slices: []Slice{{2, 1}}}, ErrSliceOrder},
+		{"total order", FlexOffer{LatestStart: 1, Slices: []Slice{{0, 5}}, TotalMin: 4, TotalMax: 2}, ErrTotalOrder},
+		{"total below slice sum", FlexOffer{LatestStart: 1, Slices: []Slice{{1, 5}}, TotalMin: 0, TotalMax: 5}, ErrTotalBounds},
+		{"total above slice sum", FlexOffer{LatestStart: 1, Slices: []Slice{{1, 5}}, TotalMin: 1, TotalMax: 6}, ErrTotalBounds},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.f.Validate()
+			if !errors.Is(err, c.want) {
+				t.Errorf("Validate = %v, want %v", err, c.want)
+			}
+		})
+	}
+	var nilOffer *FlexOffer
+	if !errors.Is(nilOffer.Validate(), ErrNilOffer) {
+		t.Error("nil offer must return ErrNilOffer")
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(4, 2, Slice{0, 1}); !errors.Is(err, ErrStartOrder) {
+		t.Errorf("New with bad window = %v", err)
+	}
+	if _, err := NewWithTotals(0, 1, []Slice{{0, 5}}, 6, 6); !errors.Is(err, ErrTotalBounds) {
+		t.Errorf("NewWithTotals with bad totals = %v", err)
+	}
+}
+
+func TestMustNewPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew must panic on invalid input")
+		}
+	}()
+	MustNew(2, 1, Slice{0, 1})
+}
+
+func TestKindClassification(t *testing.T) {
+	cases := []struct {
+		name   string
+		slices []Slice
+		want   Kind
+	}{
+		{"dishwasher (consumption)", []Slice{{1, 3}, {2, 4}}, Positive},
+		{"zero-capable consumption", []Slice{{0, 5}}, Positive},
+		{"all zero", []Slice{{0, 0}}, Positive},
+		{"solar (production)", []Slice{{-5, -1}}, Negative},
+		{"zero-capable production", []Slice{{-5, 0}}, Negative},
+		{"vehicle-to-grid (mixed)", []Slice{{-3, 4}}, Mixed},
+		{"mixed across slices", []Slice{{1, 2}, {-2, -1}}, Mixed},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			f := MustNew(0, 1, c.slices...)
+			if got := f.Kind(); got != c.want {
+				t.Errorf("Kind = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Positive.String() != "positive" || Negative.String() != "negative" || Mixed.String() != "mixed" {
+		t.Error("kind names wrong")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown kind should include its number")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	f := paperF(t)
+	c := f.Clone()
+	c.Slices[0].Min = 99
+	if f.Slices[0].Min != 1 {
+		t.Fatal("Clone must copy slices")
+	}
+	if (*FlexOffer)(nil).Clone() != nil {
+		t.Fatal("Clone of nil is nil")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	f := paperF(t)
+	if !f.Equal(f.Clone()) {
+		t.Error("offer must equal its clone")
+	}
+	g := f.Clone()
+	g.Slices[2].Max++
+	if f.Equal(g) {
+		t.Error("different slices must not be Equal")
+	}
+	h := f.Clone()
+	h.ID = "other"
+	if f.Equal(h) {
+		t.Error("different IDs must not be Equal")
+	}
+	if f.Equal(nil) || !(*FlexOffer)(nil).Equal(nil) {
+		t.Error("nil handling wrong")
+	}
+}
+
+func TestShift(t *testing.T) {
+	f := paperF(t)
+	g, err := f.Shift(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.EarliestStart != 4 || g.LatestStart != 9 {
+		t.Errorf("Shift window = [%d,%d], want [4,9]", g.EarliestStart, g.LatestStart)
+	}
+	if f.EarliestStart != 1 {
+		t.Error("Shift must not mutate the receiver")
+	}
+	if _, err := f.Shift(-2); !errors.Is(err, ErrNegativeTime) {
+		t.Errorf("Shift below zero = %v, want ErrNegativeTime", err)
+	}
+}
+
+func TestScaleEnergy(t *testing.T) {
+	f := MustNew(0, 1, Slice{1, 3})
+	g := f.ScaleEnergy(10)
+	if g.Slices[0] != (Slice{10, 30}) || g.TotalMin != 10 || g.TotalMax != 30 {
+		t.Errorf("ScaleEnergy(10) = %v", g)
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("scaled offer invalid: %v", err)
+	}
+	n := f.ScaleEnergy(-1)
+	if n.Slices[0] != (Slice{-3, -1}) || n.TotalMin != -3 || n.TotalMax != -1 {
+		t.Errorf("ScaleEnergy(-1) = %v", n)
+	}
+	if n.Kind() != Negative {
+		t.Errorf("negated consumption should be production, got %v", n.Kind())
+	}
+	if err := n.Validate(); err != nil {
+		t.Errorf("negated offer invalid: %v", err)
+	}
+}
+
+func TestStringNotation(t *testing.T) {
+	f := paperF(t)
+	want := "([1,6],⟨[1,3],[2,4],[0,5],[0,3]⟩,cmin=3,cmax=15)"
+	if got := f.String(); got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if (*FlexOffer)(nil).String() != "(nil)" {
+		t.Error("nil String wrong")
+	}
+}
+
+func TestSliceHelpers(t *testing.T) {
+	s := Slice{-2, 3}
+	if s.Span() != 5 {
+		t.Errorf("Span = %d, want 5", s.Span())
+	}
+	if !s.Contains(-2) || !s.Contains(3) || s.Contains(4) || s.Contains(-3) {
+		t.Error("Contains boundaries wrong")
+	}
+}
+
+func TestEndHelpers(t *testing.T) {
+	f := paperF(t)
+	if f.EarliestEnd() != 5 {
+		t.Errorf("EarliestEnd = %d, want 5", f.EarliestEnd())
+	}
+	if f.LatestEnd() != 10 {
+		t.Errorf("LatestEnd = %d, want 10", f.LatestEnd())
+	}
+}
+
+func TestBuilder(t *testing.T) {
+	f, err := NewBuilder().
+		ID("ev-1").
+		StartWindow(23, 27).
+		Slice(4, 6).Slice(4, 6).FixedSlice(5).
+		TotalRange(13, 17).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.ID != "ev-1" || f.EarliestStart != 23 || f.LatestStart != 27 {
+		t.Errorf("builder header wrong: %v", f)
+	}
+	if f.NumSlices() != 3 || f.Slices[2] != (Slice{5, 5}) {
+		t.Errorf("builder slices wrong: %v", f.Slices)
+	}
+	if f.TotalMin != 13 || f.TotalMax != 17 {
+		t.Errorf("builder totals wrong: %v", f)
+	}
+}
+
+func TestBuilderDefaultsTotals(t *testing.T) {
+	f, err := NewBuilder().StartWindow(0, 2).Slice(1, 4).Slice(0, 2).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.TotalMin != 1 || f.TotalMax != 6 {
+		t.Errorf("default totals = [%d,%d], want [1,6]", f.TotalMin, f.TotalMax)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder().StartWindow(0, 1).Build(); !errors.Is(err, ErrNoSlices) {
+		t.Errorf("empty builder = %v", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBuild must panic on invalid input")
+		}
+	}()
+	NewBuilder().MustBuild()
+}
+
+func TestBuilderReuseIsIndependent(t *testing.T) {
+	b := NewBuilder().StartWindow(0, 1).Slice(0, 1)
+	f1 := b.MustBuild()
+	b.Slice(5, 5)
+	f2 := b.MustBuild()
+	if f1.NumSlices() != 1 || f2.NumSlices() != 2 {
+		t.Fatalf("builds not independent: %d and %d slices", f1.NumSlices(), f2.NumSlices())
+	}
+}

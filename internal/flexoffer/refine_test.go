@@ -1,0 +1,125 @@
+package flexoffer
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRefineBasics(t *testing.T) {
+	// One 1-hour slot of [2,4] at 15-minute granularity: 4 sub-slots of
+	// [0.5, 1] — expressed in quarter-units after scaling by 4 first.
+	f := MustNew(1, 3, Slice{2, 4}).ScaleEnergy(4) // [8,16] per hour
+	r, err := f.Refine(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EarliestStart != 4 || r.LatestStart != 12 {
+		t.Errorf("window = [%d,%d], want [4,12]", r.EarliestStart, r.LatestStart)
+	}
+	if r.NumSlices() != 4 {
+		t.Fatalf("slices = %d, want 4", r.NumSlices())
+	}
+	for _, s := range r.Slices {
+		if s != (Slice{2, 4}) {
+			t.Errorf("sub-slice = %v, want [2,4]", s)
+		}
+	}
+	if r.TotalMin != f.TotalMin || r.TotalMax != f.TotalMax {
+		t.Errorf("totals changed: [%d,%d]", r.TotalMin, r.TotalMax)
+	}
+}
+
+func TestRefinePreservesSemantics(t *testing.T) {
+	f := MustNew(0, 2, Slice{4, 8}, Slice{0, 4})
+	r, err := f.Refine(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tf multiplies by k; ef and the joint area are preserved.
+	if r.TimeFlexibility() != 2*f.TimeFlexibility() {
+		t.Errorf("tf = %d, want %d", r.TimeFlexibility(), 2*f.TimeFlexibility())
+	}
+	if r.EnergyFlexibility() != f.EnergyFlexibility() {
+		t.Errorf("ef = %d, want %d", r.EnergyFlexibility(), f.EnergyFlexibility())
+	}
+}
+
+func TestRefineErrors(t *testing.T) {
+	f := MustNew(0, 1, Slice{1, 3})
+	if _, err := f.Refine(0); !errors.Is(err, ErrBadFactor) {
+		t.Errorf("factor 0 = %v", err)
+	}
+	if _, err := f.Refine(2); !errors.Is(err, ErrNotDivisible) {
+		t.Errorf("odd amounts by 2 = %v", err)
+	}
+	bad := &FlexOffer{EarliestStart: 2, LatestStart: 1, Slices: []Slice{{0, 2}}}
+	if _, err := bad.Refine(2); err == nil {
+		t.Error("invalid offer must be rejected")
+	}
+}
+
+func TestRefineIdentity(t *testing.T) {
+	f := MustNew(0, 1, Slice{1, 3})
+	r, err := f.Refine(1)
+	if err != nil || !r.Equal(f) {
+		t.Errorf("Refine(1) = %v, %v", r, err)
+	}
+}
+
+func TestCoarsenInvertsRefine(t *testing.T) {
+	f := MustNew(1, 3, Slice{4, 8}, Slice{0, 12})
+	for _, k := range []int{1, 2, 4} {
+		r, err := f.Refine(k)
+		if err != nil {
+			t.Fatalf("Refine(%d): %v", k, err)
+		}
+		back, err := r.Coarsen(k)
+		if err != nil {
+			t.Fatalf("Coarsen(%d): %v", k, err)
+		}
+		if !back.Equal(f) {
+			t.Errorf("Coarsen(Refine(%d)) = %v, want %v", k, back, f)
+		}
+	}
+}
+
+func TestCoarsenErrors(t *testing.T) {
+	f := MustNew(0, 2, Slice{0, 2}, Slice{0, 2}, Slice{0, 2})
+	if _, err := f.Coarsen(2); !errors.Is(err, ErrNotDivisible) {
+		t.Errorf("3 slices by 2 = %v", err)
+	}
+	g := MustNew(1, 2, Slice{0, 2}, Slice{0, 2})
+	if _, err := g.Coarsen(2); !errors.Is(err, ErrNotDivisible) {
+		t.Errorf("odd window by 2 = %v", err)
+	}
+	if _, err := g.Coarsen(0); !errors.Is(err, ErrBadFactor) {
+		t.Errorf("factor 0 = %v", err)
+	}
+}
+
+func TestPropertyRefinePreservesEfAndScalesTf(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomOffer(r).ScaleEnergy(6) // make amounts divisible by 2 and 3
+		for _, k := range []int{2, 3} {
+			ref, err := f.Refine(k)
+			if err != nil {
+				return false
+			}
+			if ref.TimeFlexibility() != k*f.TimeFlexibility() ||
+				ref.EnergyFlexibility() != f.EnergyFlexibility() {
+				return false
+			}
+			back, err := ref.Coarsen(k)
+			if err != nil || !back.Equal(f) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,215 @@
+// Package grid implements the two-dimensional time×energy grid of
+// Definition 9 in Valsomatzis et al. (EDBT/ICDT Workshops 2015) and the
+// area computations underlying the absolute and relative area-based
+// flexibility measures (Definitions 10 and 11).
+//
+// The grid is G = N0 × Z; a cell is identified by its lower-left corner
+// (t, e). The area of an assignment is the set of cells between its
+// energy values and the time axis (hatched cells in the paper's
+// Figure 4): a positive value v in column t covers cells (t,0)…(t,v−1);
+// a negative value v covers cells (t,v)…(t,−1).
+//
+// Two implementations are provided. UnionAreaSize computes the size of
+// the union of the areas of *all* assignments of a flex-offer with a
+// per-column sweep in O(columns × slices) time, independent of the
+// magnitudes of the energy values. CellSet-based functions materialise
+// cell sets explicitly; they cost O(area) and exist chiefly so tests can
+// cross-check the sweep against the literal definition.
+package grid
+
+import (
+	"sort"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+// Cell identifies one grid cell by its lower-left corner coordinates.
+type Cell struct {
+	// T is the time coordinate (column).
+	T int
+	// E is the energy coordinate (row).
+	E int64
+}
+
+// CellSet is a set of grid cells.
+type CellSet map[Cell]struct{}
+
+// NewCellSet returns an empty cell set.
+func NewCellSet() CellSet { return make(CellSet) }
+
+// Add inserts a cell.
+func (cs CellSet) Add(c Cell) { cs[c] = struct{}{} }
+
+// Contains reports membership.
+func (cs CellSet) Contains(c Cell) bool {
+	_, ok := cs[c]
+	return ok
+}
+
+// Size returns the number of cells in the set.
+func (cs CellSet) Size() int { return len(cs) }
+
+// Union merges other into cs and returns cs.
+func (cs CellSet) Union(other CellSet) CellSet {
+	for c := range other {
+		cs[c] = struct{}{}
+	}
+	return cs
+}
+
+// Cells returns the cells sorted by (T, E), for deterministic output.
+func (cs CellSet) Cells() []Cell {
+	out := make([]Cell, 0, len(cs))
+	for c := range cs {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].T != out[j].T {
+			return out[i].T < out[j].T
+		}
+		return out[i].E < out[j].E
+	})
+	return out
+}
+
+// columnCells adds the cells between value v and the time axis in column
+// t: Definition 9's "cells that fall between the energy values and the
+// X-axis".
+func columnCells(cs CellSet, t int, v int64) {
+	switch {
+	case v > 0:
+		for e := int64(0); e < v; e++ {
+			cs.Add(Cell{T: t, E: e})
+		}
+	case v < 0:
+		for e := v; e < 0; e++ {
+			cs.Add(Cell{T: t, E: e})
+		}
+	}
+}
+
+// AssignmentArea returns the area of a single assignment (Definition 9)
+// as an explicit cell set. The paper's Example 7: the assignment
+// ⟨2,1,3⟩ at t=1 covers {(1,0),(1,1),(2,0),(3,0),(3,1),(3,2)}.
+func AssignmentArea(a flexoffer.Assignment) CellSet {
+	cs := NewCellSet()
+	for i, v := range a.Values {
+		columnCells(cs, a.Start+i, v)
+	}
+	return cs
+}
+
+// AssignmentAreaSize returns |area(fa)| without materialising the set.
+func AssignmentAreaSize(a flexoffer.Assignment) int64 {
+	var n int64
+	for _, v := range a.Values {
+		if v > 0 {
+			n += v
+		} else {
+			n -= v
+		}
+	}
+	return n
+}
+
+// ColumnBounds reports, for one absolute time column t, the extreme
+// energy values any assignment of f can place there: hi is the maximum
+// over the slices that can occupy t of amax, and lo the minimum of amin.
+// ok is false when no slice of f can occupy column t.
+func ColumnBounds(f *flexoffer.FlexOffer, t int) (lo, hi int64, ok bool) {
+	// Slice i (0-based) occupies column t when the offer starts at
+	// t−i, which must lie within [tes, tls].
+	iMin := t - f.LatestStart
+	if iMin < 0 {
+		iMin = 0
+	}
+	iMax := t - f.EarliestStart
+	if iMax > f.NumSlices()-1 {
+		iMax = f.NumSlices() - 1
+	}
+	if iMin > iMax {
+		return 0, 0, false
+	}
+	lo, hi = f.Slices[iMin].Min, f.Slices[iMin].Max
+	for i := iMin + 1; i <= iMax; i++ {
+		if f.Slices[i].Min < lo {
+			lo = f.Slices[i].Min
+		}
+		if f.Slices[i].Max > hi {
+			hi = f.Slices[i].Max
+		}
+	}
+	return lo, hi, true
+}
+
+// UnionAreaSize returns |⋃ area(fa)| over all assignments fa ∈ L(f): the
+// size of the total area jointly covered by every possible assignment
+// (the first operand of Definition 10).
+//
+// Because every assignment's area is anchored at the time axis, the
+// covered cells in a column t form the contiguous bands
+// [0, max amax) above the axis and [min amin, 0) below it, where the
+// extremes range over the slices that can occupy t. The sweep therefore
+// needs only the per-column bounds.
+//
+// Like Definition 8, the joint area follows the paper in ignoring the
+// total energy constraints when sweeping slice ranges (the paper's f4/f5
+// examples pin totals to a constant, which leaves slice ranges as the
+// sole source of area).
+func UnionAreaSize(f *flexoffer.FlexOffer) int64 {
+	var total int64
+	for t := f.EarliestStart; t < f.LatestEnd(); t++ {
+		lo, hi, ok := ColumnBounds(f, t)
+		if !ok {
+			continue
+		}
+		if hi > 0 {
+			total += hi
+		}
+		if lo < 0 {
+			total -= lo
+		}
+	}
+	return total
+}
+
+// UnionArea materialises the joint area of all assignments as a cell set.
+// Its cost is proportional to the area; use UnionAreaSize when only the
+// size is needed.
+func UnionArea(f *flexoffer.FlexOffer) CellSet {
+	cs := NewCellSet()
+	for t := f.EarliestStart; t < f.LatestEnd(); t++ {
+		lo, hi, ok := ColumnBounds(f, t)
+		if !ok {
+			continue
+		}
+		if hi > 0 {
+			columnCells(cs, t, hi)
+		}
+		if lo < 0 {
+			columnCells(cs, t, lo)
+		}
+	}
+	return cs
+}
+
+// UnionAreaByEnumeration computes ⋃ area(fa) literally, by enumerating
+// every valid assignment (honouring only the slice constraints, matching
+// the sweep's semantics) and uniting their areas. It exists to verify
+// UnionArea in tests and panics on offers whose assignment space exceeds
+// limit; production code should use UnionArea/UnionAreaSize.
+func UnionAreaByEnumeration(f *flexoffer.FlexOffer, limit int) (CellSet, error) {
+	// Drop the total constraints to mirror the sweep's semantics.
+	loose := f.Clone()
+	loose.TotalMin = loose.SumMin()
+	loose.TotalMax = loose.SumMax()
+	cs := NewCellSet()
+	err := loose.EnumerateAssignments(limit, func(a flexoffer.Assignment) bool {
+		cs.Union(AssignmentArea(a))
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cs, nil
+}

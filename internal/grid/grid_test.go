@@ -1,0 +1,244 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+func TestAssignmentAreaPaperExample7(t *testing.T) {
+	// Example 7 / Figure 4: {f3a}^3_{t=1} = ⟨2,1,3⟩ covers
+	// {(1,0),(1,1),(2,0),(3,0),(3,1),(3,2)}.
+	a := flexoffer.NewAssignment(1, 2, 1, 3)
+	area := AssignmentArea(a)
+	want := []Cell{{1, 0}, {1, 1}, {2, 0}, {3, 0}, {3, 1}, {3, 2}}
+	if area.Size() != len(want) {
+		t.Fatalf("area size = %d, want %d", area.Size(), len(want))
+	}
+	for _, c := range want {
+		if !area.Contains(c) {
+			t.Errorf("missing cell %+v", c)
+		}
+	}
+	if AssignmentAreaSize(a) != 6 {
+		t.Errorf("AssignmentAreaSize = %d, want 6", AssignmentAreaSize(a))
+	}
+}
+
+func TestAssignmentAreaNegativeValues(t *testing.T) {
+	// A production value −3 in column 2 covers (2,−3),(2,−2),(2,−1).
+	a := flexoffer.NewAssignment(2, -3)
+	area := AssignmentArea(a)
+	want := []Cell{{2, -3}, {2, -2}, {2, -1}}
+	if area.Size() != len(want) {
+		t.Fatalf("area size = %d, want %d", area.Size(), len(want))
+	}
+	for _, c := range want {
+		if !area.Contains(c) {
+			t.Errorf("missing cell %+v", c)
+		}
+	}
+	if AssignmentAreaSize(a) != 3 {
+		t.Errorf("AssignmentAreaSize = %d, want 3", AssignmentAreaSize(a))
+	}
+}
+
+func TestAssignmentAreaZeroValue(t *testing.T) {
+	a := flexoffer.NewAssignment(0, 0, 0)
+	if AssignmentArea(a).Size() != 0 || AssignmentAreaSize(a) != 0 {
+		t.Error("zero values cover no cells")
+	}
+}
+
+func TestUnionAreaSizePaperFigure5(t *testing.T) {
+	// Figure 5: f4 = ([0,4],⟨[2,2]⟩): five assignments of two cells
+	// each, jointly covering 10 cells.
+	f4 := flexoffer.MustNew(0, 4, sl(2, 2))
+	if got := UnionAreaSize(f4); got != 10 {
+		t.Errorf("UnionAreaSize(f4) = %d, want 10", got)
+	}
+}
+
+func TestUnionAreaSizePaperFigure6(t *testing.T) {
+	// Figure 6: f5 = ([0,4],⟨[1,1],[2,2]⟩). The five assignments of
+	// three cells each jointly cover 11 cells (the paper prints the
+	// total as 10 in Example 9 but its final value 8 = 11 − cmin(3)
+	// confirms 11; see EXPERIMENTS.md).
+	f5 := flexoffer.MustNew(0, 4, sl(1, 1), sl(2, 2))
+	if got := UnionAreaSize(f5); got != 11 {
+		t.Errorf("UnionAreaSize(f5) = %d, want 11", got)
+	}
+}
+
+func TestUnionAreaSizePaperFigure7(t *testing.T) {
+	// Figure 7 / Example 15: f6 = ([0,2],⟨[−1,2],[−4,−1],[−3,1]⟩)
+	// jointly covers 24 cells.
+	f6 := flexoffer.MustNew(0, 2,
+		sl(-1, 2), sl(-4, -1), sl(-3, 1))
+	if got := UnionAreaSize(f6); got != 24 {
+		t.Errorf("UnionAreaSize(f6) = %d, want 24", got)
+	}
+}
+
+func TestColumnBounds(t *testing.T) {
+	f6 := flexoffer.MustNew(0, 2,
+		sl(-1, 2), sl(-4, -1), sl(-3, 1))
+	cases := []struct {
+		t      int
+		lo, hi int64
+		ok     bool
+	}{
+		{0, -1, 2, true},  // only slice 1
+		{1, -4, 2, true},  // slices 1,2
+		{2, -4, 2, true},  // slices 1,2,3
+		{3, -4, 1, true},  // slices 2,3
+		{4, -3, 1, true},  // only slice 3
+		{5, 0, 0, false},  // beyond latest end
+		{-1, 0, 0, false}, // before earliest start
+	}
+	for _, c := range cases {
+		lo, hi, ok := ColumnBounds(f6, c.t)
+		if ok != c.ok || lo != c.lo || hi != c.hi {
+			t.Errorf("ColumnBounds(t=%d) = (%d,%d,%v), want (%d,%d,%v)",
+				c.t, lo, hi, ok, c.lo, c.hi, c.ok)
+		}
+	}
+}
+
+func TestUnionAreaMatchesSize(t *testing.T) {
+	f6 := flexoffer.MustNew(0, 2,
+		sl(-1, 2), sl(-4, -1), sl(-3, 1))
+	if got := int64(UnionArea(f6).Size()); got != UnionAreaSize(f6) {
+		t.Errorf("UnionArea size %d != UnionAreaSize %d", got, UnionAreaSize(f6))
+	}
+}
+
+func TestUnionAreaByEnumerationMatchesSweep(t *testing.T) {
+	offers := []*flexoffer.FlexOffer{
+		flexoffer.MustNew(0, 4, sl(2, 2)),
+		flexoffer.MustNew(0, 4, sl(1, 1), sl(2, 2)),
+		flexoffer.MustNew(0, 2, sl(-1, 2), sl(-4, -1), sl(-3, 1)),
+		flexoffer.MustNew(1, 6, sl(1, 3), sl(2, 4), sl(0, 5), sl(0, 3)),
+	}
+	for _, f := range offers {
+		enum, err := UnionAreaByEnumeration(f, 100000)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		sweep := UnionArea(f)
+		if enum.Size() != sweep.Size() {
+			t.Errorf("%v: enumeration %d cells, sweep %d", f, enum.Size(), sweep.Size())
+		}
+		for c := range enum {
+			if !sweep.Contains(c) {
+				t.Errorf("%v: sweep missing cell %+v", f, c)
+			}
+		}
+	}
+}
+
+func TestUnionAreaByEnumerationLimit(t *testing.T) {
+	f := flexoffer.MustNew(0, 4, sl(0, 9), sl(0, 9))
+	if _, err := UnionAreaByEnumeration(f, 10); err == nil {
+		t.Fatal("limit must be enforced")
+	}
+}
+
+func TestCellSetOps(t *testing.T) {
+	a := NewCellSet()
+	a.Add(Cell{1, 2})
+	a.Add(Cell{0, -1})
+	b := NewCellSet()
+	b.Add(Cell{1, 2})
+	b.Add(Cell{3, 0})
+	a.Union(b)
+	if a.Size() != 3 {
+		t.Fatalf("union size = %d, want 3", a.Size())
+	}
+	cells := a.Cells()
+	want := []Cell{{0, -1}, {1, 2}, {3, 0}}
+	for i, c := range want {
+		if cells[i] != c {
+			t.Fatalf("Cells() = %v, want %v", cells, want)
+		}
+	}
+}
+
+func randomOffer(r *rand.Rand) *flexoffer.FlexOffer {
+	n := 1 + r.Intn(3)
+	slices := make([]flexoffer.Slice, n)
+	for i := range slices {
+		lo := int64(r.Intn(7) - 3)
+		slices[i] = flexoffer.Slice{Min: lo, Max: lo + int64(r.Intn(3))}
+	}
+	es := r.Intn(3)
+	return flexoffer.MustNew(es, es+r.Intn(3), slices...)
+}
+
+func TestPropertySweepMatchesEnumeration(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomOffer(r)
+		enum, err := UnionAreaByEnumeration(f, 200000)
+		if err != nil {
+			return true // skip over-large spaces
+		}
+		return int64(enum.Size()) == UnionAreaSize(f)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyUnionDominatesEveryAssignment(t *testing.T) {
+	// The union area must contain the area of any single assignment.
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomOffer(r)
+		union := UnionArea(f)
+		a, err := f.EarliestAssignment()
+		if err != nil {
+			return false
+		}
+		for c := range AssignmentArea(a) {
+			if !union.Contains(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAreaSizeNonNegativeAndBounded(t *testing.T) {
+	// 0 <= union <= columns × (maxAmax − minAmin).
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomOffer(r)
+		size := UnionAreaSize(f)
+		if size < 0 {
+			return false
+		}
+		var maxHi, minLo int64
+		for _, s := range f.Slices {
+			if s.Max > maxHi {
+				maxHi = s.Max
+			}
+			if s.Min < minLo {
+				minLo = s.Min
+			}
+		}
+		cols := int64(f.LatestEnd() - f.EarliestStart)
+		return size <= cols*(maxHi-minLo)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// sl is shorthand for a slice literal in test fixtures.
+func sl(min, max int64) flexoffer.Slice { return flexoffer.Slice{Min: min, Max: max} }

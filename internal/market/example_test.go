@@ -1,0 +1,53 @@
+package market_test
+
+import (
+	"fmt"
+	"log"
+
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/market"
+)
+
+// ExampleValueOfFlexibility prices the EV use case's flexibility: moving
+// a 3-unit charge from a 10-price hour to a 1-price hour is worth 27.
+func ExampleValueOfFlexibility() {
+	prices := market.PriceCurve{10, 10, 1, 10, 10}
+	ev := flexoffer.MustNew(0, 4, flexoffer.Slice{Min: 3, Max: 3})
+	v, err := market.ValueOfFlexibility(ev, prices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v.BaselineCost, v.OptimalCost, v.Value())
+	// Output: 30 3 27
+}
+
+// ExamplePriceCurve_CheapestAssignment dispatches a producer to the
+// price peak: minimal (most negative) cost means maximal revenue.
+func ExamplePriceCurve_CheapestAssignment() {
+	prices := market.PriceCurve{1, 9, 2}
+	turbine := flexoffer.MustNew(0, 2, flexoffer.Slice{Min: -4, Max: -4})
+	a, err := prices.CheapestAssignment(turbine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost, err := prices.CostOf(a)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(a.Start, cost)
+	// Output: 1 -36
+}
+
+// ExampleSettlement charges imbalance penalties on deviations from the
+// traded baseline.
+func ExampleSettlement() {
+	prices := market.PriceCurve{2, 2, 2}
+	traded := flexoffer.NewAssignment(0, 3, 3, 3).Series()
+	delivered := flexoffer.NewAssignment(0, 3, 1, 3).Series()
+	cost, err := market.Settlement(delivered, traded, prices, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(cost) // 7 units at spot 2 + 2 deviations at penalty 10
+	// Output: 34
+}

@@ -1,0 +1,228 @@
+// Package market implements the energy-market substrate of the paper's
+// Scenario 2 (Section 1): an aggregator collects flex-offers, aggregates
+// them into tradeable units, and monetises their flexibility against an
+// hourly spot-price curve, with imbalance penalties for deviating from
+// the traded baseline.
+//
+// The paper's claim motivating the scenario is that aggregated
+// flex-offers should "retain as much flexibility as possible in order to
+// obtain a better value in the energy market"; ValueOfFlexibility makes
+// that value concrete (cost of the inflexible baseline minus cost of the
+// price-optimal assignment), and experiment X3 correlates it with the
+// paper's measures.
+package market
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/timeseries"
+)
+
+// Sentinel errors.
+var (
+	ErrEmptyPrices  = errors.New("market: empty price curve")
+	ErrShortPrices  = errors.New("market: price curve does not cover the offer's time window")
+	ErrNegativeRate = errors.New("market: penalty rate must be non-negative")
+)
+
+// PriceCurve holds one price per time unit, indexed from time 0 (e.g.
+// day-ahead hourly spot prices scaled to the flex-offer time unit).
+type PriceCurve []float64
+
+// At returns the price at time t. It must only be called for t within
+// [0, len); Covers checks that.
+func (p PriceCurve) At(t int) float64 { return p[t] }
+
+// Covers reports whether the curve prices every time unit in [from, to).
+func (p PriceCurve) Covers(from, to int) bool {
+	return from >= 0 && to <= len(p)
+}
+
+// Validate checks the curve is non-empty.
+func (p PriceCurve) Validate() error {
+	if len(p) == 0 {
+		return ErrEmptyPrices
+	}
+	return nil
+}
+
+// CostOf returns the energy cost of an assignment under the curve:
+// Σ v(i) · price(start+i). Production (negative values) yields negative
+// cost, i.e. revenue.
+func (p PriceCurve) CostOf(a flexoffer.Assignment) (float64, error) {
+	if !p.Covers(a.Start, a.Start+len(a.Values)) {
+		return 0, fmt.Errorf("%w: assignment spans [%d,%d), curve has %d slots",
+			ErrShortPrices, a.Start, a.Start+len(a.Values), len(p))
+	}
+	var cost float64
+	for i, v := range a.Values {
+		cost += float64(v) * p.At(a.Start+i)
+	}
+	return cost, nil
+}
+
+// CheapestAssignment returns a valid assignment of f minimising the
+// energy cost under the curve. For every start time the slice values are
+// chosen by an exact greedy for the box-constrained problem
+//
+//	min Σ vᵢ·pᵢ  s.t.  amin ≤ vᵢ ≤ amax, cmin ≤ Σvᵢ ≤ cmax:
+//
+// start from the minima, then buy mandatory units (up to cmin) at the
+// cheapest slots and optional units only at negative prices. Because the
+// objective is linear, the greedy is optimal.
+func (p PriceCurve) CheapestAssignment(f *flexoffer.FlexOffer) (flexoffer.Assignment, error) {
+	if err := p.Validate(); err != nil {
+		return flexoffer.Assignment{}, err
+	}
+	if err := f.Validate(); err != nil {
+		return flexoffer.Assignment{}, err
+	}
+	if !p.Covers(f.EarliestStart, f.LatestEnd()) {
+		return flexoffer.Assignment{}, fmt.Errorf("%w: offer spans [%d,%d), curve has %d slots",
+			ErrShortPrices, f.EarliestStart, f.LatestEnd(), len(p))
+	}
+	var best flexoffer.Assignment
+	bestCost := 0.0
+	found := false
+	for start := f.EarliestStart; start <= f.LatestStart; start++ {
+		a := cheapestAt(f, start, p)
+		cost, err := p.CostOf(a)
+		if err != nil {
+			return flexoffer.Assignment{}, err
+		}
+		if !found || cost < bestCost {
+			best, bestCost, found = a, cost, true
+		}
+	}
+	return best, nil
+}
+
+// cheapestAt solves the per-start linear sub-problem exactly.
+func cheapestAt(f *flexoffer.FlexOffer, start int, p PriceCurve) flexoffer.Assignment {
+	n := f.NumSlices()
+	a := flexoffer.Assignment{Start: start, Values: make([]int64, n)}
+	var total int64
+	for i, s := range f.Slices {
+		a.Values[i] = s.Min
+		total += s.Min
+	}
+	// Slots sorted by price, cheapest first.
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(x, y int) bool {
+		return p.At(start+idx[x]) < p.At(start+idx[y])
+	})
+	// Mandatory units: reach cmin at the cheapest prices.
+	for _, i := range idx {
+		if total >= f.TotalMin {
+			break
+		}
+		room := f.Slices[i].Max - a.Values[i]
+		need := f.TotalMin - total
+		if room > need {
+			room = need
+		}
+		a.Values[i] += room
+		total += room
+	}
+	// Optional units: only where the price is negative (they reduce
+	// cost), while cmax allows.
+	for _, i := range idx {
+		if p.At(start+i) >= 0 || total >= f.TotalMax {
+			break
+		}
+		room := f.Slices[i].Max - a.Values[i]
+		headroom := f.TotalMax - total
+		if room > headroom {
+			room = headroom
+		}
+		a.Values[i] += room
+		total += room
+	}
+	return a
+}
+
+// Valuation is the outcome of ValueOfFlexibility.
+type Valuation struct {
+	// Baseline is the inflexible reference assignment (earliest start,
+	// minimal total) and its cost.
+	Baseline     flexoffer.Assignment
+	BaselineCost float64
+	// Optimal is the cheapest assignment and its cost.
+	Optimal     flexoffer.Assignment
+	OptimalCost float64
+}
+
+// Value returns what the offer's flexibility is worth under the curve:
+// baseline cost minus optimal cost (≥ 0 by construction).
+func (v Valuation) Value() float64 { return v.BaselineCost - v.OptimalCost }
+
+// ValueOfFlexibility prices an offer's flexibility: the cost difference
+// between serving it inflexibly (earliest start, minimum energy) and
+// serving it with full use of its time and energy flexibility.
+func ValueOfFlexibility(f *flexoffer.FlexOffer, p PriceCurve) (Valuation, error) {
+	baseline, err := f.EarliestAssignment()
+	if err != nil {
+		return Valuation{}, fmt.Errorf("market: baseline: %w", err)
+	}
+	baseCost, err := p.CostOf(baseline)
+	if err != nil {
+		return Valuation{}, fmt.Errorf("market: baseline cost: %w", err)
+	}
+	opt, err := p.CheapestAssignment(f)
+	if err != nil {
+		return Valuation{}, fmt.Errorf("market: optimising: %w", err)
+	}
+	optCost, err := p.CostOf(opt)
+	if err != nil {
+		return Valuation{}, fmt.Errorf("market: optimal cost: %w", err)
+	}
+	return Valuation{
+		Baseline:     baseline,
+		BaselineCost: baseCost,
+		Optimal:      opt,
+		OptimalCost:  optCost,
+	}, nil
+}
+
+// Settlement prices a delivered series against a traded baseline: energy
+// is paid at spot, and every unit of deviation |delivered−traded| incurs
+// penaltyRate on top (the imbalance penalties BRPs avoid by using
+// flexibility, Scenario 2).
+func Settlement(delivered, traded timeseries.Series, p PriceCurve, penaltyRate float64) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	if penaltyRate < 0 {
+		return 0, fmt.Errorf("%w: %g", ErrNegativeRate, penaltyRate)
+	}
+	diff := timeseries.Sub(delivered, traded)
+	if !p.Covers(minStart(delivered, traded), diff.End()) {
+		return 0, fmt.Errorf("%w: settlement spans [%d,%d), curve has %d slots",
+			ErrShortPrices, diff.Start, diff.End(), len(p))
+	}
+	var total float64
+	for t := delivered.Start; t < delivered.End(); t++ {
+		total += float64(delivered.At(t)) * p.At(t)
+	}
+	for t := diff.Start; t < diff.End(); t++ {
+		dev := diff.At(t)
+		if dev < 0 {
+			dev = -dev
+		}
+		total += float64(dev) * penaltyRate
+	}
+	return total, nil
+}
+
+func minStart(a, b timeseries.Series) int {
+	if a.Start < b.Start {
+		return a.Start
+	}
+	return b.Start
+}

@@ -1,0 +1,248 @@
+package market
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/timeseries"
+)
+
+// sl is shorthand for a slice literal in test fixtures.
+func sl(min, max int64) flexoffer.Slice { return flexoffer.Slice{Min: min, Max: max} }
+
+func TestCostOf(t *testing.T) {
+	p := PriceCurve{1, 2, 3, 4}
+	cost, err := p.CostOf(flexoffer.NewAssignment(1, 2, 1))
+	if err != nil || cost != 2*2+1*3 {
+		t.Fatalf("cost = %g, %v; want 7", cost, err)
+	}
+	// Production earns revenue.
+	cost, err = p.CostOf(flexoffer.NewAssignment(1, -2))
+	if err != nil || cost != -4 {
+		t.Fatalf("production cost = %g, %v; want -4", cost, err)
+	}
+	if _, err := p.CostOf(flexoffer.NewAssignment(3, 1, 1)); !errors.Is(err, ErrShortPrices) {
+		t.Errorf("out-of-curve assignment = %v, want ErrShortPrices", err)
+	}
+}
+
+func TestCheapestAssignmentMovesToCheapHours(t *testing.T) {
+	// The EV use case: charging moves to the cheap (windy) hour.
+	p := PriceCurve{10, 10, 1, 10, 10}
+	f := flexoffer.MustNew(0, 4, sl(3, 3))
+	a, err := p.CheapestAssignment(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Start != 2 {
+		t.Errorf("start = %d, want 2 (cheapest hour)", a.Start)
+	}
+}
+
+func TestCheapestAssignmentBuysMandatoryUnitsCheaply(t *testing.T) {
+	// cmin forces 4 units across two slots priced 5 and 1: the greedy
+	// must put the flexible units in the cheap slot.
+	f, err := flexoffer.NewWithTotals(0, 0, []flexoffer.Slice{{Min: 1, Max: 3}, {Min: 1, Max: 3}}, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := PriceCurve{5, 1}
+	a, err := p.CheapestAssignment(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Values[0] != 1 || a.Values[1] != 3 {
+		t.Errorf("values = %v, want [1 3]", a.Values)
+	}
+	if err := f.ValidateAssignment(a); err != nil {
+		t.Errorf("assignment invalid: %v", err)
+	}
+}
+
+func TestCheapestAssignmentUsesNegativePrices(t *testing.T) {
+	// Negative prices (excess wind) attract optional consumption up to
+	// cmax.
+	f := flexoffer.MustNew(0, 0, sl(0, 5), sl(0, 5))
+	p := PriceCurve{-2, 3}
+	a, err := p.CheapestAssignment(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Values[0] != 5 || a.Values[1] != 0 {
+		t.Errorf("values = %v, want [5 0]", a.Values)
+	}
+	cost, err := p.CostOf(a)
+	if err != nil || cost != -10 {
+		t.Errorf("cost = %g, %v; want -10", cost, err)
+	}
+}
+
+func TestCheapestAssignmentProduction(t *testing.T) {
+	// A producer (negative values) sells at the expensive hour: cost is
+	// minimised (most negative) by producing at the peak price.
+	f := flexoffer.MustNew(0, 2, sl(-4, -4))
+	p := PriceCurve{1, 9, 2}
+	a, err := p.CheapestAssignment(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Start != 1 {
+		t.Errorf("start = %d, want 1 (peak price)", a.Start)
+	}
+	cost, err := p.CostOf(a)
+	if err != nil || cost != -36 {
+		t.Errorf("cost = %g, %v; want -36", cost, err)
+	}
+}
+
+func TestCheapestAssignmentErrors(t *testing.T) {
+	f := flexoffer.MustNew(0, 4, sl(1, 1))
+	if _, err := (PriceCurve{}).CheapestAssignment(f); !errors.Is(err, ErrEmptyPrices) {
+		t.Errorf("empty curve = %v", err)
+	}
+	if _, err := (PriceCurve{1, 2}).CheapestAssignment(f); !errors.Is(err, ErrShortPrices) {
+		t.Errorf("short curve = %v", err)
+	}
+	bad := &flexoffer.FlexOffer{EarliestStart: 2, LatestStart: 0, Slices: []flexoffer.Slice{{Min: 0, Max: 1}}}
+	if _, err := (PriceCurve{1, 2, 3}).CheapestAssignment(bad); err == nil {
+		t.Error("invalid offer must be rejected")
+	}
+}
+
+func TestValueOfFlexibility(t *testing.T) {
+	// Baseline charges at t=0 (price 10); the flexible optimum moves to
+	// t=2 (price 1): flexibility is worth 3·(10−1) = 27.
+	p := PriceCurve{10, 10, 1, 10, 10}
+	f := flexoffer.MustNew(0, 4, sl(3, 3))
+	v, err := ValueOfFlexibility(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.BaselineCost != 30 || v.OptimalCost != 3 {
+		t.Errorf("costs = %g, %g; want 30 and 3", v.BaselineCost, v.OptimalCost)
+	}
+	if v.Value() != 27 {
+		t.Errorf("value = %g, want 27", v.Value())
+	}
+}
+
+func TestValueOfFlexibilityInflexibleOfferIsWorthless(t *testing.T) {
+	p := PriceCurve{5, 1, 9}
+	f := flexoffer.MustNew(1, 1, sl(2, 2))
+	v, err := ValueOfFlexibility(f, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Value() != 0 {
+		t.Errorf("value = %g, want 0 for an inflexible offer", v.Value())
+	}
+}
+
+func TestSettlement(t *testing.T) {
+	p := PriceCurve{2, 2, 2}
+	traded := timeseries.New(0, 3, 3, 3)
+	delivered := timeseries.New(0, 3, 1, 3) // 2 units short at t=1
+	got, err := Settlement(delivered, traded, p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(3+1+3)*2 + 2*10
+	if got != want {
+		t.Errorf("settlement = %g, want %g", got, want)
+	}
+	// Perfect delivery pays spot only.
+	got, err = Settlement(traded, traded, p, 10)
+	if err != nil || got != 18 {
+		t.Errorf("perfect settlement = %g, %v; want 18", got, err)
+	}
+}
+
+func TestSettlementErrors(t *testing.T) {
+	traded := timeseries.New(0, 1)
+	if _, err := Settlement(traded, traded, PriceCurve{}, 1); !errors.Is(err, ErrEmptyPrices) {
+		t.Errorf("empty curve = %v", err)
+	}
+	if _, err := Settlement(traded, traded, PriceCurve{1}, -1); !errors.Is(err, ErrNegativeRate) {
+		t.Errorf("negative rate = %v", err)
+	}
+	long := timeseries.New(0, 1, 1, 1)
+	if _, err := Settlement(long, traded, PriceCurve{1}, 0); !errors.Is(err, ErrShortPrices) {
+		t.Errorf("short curve = %v", err)
+	}
+}
+
+func TestPriceCurveCovers(t *testing.T) {
+	p := PriceCurve{1, 2, 3}
+	if !p.Covers(0, 3) || p.Covers(0, 4) || p.Covers(-1, 2) {
+		t.Error("Covers boundaries wrong")
+	}
+}
+
+func randomOfferForMarket(r *rand.Rand) *flexoffer.FlexOffer {
+	n := 1 + r.Intn(3)
+	slices := make([]flexoffer.Slice, n)
+	for i := range slices {
+		lo := int64(r.Intn(7) - 3)
+		slices[i] = flexoffer.Slice{Min: lo, Max: lo + int64(r.Intn(4))}
+	}
+	es := r.Intn(4)
+	return flexoffer.MustNew(es, es+r.Intn(4), slices...)
+}
+
+func TestPropertyCheapestIsOptimalByEnumeration(t *testing.T) {
+	// The greedy must match exhaustive search on small offers.
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomOfferForMarket(r)
+		p := make(PriceCurve, f.LatestEnd()+1)
+		for i := range p {
+			p[i] = float64(r.Intn(21) - 5)
+		}
+		greedy, err := p.CheapestAssignment(f)
+		if err != nil {
+			return false
+		}
+		greedyCost, err := p.CostOf(greedy)
+		if err != nil {
+			return false
+		}
+		bestCost := math.Inf(1)
+		err = f.EnumerateAssignments(200000, func(a flexoffer.Assignment) bool {
+			c, cerr := p.CostOf(a)
+			if cerr == nil && c < bestCost {
+				bestCost = c
+			}
+			return true
+		})
+		if err != nil {
+			return true // space too large; skip
+		}
+		return math.Abs(greedyCost-bestCost) < 1e-9
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFlexibilityValueNonNegative(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := randomOfferForMarket(r)
+		p := make(PriceCurve, f.LatestEnd()+1)
+		for i := range p {
+			p[i] = float64(r.Intn(21) - 5)
+		}
+		v, err := ValueOfFlexibility(f, p)
+		if err != nil {
+			return false
+		}
+		return v.Value() >= -1e-9
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

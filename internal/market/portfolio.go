@@ -1,0 +1,129 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"flexmeasures/internal/aggregate"
+	"flexmeasures/internal/core"
+	"flexmeasures/internal/flexoffer"
+)
+
+// Scenario 2 of the paper: "It is infeasible to trade flex-offers from
+// individual prosumers directly in the market due to their small energy
+// amounts. … Consequently, only large aggregated flex-offers are allowed
+// to be traded in the market." A Portfolio is an aggregator's book of
+// aggregates, partitioned into tradeable lots (meeting the market's
+// minimum energy) and a non-tradeable remainder, with valuation against
+// a price curve.
+
+// ErrNoLots is returned when no aggregate meets the market's minimum.
+var ErrNoLots = errors.New("market: no aggregate meets the minimum lot size")
+
+// Portfolio is an aggregator's position: the tradeable aggregates, the
+// remainder, and the minimum lot size that split them.
+type Portfolio struct {
+	// MinLotEnergy is the market's minimum absolute expected energy
+	// per tradeable lot.
+	MinLotEnergy int64
+	// Tradeable holds the aggregates admitted to the market, largest
+	// expected energy first.
+	Tradeable []*aggregate.Aggregated
+	// Remainder holds the aggregates below the lot size.
+	Remainder []*aggregate.Aggregated
+}
+
+// lotEnergy is the expected absolute energy of an aggregate: the
+// midpoint of its total band, in magnitude.
+func lotEnergy(ag *aggregate.Aggregated) int64 {
+	mid := (ag.Offer.TotalMin + ag.Offer.TotalMax) / 2
+	if mid < 0 {
+		return -mid
+	}
+	return mid
+}
+
+// BuildPortfolio partitions the aggregates by the minimum lot size. It
+// returns ErrNoLots when nothing is tradeable (the book is still
+// returned, fully in Remainder, so the caller can re-aggregate).
+func BuildPortfolio(ags []*aggregate.Aggregated, minLotEnergy int64) (*Portfolio, error) {
+	p := &Portfolio{MinLotEnergy: minLotEnergy}
+	for _, ag := range ags {
+		if lotEnergy(ag) >= minLotEnergy {
+			p.Tradeable = append(p.Tradeable, ag)
+		} else {
+			p.Remainder = append(p.Remainder, ag)
+		}
+	}
+	sort.SliceStable(p.Tradeable, func(i, j int) bool {
+		return lotEnergy(p.Tradeable[i]) > lotEnergy(p.Tradeable[j])
+	})
+	if len(p.Tradeable) == 0 {
+		return p, ErrNoLots
+	}
+	return p, nil
+}
+
+// Lot is one tradeable position with its market valuation.
+type Lot struct {
+	// Aggregate is the traded flex-offer with its constituents.
+	Aggregate *aggregate.Aggregated
+	// Energy is the lot's expected absolute energy.
+	Energy int64
+	// Valuation prices the lot's flexibility against the curve.
+	Valuation Valuation
+	// Flexibility is the lot's value under the portfolio's measure.
+	Flexibility float64
+}
+
+// Value prices every tradeable lot against the curve and scores it with
+// the measure (the paper's point: a flexibility measure is what lets the
+// aggregator compare lots "traded as commodities"). Lots are returned in
+// book order; the summary totals follow.
+func (p *Portfolio) Value(prices PriceCurve, m core.Measure) (lots []Lot, totalValue float64, err error) {
+	if err := prices.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if m == nil {
+		return nil, 0, fmt.Errorf("market: portfolio valuation requires a measure")
+	}
+	for i, ag := range p.Tradeable {
+		v, err := ValueOfFlexibility(ag.Offer, prices)
+		if err != nil {
+			return nil, 0, fmt.Errorf("market: lot %d: %w", i, err)
+		}
+		flexVal, err := m.Value(ag.Offer)
+		if err != nil {
+			return nil, 0, fmt.Errorf("market: lot %d under %s: %w", i, m.Name(), err)
+		}
+		lots = append(lots, Lot{
+			Aggregate:   ag,
+			Energy:      lotEnergy(ag),
+			Valuation:   v,
+			Flexibility: flexVal,
+		})
+		totalValue += v.Value()
+	}
+	return lots, totalValue, nil
+}
+
+// DeliverCheapest commits every tradeable lot to its price-optimal
+// assignment and disaggregates it to the constituent prosumers,
+// returning one assignment list per lot. This is the full Scenario 2
+// loop: trade the aggregate, dispatch the prosumers.
+func (p *Portfolio) DeliverCheapest(prices PriceCurve) ([][]flexoffer.Assignment, error) {
+	out := make([][]flexoffer.Assignment, 0, len(p.Tradeable))
+	for i, ag := range p.Tradeable {
+		a, err := prices.CheapestAssignment(ag.Offer)
+		if err != nil {
+			return nil, fmt.Errorf("market: lot %d: %w", i, err)
+		}
+		parts, err := ag.Disaggregate(a)
+		if err != nil {
+			return nil, fmt.Errorf("market: lot %d dispatch: %w", i, err)
+		}
+		out = append(out, parts)
+	}
+	return out, nil
+}

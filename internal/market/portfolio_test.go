@@ -1,0 +1,165 @@
+package market
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"flexmeasures/internal/aggregate"
+	"flexmeasures/internal/core"
+	"flexmeasures/internal/flexoffer"
+)
+
+func aggFixture(t *testing.T, offers ...*flexoffer.FlexOffer) []*aggregate.Aggregated {
+	t.Helper()
+	var ags []*aggregate.Aggregated
+	for _, f := range offers {
+		ag, err := aggregate.AggregateSafe([]*flexoffer.FlexOffer{f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ags = append(ags, ag)
+	}
+	return ags
+}
+
+func TestBuildPortfolioSplitsByLotSize(t *testing.T) {
+	big := flexoffer.MustNew(0, 2, sl(50, 60))
+	small := flexoffer.MustNew(0, 2, sl(1, 2))
+	p, err := BuildPortfolio(aggFixture(t, big, small), 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tradeable) != 1 || len(p.Remainder) != 1 {
+		t.Fatalf("split = %d tradeable / %d remainder, want 1/1",
+			len(p.Tradeable), len(p.Remainder))
+	}
+	if p.Tradeable[0].Offer.Slices[0].Min != 50 {
+		t.Error("wrong aggregate admitted to the market")
+	}
+}
+
+func TestBuildPortfolioNoLots(t *testing.T) {
+	small := flexoffer.MustNew(0, 2, sl(1, 2))
+	p, err := BuildPortfolio(aggFixture(t, small), 100)
+	if !errors.Is(err, ErrNoLots) {
+		t.Fatalf("got %v, want ErrNoLots", err)
+	}
+	if len(p.Remainder) != 1 {
+		t.Fatal("remainder must still carry the book")
+	}
+}
+
+func TestBuildPortfolioOrdersByEnergy(t *testing.T) {
+	a := flexoffer.MustNew(0, 1, sl(30, 30))
+	b := flexoffer.MustNew(0, 1, sl(90, 90))
+	c := flexoffer.MustNew(0, 1, sl(60, 60))
+	p, err := BuildPortfolio(aggFixture(t, a, b, c), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Tradeable) != 3 {
+		t.Fatalf("tradeable = %d", len(p.Tradeable))
+	}
+	prev := lotEnergy(p.Tradeable[0])
+	for _, ag := range p.Tradeable[1:] {
+		if e := lotEnergy(ag); e > prev {
+			t.Fatal("tradeable lots not sorted by energy")
+		} else {
+			prev = e
+		}
+	}
+}
+
+func TestPortfolioValue(t *testing.T) {
+	// A lot that can move from an expensive hour to a cheap one has
+	// positive flexibility value.
+	f := flexoffer.MustNew(0, 2, sl(10, 10))
+	p, err := BuildPortfolio(aggFixture(t, f), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prices := PriceCurve{9, 9, 1}
+	lots, total, err := p.Value(prices, core.ProductMeasure{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lots) != 1 {
+		t.Fatalf("lots = %d", len(lots))
+	}
+	if lots[0].Valuation.Value() != 80 { // 10 units × (9−1)
+		t.Errorf("lot value = %g, want 80", lots[0].Valuation.Value())
+	}
+	if total != 80 {
+		t.Errorf("total = %g, want 80", total)
+	}
+	if lots[0].Energy != 10 {
+		t.Errorf("lot energy = %d, want 10", lots[0].Energy)
+	}
+}
+
+func TestPortfolioValueErrors(t *testing.T) {
+	f := flexoffer.MustNew(0, 1, sl(10, 10))
+	p, err := BuildPortfolio(aggFixture(t, f), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := p.Value(PriceCurve{}, core.ProductMeasure{}); !errors.Is(err, ErrEmptyPrices) {
+		t.Errorf("empty curve = %v", err)
+	}
+	if _, _, err := p.Value(PriceCurve{1, 2}, nil); err == nil {
+		t.Error("nil measure must fail")
+	}
+	if _, _, err := p.Value(PriceCurve{1}, core.ProductMeasure{}); !errors.Is(err, ErrShortPrices) {
+		t.Errorf("short curve = %v", err)
+	}
+}
+
+func TestDeliverCheapestDispatchesProsumers(t *testing.T) {
+	// Full Scenario 2 loop on a synthetic neighbourhood: aggregate,
+	// build the book, deliver and dispatch.
+	rng := rand.New(rand.NewSource(8))
+	offers := make([]*flexoffer.FlexOffer, 0, 120)
+	for i := 0; i < 120; i++ {
+		es := rng.Intn(20)
+		n := 1 + rng.Intn(3)
+		slices := make([]flexoffer.Slice, n)
+		for j := range slices {
+			lo := int64(rng.Intn(4))
+			slices[j] = flexoffer.Slice{Min: lo, Max: lo + int64(rng.Intn(5))}
+		}
+		offers = append(offers, flexoffer.MustNew(es, es+rng.Intn(4), slices...))
+	}
+	ags, err := aggregate.AggregateAllSafe(offers, aggregate.GroupParams{
+		ESTTolerance: 3, TFTolerance: 4, MaxGroupSize: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildPortfolio(ags, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prices := make(PriceCurve, 48)
+	for i := range prices {
+		prices[i] = 10 + float64(rng.Intn(40))
+	}
+	dispatch, err := p.DeliverCheapest(prices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dispatch) != len(p.Tradeable) {
+		t.Fatalf("dispatched %d lots of %d", len(dispatch), len(p.Tradeable))
+	}
+	for i, parts := range dispatch {
+		ag := p.Tradeable[i]
+		if len(parts) != len(ag.Constituents) {
+			t.Fatalf("lot %d: %d assignments for %d prosumers", i, len(parts), len(ag.Constituents))
+		}
+		for j, a := range parts {
+			if err := ag.Constituents[j].ValidateAssignment(a); err != nil {
+				t.Fatalf("lot %d prosumer %d: %v", i, j, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,216 @@
+// Package render draws flex-offers, assignments and flexibility areas as
+// ASCII diagrams, regenerating the paper's Figures 1–7 in the terminal.
+//
+// Conventions, matching the paper's figures:
+//
+//	█  mandatory energy (below every assignment: the slice minimum, or
+//	   the fixed value when amin = amax)
+//	░  flexible energy range (between amin and amax)
+//	▒  cells of the joint flexibility area (Definitions 9–10)
+//	──  the time axis; rows above are positive energy, rows below negative
+//
+// The profile is drawn anchored at the earliest start time, and the
+// start-time flexibility interval is indicated under the axis.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/grid"
+)
+
+// FlexOffer draws the offer's profile (anchored at the earliest start)
+// with its energy ranges, plus a legend line with the start window and
+// totals, in the style of the paper's Figure 1.
+func FlexOffer(f *flexoffer.FlexOffer) string {
+	if err := f.Validate(); err != nil {
+		return fmt.Sprintf("invalid flex-offer: %v", err)
+	}
+	lo, hi := profileBounds(f)
+	var b strings.Builder
+	cols := columnRange{from: f.EarliestStart, to: f.EarliestEnd()}
+	drawRows(&b, lo, hi, cols, func(t int, e int64) rune {
+		i := t - f.EarliestStart
+		s := f.Slices[i]
+		return cellRune(s, e)
+	})
+	drawAxis(&b, cols)
+	fmt.Fprintf(&b, "start ∈ [%d,%d]  tf=%d  cmin=%d  cmax=%d  kind=%s\n",
+		f.EarliestStart, f.LatestStart, f.TimeFlexibility(), f.TotalMin, f.TotalMax, f.Kind())
+	return b.String()
+}
+
+// Assignment draws a concrete assignment as solid bars, in the style of
+// the bold lines of the paper's Figure 1 and the hatched cells of
+// Figure 4.
+func Assignment(a flexoffer.Assignment) string {
+	s := a.Series()
+	var lo, hi int64
+	for _, v := range s.Values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	var b strings.Builder
+	cols := columnRange{from: s.Start, to: s.End()}
+	drawRows(&b, lo, hi, cols, func(t int, e int64) rune {
+		v := s.At(t)
+		if e >= 0 && e < v {
+			return '█'
+		}
+		if e < 0 && e >= v {
+			return '█'
+		}
+		return ' '
+	})
+	drawAxis(&b, cols)
+	fmt.Fprintf(&b, "start=%d total=%d\n", a.Start, a.TotalEnergy())
+	return b.String()
+}
+
+// Area draws the joint area covered by all assignments of the offer
+// (Definition 10), in the style of the paper's Figures 5–7.
+func Area(f *flexoffer.FlexOffer) string {
+	if err := f.Validate(); err != nil {
+		return fmt.Sprintf("invalid flex-offer: %v", err)
+	}
+	cells := grid.UnionArea(f)
+	var lo, hi int64
+	for c := range cells {
+		if c.E < lo {
+			lo = c.E
+		}
+		if c.E+1 > hi {
+			hi = c.E + 1
+		}
+	}
+	var b strings.Builder
+	cols := columnRange{from: f.EarliestStart, to: f.LatestEnd()}
+	drawRows(&b, lo, hi, cols, func(t int, e int64) rune {
+		if cells.Contains(grid.Cell{T: t, E: e}) {
+			return '▒'
+		}
+		return ' '
+	})
+	drawAxis(&b, cols)
+	fmt.Fprintf(&b, "|⋃area|=%d cells\n", cells.Size())
+	return b.String()
+}
+
+// profileBounds returns the lowest and highest energy coordinate any
+// slice of the offer can reach.
+func profileBounds(f *flexoffer.FlexOffer) (lo, hi int64) {
+	for _, s := range f.Slices {
+		if s.Min < lo {
+			lo = s.Min
+		}
+		if s.Max > hi {
+			hi = s.Max
+		}
+	}
+	return lo, hi
+}
+
+type columnRange struct{ from, to int }
+
+// drawRows renders rows from hi−1 down to lo; cell returns the rune for
+// the grid cell with lower-left corner (t, e).
+func drawRows(b *strings.Builder, lo, hi int64, cols columnRange, cell func(t int, e int64) rune) {
+	if hi < 1 {
+		hi = 1
+	}
+	if lo > 0 {
+		lo = 0
+	}
+	for e := hi - 1; e >= lo; e-- {
+		fmt.Fprintf(b, "%4d │", e+boundAdjust(e))
+		for t := cols.from; t < cols.to; t++ {
+			r := cell(t, e)
+			b.WriteRune(r)
+			b.WriteRune(r)
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// boundAdjust labels positive rows by their upper bound and negative
+// rows by their lower bound, so the labels read like the paper's axes.
+func boundAdjust(e int64) int64 {
+	if e >= 0 {
+		return 1
+	}
+	return 0
+}
+
+func drawAxis(b *strings.Builder, cols columnRange) {
+	b.WriteString("     └")
+	for t := cols.from; t < cols.to; t++ {
+		b.WriteString("──")
+	}
+	b.WriteString("→ t\n      ")
+	for t := cols.from; t < cols.to; t++ {
+		fmt.Fprintf(b, "%-2d", t%100)
+	}
+	b.WriteByte('\n')
+}
+
+func cellRune(s flexoffer.Slice, e int64) rune {
+	switch {
+	case e >= 0 && e < s.Min: // mandatory consumption
+		return '█'
+	case e >= 0 && e < s.Max: // flexible consumption
+		return '░'
+	case e < 0 && e >= s.Max: // mandatory production
+		return '█'
+	case e < 0 && e >= s.Min: // flexible production
+		return '░'
+	default:
+		return ' '
+	}
+}
+
+// Table renders a simple aligned text table: header row, separator, then
+// rows. Used by the experiment reports and cmd/flexbench.
+func Table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = runeLen(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && runeLen(c) > widths[i] {
+				widths[i] = runeLen(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-runeLen(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("─", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func runeLen(s string) int { return len([]rune(s)) }

@@ -1,0 +1,96 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+// sl is shorthand for a slice literal in test fixtures.
+func sl(min, max int64) flexoffer.Slice { return flexoffer.Slice{Min: min, Max: max} }
+
+func TestFlexOfferFigure1(t *testing.T) {
+	f := flexoffer.MustNew(1, 6, sl(1, 3), sl(2, 4), sl(0, 5), sl(0, 3))
+	out := FlexOffer(f)
+	if !strings.Contains(out, "start ∈ [1,6]") || !strings.Contains(out, "tf=5") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "█") || !strings.Contains(out, "░") {
+		t.Errorf("mandatory/flexible bands missing:\n%s", out)
+	}
+	if !strings.Contains(out, "cmin=3") || !strings.Contains(out, "cmax=15") {
+		t.Errorf("totals missing:\n%s", out)
+	}
+}
+
+func TestFlexOfferInvalid(t *testing.T) {
+	bad := &flexoffer.FlexOffer{EarliestStart: 2, LatestStart: 1, Slices: []flexoffer.Slice{{Min: 0, Max: 1}}}
+	if out := FlexOffer(bad); !strings.Contains(out, "invalid") {
+		t.Errorf("invalid offer not reported: %q", out)
+	}
+}
+
+func TestAssignmentRendersBars(t *testing.T) {
+	// The paper's Example 7 assignment ⟨2,1,3⟩ at t=1.
+	out := Assignment(flexoffer.NewAssignment(1, 2, 1, 3))
+	if !strings.Contains(out, "█") {
+		t.Errorf("bars missing:\n%s", out)
+	}
+	if !strings.Contains(out, "start=1 total=6") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestAssignmentNegativeValues(t *testing.T) {
+	out := Assignment(flexoffer.NewAssignment(0, -2, 1))
+	lines := strings.Split(out, "\n")
+	if len(lines) < 4 {
+		t.Fatalf("too few lines:\n%s", out)
+	}
+	if !strings.Contains(out, "█") {
+		t.Errorf("production bars missing:\n%s", out)
+	}
+}
+
+func TestAreaFigure5(t *testing.T) {
+	// f4 = ([0,4],⟨[2,2]⟩) jointly covers 10 cells.
+	f4 := flexoffer.MustNew(0, 4, sl(2, 2))
+	out := Area(f4)
+	if !strings.Contains(out, "|⋃area|=10 cells") {
+		t.Errorf("area size missing or wrong:\n%s", out)
+	}
+	if strings.Count(out, "▒")/2 != 10 {
+		t.Errorf("hatched cell count = %d, want 10:\n%s", strings.Count(out, "▒")/2, out)
+	}
+}
+
+func TestAreaMixedFigure7(t *testing.T) {
+	f6 := flexoffer.MustNew(0, 2, sl(-1, 2), sl(-4, -1), sl(-3, 1))
+	out := Area(f6)
+	if !strings.Contains(out, "|⋃area|=24 cells") {
+		t.Errorf("f6 area wrong:\n%s", out)
+	}
+}
+
+func TestAreaInvalid(t *testing.T) {
+	bad := &flexoffer.FlexOffer{}
+	if out := Area(bad); !strings.Contains(out, "invalid") {
+		t.Errorf("invalid offer not reported: %q", out)
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"name", "v"}, [][]string{{"a", "1"}, {"long-name", "22"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "name") || !strings.Contains(lines[1], "─") {
+		t.Errorf("header or separator wrong:\n%s", out)
+	}
+	// All rows align to the same width for the first column.
+	if len(lines[2]) == 0 || len(lines[3]) == 0 {
+		t.Errorf("rows missing:\n%s", out)
+	}
+}

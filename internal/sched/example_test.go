@@ -1,0 +1,60 @@
+package sched_test
+
+import (
+	"fmt"
+	"log"
+
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/sched"
+	"flexmeasures/internal/timeseries"
+)
+
+// Example schedules a time-flexible offer onto a production bump — the
+// paper's use case of letting demand follow wind.
+func Example() {
+	ev := flexoffer.MustNew(0, 4, flexoffer.Slice{Min: 2, Max: 2})
+	wind := timeseries.New(3, 2) // production available at t=3
+	res, err := sched.Schedule([]*flexoffer.FlexOffer{ev}, wind, sched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("start:", res.Assignments[0].Start)
+	fmt.Println("imbalance:", res.Imbalance(wind))
+	// Output:
+	// start: 3
+	// imbalance: 0
+}
+
+// ExampleImprove repairs a greedy misplacement by local search.
+func ExampleImprove() {
+	flexible := flexoffer.MustNew(0, 4, flexoffer.Slice{Min: 2, Max: 2})
+	rigid := flexoffer.MustNew(1, 1, flexoffer.Slice{Min: 2, Max: 2})
+	offers := []*flexoffer.FlexOffer{flexible, rigid}
+	target := timeseries.New(1, 2, 0, 2)
+	base, err := sched.Schedule(offers, target, sched.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	improved, err := sched.Improve(offers, target, base, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(base.Imbalance(target), "→", improved.Imbalance(target))
+	// Output: 4 → 0
+}
+
+// ExampleOptions_peakCap spreads five identical loads under a feeder
+// cap (DSO congestion management).
+func ExampleOptions_peakCap() {
+	var offers []*flexoffer.FlexOffer
+	for i := 0; i < 5; i++ {
+		offers = append(offers, flexoffer.MustNew(0, 4, flexoffer.Slice{Min: 2, Max: 2}))
+	}
+	target := timeseries.New(0, 10) // everyone wants t=0
+	capped, err := sched.Schedule(offers, target, sched.Options{PeakCap: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("peak:", capped.PeakLoad())
+	// Output: peak: 4
+}

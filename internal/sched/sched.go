@@ -1,0 +1,277 @@
+// Package sched implements flex-offer scheduling, the substrate of the
+// paper's Scenario 1 (Section 1): assigning a start time and exact energy
+// amounts to every flex-offer so the resulting load follows a target
+// profile (e.g. forecast wind production). The flex-offer scheduling
+// problem is NP-hard in general (the paper's references [12][13] relate
+// it to unit commitment), so this package provides greedy heuristics,
+// which is also what the TotalFlex pipeline used in practice.
+//
+// The scheduler is the *consumer* of flexibility: more flexible offers
+// (under any of the paper's measures) give the greedy placement more
+// room, which the imbalance metric makes visible — experiment X2
+// regenerates that relationship.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"flexmeasures/internal/core"
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/timeseries"
+)
+
+// Sentinel errors.
+var (
+	ErrNoOffers  = errors.New("sched: no offers to schedule")
+	ErrNeedsRand = errors.New("sched: OrderRandom requires a rand source")
+)
+
+// Order selects the order in which the greedy scheduler places offers.
+type Order int
+
+const (
+	// OrderArrival schedules offers in input order.
+	OrderArrival Order = iota
+	// OrderLeastFlexibleFirst places the most constrained offers first,
+	// leaving flexible offers to fill the remaining valleys — the
+	// classic bin-packing style heuristic.
+	OrderLeastFlexibleFirst
+	// OrderMostFlexibleFirst places the most flexible offers first.
+	OrderMostFlexibleFirst
+	// OrderRandom shuffles the offers; the baseline for X2.
+	OrderRandom
+)
+
+// String names the order for reports.
+func (o Order) String() string {
+	switch o {
+	case OrderArrival:
+		return "arrival"
+	case OrderLeastFlexibleFirst:
+		return "least-flexible-first"
+	case OrderMostFlexibleFirst:
+		return "most-flexible-first"
+	case OrderRandom:
+		return "random"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Options configures Schedule.
+type Options struct {
+	// Order selects the placement order (default OrderArrival).
+	Order Order
+	// Measure ranks offers for the flexibility-aware orders; required
+	// for OrderLeastFlexibleFirst and OrderMostFlexibleFirst. The
+	// paper's measures plug in directly.
+	Measure core.Measure
+	// Rand supplies randomness for OrderRandom.
+	Rand *rand.Rand
+	// PeakCap, when positive, makes the scheduler treat |load| above
+	// the cap as prohibitively expensive — the congestion-management
+	// use the paper attributes to DSOs ("congestion problems of
+	// Distributed System Operators can be handled without costly
+	// upgrades of physical grid infrastructures"). The cap is soft:
+	// when the fleet's mandatory energy cannot fit under it, the
+	// schedule is still produced, with the overage minimised.
+	PeakCap int64
+}
+
+// Result is a complete schedule: one assignment per offer (by input
+// index) and the resulting total load series.
+type Result struct {
+	// Assignments holds one valid assignment per input offer.
+	Assignments []flexoffer.Assignment
+	// Load is the slot-wise sum of all assignments.
+	Load timeseries.Series
+}
+
+// Imbalance returns the L1 distance between the schedule's load and the
+// target over the union of their domains: the energy that must be
+// balanced by other means (the quantity BRPs pay penalties for,
+// Scenario 2).
+func (r *Result) Imbalance(target timeseries.Series) float64 {
+	return timeseries.Sub(r.Load, target).NormL1()
+}
+
+// PeakLoad returns the maximum absolute load of the schedule.
+func (r *Result) PeakLoad() int64 {
+	var peak int64
+	for _, v := range r.Load.Values {
+		if v > peak {
+			peak = v
+		}
+		if -v > peak {
+			peak = -v
+		}
+	}
+	return peak
+}
+
+// Schedule greedily assigns every offer a start time and energy values
+// so the total load tracks the target series. For each offer (in the
+// configured order) every feasible start time is tried; the values are
+// chosen slot-wise to close the gap to the target, the total is repaired
+// into [cmin, cmax], and the start with the smallest resulting imbalance
+// contribution wins. The returned assignments are always valid for their
+// offers.
+func Schedule(offers []*flexoffer.FlexOffer, target timeseries.Series, opts Options) (*Result, error) {
+	if len(offers) == 0 {
+		return nil, ErrNoOffers
+	}
+	order, err := placementOrder(offers, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Assignments: make([]flexoffer.Assignment, len(offers))}
+	load := timeseries.Series{}
+	for _, idx := range order {
+		f := offers[idx]
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("sched: offer %d: %w", idx, err)
+		}
+		best, err := placeOneCapped(f, load, target, opts.PeakCap)
+		if err != nil {
+			return nil, fmt.Errorf("sched: offer %d: %w", idx, err)
+		}
+		res.Assignments[idx] = best
+		load = timeseries.Add(load, best.Series())
+	}
+	res.Load = load
+	return res, nil
+}
+
+// placementOrder resolves Options into a permutation of offer indices.
+func placementOrder(offers []*flexoffer.FlexOffer, opts Options) ([]int, error) {
+	order := make([]int, len(offers))
+	for i := range order {
+		order[i] = i
+	}
+	switch opts.Order {
+	case OrderArrival:
+		return order, nil
+	case OrderRandom:
+		if opts.Rand == nil {
+			return nil, ErrNeedsRand
+		}
+		opts.Rand.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		return order, nil
+	case OrderLeastFlexibleFirst, OrderMostFlexibleFirst:
+		m := opts.Measure
+		if m == nil {
+			m = core.VectorMeasure{}
+		}
+		keys := make([]float64, len(offers))
+		for i, f := range offers {
+			v, err := m.Value(f)
+			if err != nil {
+				return nil, fmt.Errorf("sched: ranking offer %d with %s: %w", i, m.Name(), err)
+			}
+			keys[i] = v
+		}
+		asc := opts.Order == OrderLeastFlexibleFirst
+		sort.SliceStable(order, func(a, b int) bool {
+			if asc {
+				return keys[order[a]] < keys[order[b]]
+			}
+			return keys[order[a]] > keys[order[b]]
+		})
+		return order, nil
+	default:
+		return nil, fmt.Errorf("sched: unknown order %d", int(opts.Order))
+	}
+}
+
+// placeOne finds the best assignment of f given the current load.
+func placeOne(f *flexoffer.FlexOffer, load, target timeseries.Series) (flexoffer.Assignment, error) {
+	return placeOneCapped(f, load, target, 0)
+}
+
+// placeOneCapped is placeOne with a soft peak cap: every unit of |load|
+// above the cap costs vastly more than any imbalance, so capped
+// placements are preferred whenever one exists.
+func placeOneCapped(f *flexoffer.FlexOffer, load, target timeseries.Series, cap int64) (flexoffer.Assignment, error) {
+	var best flexoffer.Assignment
+	bestCost := 0.0
+	found := false
+	for start := f.EarliestStart; start <= f.LatestStart; start++ {
+		a, err := fitValues(f, start, load, target)
+		if err != nil {
+			continue
+		}
+		after := timeseries.Add(load, a.Series())
+		cost := timeseries.Sub(after, target).NormL1()
+		if cap > 0 {
+			cost += 1e9 * float64(overage(after, cap))
+		}
+		if !found || cost < bestCost {
+			best, bestCost, found = a, cost, true
+		}
+	}
+	if !found {
+		return flexoffer.Assignment{}, flexoffer.ErrInfeasibleTotal
+	}
+	return best, nil
+}
+
+// overage sums |load| above the cap across all slots.
+func overage(load timeseries.Series, cap int64) int64 {
+	var over int64
+	for _, v := range load.Values {
+		if v < 0 {
+			v = -v
+		}
+		if v > cap {
+			over += v - cap
+		}
+	}
+	return over
+}
+
+// fitValues chooses slice values at the given start that close the gap
+// to the target, then repairs the total into [cmin, cmax] by moving the
+// value set as little as possible.
+func fitValues(f *flexoffer.FlexOffer, start int, load, target timeseries.Series) (flexoffer.Assignment, error) {
+	a := flexoffer.Assignment{Start: start, Values: make([]int64, f.NumSlices())}
+	for i, s := range f.Slices {
+		t := start + i
+		want := target.At(t) - load.At(t)
+		v := want
+		if v < s.Min {
+			v = s.Min
+		}
+		if v > s.Max {
+			v = s.Max
+		}
+		a.Values[i] = v
+	}
+	total := a.TotalEnergy()
+	// Repair the total: raise the cheapest slots (largest remaining
+	// headroom first would also work; slot order keeps it deterministic).
+	for i := 0; total < f.TotalMin && i < len(a.Values); i++ {
+		room := f.Slices[i].Max - a.Values[i]
+		need := f.TotalMin - total
+		if room > need {
+			room = need
+		}
+		a.Values[i] += room
+		total += room
+	}
+	for i := 0; total > f.TotalMax && i < len(a.Values); i++ {
+		spare := a.Values[i] - f.Slices[i].Min
+		excess := total - f.TotalMax
+		if spare > excess {
+			spare = excess
+		}
+		a.Values[i] -= spare
+		total -= spare
+	}
+	if err := f.ValidateAssignment(a); err != nil {
+		return flexoffer.Assignment{}, err
+	}
+	return a, nil
+}

@@ -1,0 +1,240 @@
+package sched
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"flexmeasures/internal/core"
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/timeseries"
+)
+
+// sl is shorthand for a slice literal in test fixtures.
+func sl(min, max int64) flexoffer.Slice { return flexoffer.Slice{Min: min, Max: max} }
+
+func TestScheduleNoOffers(t *testing.T) {
+	if _, err := Schedule(nil, timeseries.Series{}, Options{}); !errors.Is(err, ErrNoOffers) {
+		t.Fatalf("got %v, want ErrNoOffers", err)
+	}
+}
+
+func TestScheduleSingleOfferTracksTarget(t *testing.T) {
+	// Target has a bump at t=3; the offer should move there.
+	f := flexoffer.MustNew(0, 4, sl(2, 2))
+	target := timeseries.New(3, 2)
+	res, err := Schedule([]*flexoffer.FlexOffer{f}, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Assignments[0]
+	if a.Start != 3 {
+		t.Errorf("start = %d, want 3 (target bump)", a.Start)
+	}
+	if res.Imbalance(target) != 0 {
+		t.Errorf("imbalance = %g, want 0", res.Imbalance(target))
+	}
+}
+
+func TestScheduleChoosesValuesWithinRanges(t *testing.T) {
+	f := flexoffer.MustNew(0, 0, sl(0, 5), sl(0, 5))
+	target := timeseries.New(0, 3, 1)
+	res, err := Schedule([]*flexoffer.FlexOffer{f}, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Assignments[0]
+	if a.Values[0] != 3 || a.Values[1] != 1 {
+		t.Errorf("values = %v, want [3 1]", a.Values)
+	}
+}
+
+func TestScheduleRespectsTotalConstraints(t *testing.T) {
+	// Target asks for nothing, but cmin forces 4 units somewhere.
+	f, err := flexoffer.NewWithTotals(0, 0, []flexoffer.Slice{{Min: 0, Max: 5}, {Min: 0, Max: 5}}, 4, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Schedule([]*flexoffer.FlexOffer{f}, timeseries.Series{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.Assignments[0]
+	if errv := f.ValidateAssignment(a); errv != nil {
+		t.Fatalf("assignment invalid: %v", errv)
+	}
+	if a.TotalEnergy() != 4 {
+		t.Errorf("total = %d, want the minimum 4", a.TotalEnergy())
+	}
+}
+
+func TestScheduleAllAssignmentsValid(t *testing.T) {
+	offers := []*flexoffer.FlexOffer{
+		flexoffer.MustNew(0, 4, sl(1, 3), sl(0, 2)),
+		flexoffer.MustNew(2, 6, sl(2, 5)),
+		flexoffer.MustNew(0, 8, sl(0, 1), sl(0, 1), sl(0, 1)),
+	}
+	target := timeseries.New(0, 2, 2, 2, 2, 2, 2, 2, 2, 2)
+	res, err := Schedule(offers, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum timeseries.Series
+	for i, a := range res.Assignments {
+		if err := offers[i].ValidateAssignment(a); err != nil {
+			t.Errorf("offer %d: %v", i, err)
+		}
+		sum = timeseries.Add(sum, a.Series())
+	}
+	if !sum.EquivalentZeroPadded(res.Load) {
+		t.Error("Load must equal the sum of the assignments")
+	}
+}
+
+func TestScheduleOrderStrategies(t *testing.T) {
+	offers := []*flexoffer.FlexOffer{
+		flexoffer.MustNew(0, 0, sl(3, 3)), // inflexible
+		flexoffer.MustNew(0, 6, sl(0, 3)), // very flexible
+		flexoffer.MustNew(0, 2, sl(1, 2)),
+	}
+	target := timeseries.New(0, 3, 2, 1, 0, 0, 0, 0)
+	for _, ord := range []Order{OrderArrival, OrderLeastFlexibleFirst, OrderMostFlexibleFirst} {
+		res, err := Schedule(offers, target, Options{Order: ord, Measure: core.VectorMeasure{}})
+		if err != nil {
+			t.Errorf("%v: %v", ord, err)
+			continue
+		}
+		for i, a := range res.Assignments {
+			if err := offers[i].ValidateAssignment(a); err != nil {
+				t.Errorf("%v: offer %d invalid: %v", ord, i, err)
+			}
+		}
+	}
+}
+
+func TestScheduleRandomOrder(t *testing.T) {
+	offers := []*flexoffer.FlexOffer{
+		flexoffer.MustNew(0, 2, sl(1, 2)),
+		flexoffer.MustNew(0, 2, sl(1, 2)),
+	}
+	if _, err := Schedule(offers, timeseries.Series{}, Options{Order: OrderRandom}); !errors.Is(err, ErrNeedsRand) {
+		t.Fatalf("got %v, want ErrNeedsRand", err)
+	}
+	res, err := Schedule(offers, timeseries.Series{}, Options{Order: OrderRandom, Rand: rand.New(rand.NewSource(1))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Assignments) != 2 {
+		t.Fatal("both offers must be scheduled")
+	}
+}
+
+func TestScheduleUnknownOrder(t *testing.T) {
+	offers := []*flexoffer.FlexOffer{flexoffer.MustNew(0, 0, sl(1, 1))}
+	if _, err := Schedule(offers, timeseries.Series{}, Options{Order: Order(99)}); err == nil {
+		t.Fatal("unknown order must error")
+	}
+}
+
+func TestScheduleRejectsInvalidOffer(t *testing.T) {
+	bad := &flexoffer.FlexOffer{EarliestStart: 3, LatestStart: 1, Slices: []flexoffer.Slice{{Min: 0, Max: 1}}}
+	if _, err := Schedule([]*flexoffer.FlexOffer{bad}, timeseries.Series{}, Options{}); err == nil {
+		t.Fatal("invalid offer must be rejected")
+	}
+}
+
+func TestOrderStrings(t *testing.T) {
+	names := map[Order]string{
+		OrderArrival:            "arrival",
+		OrderLeastFlexibleFirst: "least-flexible-first",
+		OrderMostFlexibleFirst:  "most-flexible-first",
+		OrderRandom:             "random",
+	}
+	for o, want := range names {
+		if o.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(o), o.String(), want)
+		}
+	}
+}
+
+func TestFlexibilityReducesImbalance(t *testing.T) {
+	// The same demand with and without time flexibility: the flexible
+	// fleet must track the bumpy target at least as well. This is the
+	// core Scenario 1 claim the measures exist to quantify.
+	target := timeseries.New(0, 0, 6, 0, 0, 6, 0, 0, 6, 0)
+	inflexible := []*flexoffer.FlexOffer{
+		flexoffer.MustNew(0, 0, sl(2, 2)),
+		flexoffer.MustNew(0, 0, sl(2, 2)),
+		flexoffer.MustNew(0, 0, sl(2, 2)),
+	}
+	flexible := []*flexoffer.FlexOffer{
+		flexoffer.MustNew(0, 8, sl(2, 2)),
+		flexoffer.MustNew(0, 8, sl(2, 2)),
+		flexoffer.MustNew(0, 8, sl(2, 2)),
+	}
+	ri, err := Schedule(inflexible, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := Schedule(flexible, target, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.Imbalance(target) > ri.Imbalance(target) {
+		t.Errorf("flexible imbalance %g > inflexible %g",
+			rf.Imbalance(target), ri.Imbalance(target))
+	}
+}
+
+func TestPeakLoad(t *testing.T) {
+	r := &Result{Load: timeseries.New(0, 1, -5, 3)}
+	if r.PeakLoad() != 5 {
+		t.Errorf("PeakLoad = %d, want 5", r.PeakLoad())
+	}
+}
+
+func randomOfferForSched(r *rand.Rand) *flexoffer.FlexOffer {
+	n := 1 + r.Intn(3)
+	slices := make([]flexoffer.Slice, n)
+	for i := range slices {
+		lo := int64(r.Intn(5) - 1)
+		slices[i] = flexoffer.Slice{Min: lo, Max: lo + int64(r.Intn(3))}
+	}
+	es := r.Intn(5)
+	f := flexoffer.MustNew(es, es+r.Intn(5), slices...)
+	if r.Intn(2) == 0 && f.SumMax() > f.SumMin() {
+		span := f.SumMax() - f.SumMin()
+		lo := f.SumMin() + r.Int63n(span+1)
+		f.TotalMin = lo
+		f.TotalMax = lo + r.Int63n(f.SumMax()-lo+1)
+	}
+	return f
+}
+
+func TestPropertyScheduleAlwaysValid(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		offers := make([]*flexoffer.FlexOffer, 1+r.Intn(5))
+		for i := range offers {
+			offers[i] = randomOfferForSched(r)
+		}
+		targetVals := make([]int64, 12)
+		for i := range targetVals {
+			targetVals[i] = int64(r.Intn(7) - 1)
+		}
+		res, err := Schedule(offers, timeseries.New(0, targetVals...), Options{})
+		if err != nil {
+			return false
+		}
+		for i, a := range res.Assignments {
+			if offers[i].ValidateAssignment(a) != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Package stats provides the small statistics toolkit the experiments
+// need: central moments, percentiles, and Pearson/Spearman correlation
+// for comparing how the paper's flexibility measures rank the same
+// population of flex-offers (experiment X4).
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sentinel errors.
+var (
+	ErrEmpty    = errors.New("stats: empty sample")
+	ErrLenMatch = errors.New("stats: samples must have equal non-zero length")
+	ErrConstant = errors.New("stats: correlation undefined for a constant sample")
+)
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// Variance returns the population variance.
+func Variance(xs []float64) (float64, error) {
+	m, err := Mean(xs)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs)), nil
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) (float64, error) {
+	v, err := Variance(xs)
+	if err != nil {
+		return 0, err
+	}
+	return math.Sqrt(v), nil
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between order statistics.
+func Percentile(xs []float64, p float64) (float64, error) {
+	if len(xs) == 0 {
+		return 0, ErrEmpty
+	}
+	if p < 0 || p > 100 {
+		return 0, fmt.Errorf("stats: percentile %g outside [0,100]", p)
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0], nil
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo], nil
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac, nil
+}
+
+// Pearson returns the Pearson correlation coefficient of two equal-length
+// samples. It returns ErrConstant when either sample has zero variance.
+func Pearson(xs, ys []float64) (float64, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, ErrLenMatch
+	}
+	mx, _ := Mean(xs)
+	my, _ := Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0, ErrConstant
+	}
+	return sxy / math.Sqrt(sxx*syy), nil
+}
+
+// Ranks returns the 1-based ranks of the sample, with ties receiving the
+// average of the ranks they span (the convention Spearman's ρ requires).
+func Ranks(xs []float64) []float64 {
+	n := len(xs)
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	ranks := make([]float64, n)
+	for i := 0; i < n; {
+		j := i
+		for j+1 < n && xs[idx[j+1]] == xs[idx[i]] {
+			j++
+		}
+		avg := (float64(i+1) + float64(j+1)) / 2
+		for k := i; k <= j; k++ {
+			ranks[idx[k]] = avg
+		}
+		i = j + 1
+	}
+	return ranks
+}
+
+// Spearman returns Spearman's rank correlation coefficient: the Pearson
+// correlation of the tie-averaged ranks. It is the right tool for
+// comparing how two flexibility measures *order* a set of flex-offers,
+// independent of their incomparable scales.
+func Spearman(xs, ys []float64) (float64, error) {
+	if len(xs) == 0 || len(xs) != len(ys) {
+		return 0, ErrLenMatch
+	}
+	return Pearson(Ranks(xs), Ranks(ys))
+}

@@ -1,0 +1,172 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	m, err := Mean(xs)
+	if err != nil || !almost(m, 5) {
+		t.Errorf("Mean = %g, %v; want 5", m, err)
+	}
+	v, err := Variance(xs)
+	if err != nil || !almost(v, 4) {
+		t.Errorf("Variance = %g, %v; want 4", v, err)
+	}
+	s, err := StdDev(xs)
+	if err != nil || !almost(s, 2) {
+		t.Errorf("StdDev = %g, %v; want 2", s, err)
+	}
+}
+
+func TestEmptySampleErrors(t *testing.T) {
+	if _, err := Mean(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Mean(nil) should be ErrEmpty")
+	}
+	if _, err := Variance(nil); !errors.Is(err, ErrEmpty) {
+		t.Error("Variance(nil) should be ErrEmpty")
+	}
+	if _, err := Percentile(nil, 50); !errors.Is(err, ErrEmpty) {
+		t.Error("Percentile(nil) should be ErrEmpty")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	cases := []struct {
+		p, want float64
+	}{
+		{0, 1}, {100, 4}, {50, 2.5}, {25, 1.75},
+	}
+	for _, c := range cases {
+		got, err := Percentile(xs, c.p)
+		if err != nil || !almost(got, c.want) {
+			t.Errorf("Percentile(%g) = %g, %v; want %g", c.p, got, err, c.want)
+		}
+	}
+	if _, err := Percentile(xs, 101); err == nil {
+		t.Error("out-of-range percentile must error")
+	}
+	got, err := Percentile([]float64{7}, 50)
+	if err != nil || got != 7 {
+		t.Errorf("singleton percentile = %g, %v", got, err)
+	}
+}
+
+func TestPearsonPerfectCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{2, 4, 6, 8}
+	r, err := Pearson(xs, ys)
+	if err != nil || !almost(r, 1) {
+		t.Errorf("Pearson = %g, %v; want 1", r, err)
+	}
+	neg := []float64{8, 6, 4, 2}
+	r, err = Pearson(xs, neg)
+	if err != nil || !almost(r, -1) {
+		t.Errorf("Pearson = %g, %v; want -1", r, err)
+	}
+}
+
+func TestPearsonErrors(t *testing.T) {
+	if _, err := Pearson([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLenMatch) {
+		t.Error("length mismatch must error")
+	}
+	if _, err := Pearson([]float64{1, 1}, []float64{1, 2}); !errors.Is(err, ErrConstant) {
+		t.Error("constant sample must error")
+	}
+}
+
+func TestRanksWithTies(t *testing.T) {
+	xs := []float64{10, 20, 20, 30}
+	got := Ranks(xs)
+	want := []float64{1, 2.5, 2.5, 4}
+	for i := range want {
+		if !almost(got[i], want[i]) {
+			t.Fatalf("Ranks = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSpearmanMonotoneNonlinear(t *testing.T) {
+	// Spearman sees through monotone nonlinearity; Pearson does not.
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = math.Exp(x)
+	}
+	rho, err := Spearman(xs, ys)
+	if err != nil || !almost(rho, 1) {
+		t.Errorf("Spearman = %g, %v; want 1", rho, err)
+	}
+	r, err := Pearson(xs, ys)
+	if err != nil || r >= 0.999 {
+		t.Errorf("Pearson = %g, %v; want < 1 on nonlinear data", r, err)
+	}
+}
+
+func TestSpearmanLengthMismatch(t *testing.T) {
+	if _, err := Spearman([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLenMatch) {
+		t.Error("length mismatch must error")
+	}
+}
+
+func TestPropertyCorrelationBounds(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		p, err := Pearson(xs, ys)
+		if err != nil {
+			return true
+		}
+		s, err := Spearman(xs, ys)
+		if err != nil {
+			return true
+		}
+		return p >= -1-1e-9 && p <= 1+1e-9 && s >= -1-1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCorrelationInvariantUnderAffineMap(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(20)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			xs[i] = r.NormFloat64()
+			ys[i] = r.NormFloat64()
+		}
+		p1, err := Pearson(xs, ys)
+		if err != nil {
+			return true
+		}
+		scaled := make([]float64, n)
+		for i, x := range xs {
+			scaled[i] = 3*x + 7
+		}
+		p2, err := Pearson(scaled, ys)
+		if err != nil {
+			return true
+		}
+		return math.Abs(p1-p2) < 1e-9
+	}
+	if err := quick.Check(fn, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,50 @@
+package timeseries_test
+
+import (
+	"fmt"
+	"log"
+
+	"flexmeasures/internal/timeseries"
+)
+
+// Example reproduces the paper's Figure 2 difference series: the
+// maximum assignment minus the minimum assignment of f1 = ([0,1],⟨[0,1]⟩).
+func Example() {
+	fmin := timeseries.New(0, 0) // ⟨0⟩ at the earliest start
+	fmax := timeseries.New(1, 1) // ⟨1⟩ at the latest start
+	d := timeseries.Sub(fmax, fmin)
+	fmt.Println(d)
+	fmt.Println(d.NormL1(), d.NormL2())
+	// Output:
+	// {0..1}⟨0,1⟩
+	// 1 1
+}
+
+// ExampleSeries_TemporalLp shows the earth-mover property: one unit of
+// energy displaced by k time units scores k, while plain L1 sees 2
+// regardless of k.
+func ExampleSeries_TemporalLp() {
+	near := timeseries.Sub(timeseries.New(1, 1), timeseries.New(0, 1))
+	far := timeseries.Sub(timeseries.New(10, 1), timeseries.New(0, 1))
+	n, err := near.TemporalLp(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	f, err := far.TemporalLp(1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(near.NormL1(), far.NormL1())
+	fmt.Println(n, f)
+	// Output:
+	// 2 2
+	// 1 10
+}
+
+// ExampleAdd sums two prosumer profiles over the union of their ranges.
+func ExampleAdd() {
+	a := timeseries.New(0, 1, 2)
+	b := timeseries.New(1, 10, 20)
+	fmt.Println(timeseries.Add(a, b))
+	// Output: {0..2}⟨1,12,20⟩
+}

@@ -1,0 +1,258 @@
+// Package timeseries provides the discrete integer time-series substrate
+// used throughout the flex-offer model of Valsomatzis et al. (EDBT/ICDT
+// Workshops 2015).
+//
+// A Series maps a contiguous range of integer time units (the paper's
+// domain N0 for time) to integer energy amounts (the paper's domain Z).
+// Flex-offer assignments, their minimum/maximum instantiations
+// (Definitions 5 and 6) and the differences between them (Definition 7)
+// are all Series values.
+//
+// The package deliberately works on exact integers for values; only norms
+// return float64. Operations never mutate their receivers unless the
+// method name says so (e.g. AddInPlace).
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ErrEmpty is returned by operations that are undefined on an empty series.
+var ErrEmpty = errors.New("timeseries: empty series")
+
+// Series is a time series with integer values over the contiguous time
+// range [Start, Start+len(Values)). The zero value is an empty series
+// ready to use.
+//
+// Time units follow the paper's Section 2: the domain is N0, but we store
+// Start as int so that intermediate arithmetic (e.g. differences of
+// series) never traps; validation of non-negative starts belongs to the
+// flex-offer layer.
+type Series struct {
+	// Start is the time unit of the first value.
+	Start int
+	// Values holds one energy amount per consecutive time unit.
+	Values []int64
+}
+
+// New returns a series starting at start with a defensive copy of values.
+func New(start int, values ...int64) Series {
+	v := make([]int64, len(values))
+	copy(v, values)
+	return Series{Start: start, Values: v}
+}
+
+// Constant returns a series of n copies of value starting at start.
+func Constant(start, n int, value int64) Series {
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = value
+	}
+	return Series{Start: start, Values: v}
+}
+
+// Len reports the number of time units the series spans.
+func (s Series) Len() int { return len(s.Values) }
+
+// IsEmpty reports whether the series has no values.
+func (s Series) IsEmpty() bool { return len(s.Values) == 0 }
+
+// End returns the first time unit after the series, i.e. Start+Len().
+// For an empty series End equals Start.
+func (s Series) End() int { return s.Start + len(s.Values) }
+
+// At returns the value at time t, or 0 when t is outside the series'
+// range. Treating out-of-range points as zero matches the paper's
+// Figure 2/Example 5, where assignments positioned at different start
+// times are subtracted over the union of their domains.
+func (s Series) At(t int) int64 {
+	if t < s.Start || t >= s.End() {
+		return 0
+	}
+	return s.Values[t-s.Start]
+}
+
+// Defined reports whether t lies inside the series' explicit range.
+func (s Series) Defined(t int) bool { return t >= s.Start && t < s.End() }
+
+// Clone returns a deep copy of the series.
+func (s Series) Clone() Series {
+	return New(s.Start, s.Values...)
+}
+
+// Shift returns a copy of the series displaced by delta time units.
+func (s Series) Shift(delta int) Series {
+	out := s.Clone()
+	out.Start += delta
+	return out
+}
+
+// Equal reports whether two series are identical in range and values.
+// Empty series are equal regardless of their Start.
+func (s Series) Equal(o Series) bool {
+	if s.IsEmpty() && o.IsEmpty() {
+		return true
+	}
+	if s.Start != o.Start || len(s.Values) != len(o.Values) {
+		return false
+	}
+	for i, v := range s.Values {
+		if o.Values[i] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// EquivalentZeroPadded reports whether the two series agree at every time
+// unit when out-of-range points are read as zero. Unlike Equal it treats
+// ⟨0,5⟩@1 and ⟨5⟩@2 as the same function over time.
+func (s Series) EquivalentZeroPadded(o Series) bool {
+	lo, hi := unionRange(s, o)
+	for t := lo; t < hi; t++ {
+		if s.At(t) != o.At(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sum returns the sum of all values (the total energy of an assignment).
+func (s Series) Sum() int64 {
+	var total int64
+	for _, v := range s.Values {
+		total += v
+	}
+	return total
+}
+
+// Min returns the smallest value. It returns ErrEmpty on an empty series.
+func (s Series) Min() (int64, error) {
+	if s.IsEmpty() {
+		return 0, ErrEmpty
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m, nil
+}
+
+// Max returns the largest value. It returns ErrEmpty on an empty series.
+func (s Series) Max() (int64, error) {
+	if s.IsEmpty() {
+		return 0, ErrEmpty
+	}
+	m := s.Values[0]
+	for _, v := range s.Values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m, nil
+}
+
+// unionRange returns the smallest [lo, hi) covering both series.
+func unionRange(a, b Series) (lo, hi int) {
+	switch {
+	case a.IsEmpty() && b.IsEmpty():
+		return 0, 0
+	case a.IsEmpty():
+		return b.Start, b.End()
+	case b.IsEmpty():
+		return a.Start, a.End()
+	}
+	lo, hi = a.Start, a.End()
+	if b.Start < lo {
+		lo = b.Start
+	}
+	if b.End() > hi {
+		hi = b.End()
+	}
+	return lo, hi
+}
+
+// Add returns the pointwise sum of the two series over the union of their
+// ranges, reading missing points as zero.
+func Add(a, b Series) Series {
+	return combine(a, b, func(x, y int64) int64 { return x + y })
+}
+
+// Sub returns a−b pointwise over the union of their ranges, reading
+// missing points as zero. This is exactly the paper's Definition 7
+// difference between a maximum and a minimum assignment.
+func Sub(a, b Series) Series {
+	return combine(a, b, func(x, y int64) int64 { return x - y })
+}
+
+func combine(a, b Series, op func(x, y int64) int64) Series {
+	lo, hi := unionRange(a, b)
+	if hi <= lo {
+		return Series{}
+	}
+	out := Series{Start: lo, Values: make([]int64, hi-lo)}
+	for t := lo; t < hi; t++ {
+		out.Values[t-lo] = op(a.At(t), b.At(t))
+	}
+	return out
+}
+
+// Scale returns the series with every value multiplied by k.
+func (s Series) Scale(k int64) Series {
+	out := s.Clone()
+	for i := range out.Values {
+		out.Values[i] *= k
+	}
+	return out
+}
+
+// Negate returns the series with every value negated. Negating a
+// consumption profile yields the equivalent production profile.
+func (s Series) Negate() Series { return s.Scale(-1) }
+
+// CumulativeSum returns the running-sum series: out[i] = sum(s[0..i]).
+// The cumulative domain is where temporal displacement becomes visible to
+// pointwise norms (see TemporalLp in norms.go).
+func (s Series) CumulativeSum() Series {
+	out := s.Clone()
+	var run int64
+	for i, v := range out.Values {
+		run += v
+		out.Values[i] = run
+	}
+	return out
+}
+
+// Window returns the sub-series covering [from, to), reading missing
+// points as zero, so the result always has length to−from.
+func (s Series) Window(from, to int) Series {
+	if to < from {
+		from, to = to, from
+	}
+	out := Series{Start: from, Values: make([]int64, to-from)}
+	for t := from; t < to; t++ {
+		out.Values[t-from] = s.At(t)
+	}
+	return out
+}
+
+// String renders the series in the paper's notation, e.g. "{2..5}⟨2,3,1,2⟩".
+func (s Series) String() string {
+	if s.IsEmpty() {
+		return "{}⟨⟩"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "{%d..%d}⟨", s.Start, s.End()-1)
+	for i, v := range s.Values {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", v)
+	}
+	b.WriteString("⟩")
+	return b.String()
+}

@@ -1,0 +1,389 @@
+package timeseries
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCopiesInput(t *testing.T) {
+	in := []int64{1, 2, 3}
+	s := New(0, in...)
+	in[0] = 99
+	if s.Values[0] != 1 {
+		t.Fatalf("New must copy its input; got %v", s.Values)
+	}
+}
+
+func TestConstant(t *testing.T) {
+	s := Constant(3, 4, 7)
+	if s.Start != 3 || s.Len() != 4 {
+		t.Fatalf("Constant range wrong: %v", s)
+	}
+	for _, v := range s.Values {
+		if v != 7 {
+			t.Fatalf("Constant value wrong: %v", s)
+		}
+	}
+}
+
+func TestAtOutsideRangeIsZero(t *testing.T) {
+	s := New(2, 5, 6)
+	cases := []struct {
+		t    int
+		want int64
+	}{
+		{1, 0}, {2, 5}, {3, 6}, {4, 0}, {-10, 0},
+	}
+	for _, c := range cases {
+		if got := s.At(c.t); got != c.want {
+			t.Errorf("At(%d) = %d, want %d", c.t, got, c.want)
+		}
+	}
+}
+
+func TestDefined(t *testing.T) {
+	s := New(2, 5, 6)
+	if s.Defined(1) || !s.Defined(2) || !s.Defined(3) || s.Defined(4) {
+		t.Fatal("Defined boundaries wrong")
+	}
+}
+
+func TestEndEmptySeries(t *testing.T) {
+	var s Series
+	if s.End() != 0 || !s.IsEmpty() || s.Len() != 0 {
+		t.Fatal("zero Series should be empty with End()==Start")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(1, 2, 3)
+	c := New(0, 2, 3)
+	d := New(1, 2, 4)
+	if !a.Equal(b) {
+		t.Error("identical series must be Equal")
+	}
+	if a.Equal(c) {
+		t.Error("different Start must not be Equal")
+	}
+	if a.Equal(d) {
+		t.Error("different Values must not be Equal")
+	}
+	if !(Series{}).Equal(Series{Start: 9}) {
+		t.Error("empty series are Equal regardless of Start")
+	}
+}
+
+func TestEquivalentZeroPadded(t *testing.T) {
+	a := New(1, 0, 5)
+	b := New(2, 5)
+	if !a.EquivalentZeroPadded(b) {
+		t.Error("⟨0,5⟩@1 and ⟨5⟩@2 are the same function of time")
+	}
+	if a.Equal(b) {
+		t.Error("Equal must still distinguish explicit ranges")
+	}
+	c := New(2, 6)
+	if a.EquivalentZeroPadded(c) {
+		t.Error("different values must not be equivalent")
+	}
+}
+
+func TestAddSubUnionDomain(t *testing.T) {
+	a := New(0, 1, 2)   // covers 0,1
+	b := New(1, 10, 20) // covers 1,2
+	sum := Add(a, b)    // covers 0,1,2
+	if sum.Start != 0 || sum.Len() != 3 {
+		t.Fatalf("Add union range wrong: %v", sum)
+	}
+	want := []int64{1, 12, 20}
+	for i, w := range want {
+		if sum.Values[i] != w {
+			t.Fatalf("Add = %v, want %v", sum.Values, want)
+		}
+	}
+	diff := Sub(a, b)
+	wantD := []int64{1, -8, -20}
+	for i, w := range wantD {
+		if diff.Values[i] != w {
+			t.Fatalf("Sub = %v, want %v", diff.Values, wantD)
+		}
+	}
+}
+
+func TestSubPaperExample5(t *testing.T) {
+	// Figure 2 / Example 5: f1 = ([0,1],⟨[0,1]⟩).
+	// fmin = ⟨0⟩ at t=0, fmax = ⟨1⟩ at t=1, difference = ⟨0,1⟩ over 0..1.
+	fmin := New(0, 0)
+	fmax := New(1, 1)
+	d := Sub(fmax, fmin)
+	if !d.Equal(New(0, 0, 1)) {
+		t.Fatalf("difference = %v, want {0..1}⟨0,1⟩", d)
+	}
+	if d.NormL1() != 1 || d.NormL2() != 1 {
+		t.Fatalf("L1=%g L2=%g, want 1 and 1 (paper Example 5)", d.NormL1(), d.NormL2())
+	}
+}
+
+func TestSubPaperExample13(t *testing.T) {
+	// Example 13: f1' = ([0,10],⟨[0,1]⟩) yields ⟨0,…,0,1⟩ with identical norms.
+	fmin := New(0, 0)
+	fmax := New(10, 1)
+	d := Sub(fmax, fmin)
+	if d.Len() != 11 {
+		t.Fatalf("difference spans %d units, want 11", d.Len())
+	}
+	if d.NormL1() != 1 || d.NormL2() != 1 {
+		t.Fatalf("L1=%g L2=%g, want 1 and 1 (paper Example 13)", d.NormL1(), d.NormL2())
+	}
+}
+
+func TestSumMinMax(t *testing.T) {
+	s := New(0, 3, -1, 4)
+	if s.Sum() != 6 {
+		t.Errorf("Sum = %d, want 6", s.Sum())
+	}
+	mn, err := s.Min()
+	if err != nil || mn != -1 {
+		t.Errorf("Min = %d, %v; want -1", mn, err)
+	}
+	mx, err := s.Max()
+	if err != nil || mx != 4 {
+		t.Errorf("Max = %d, %v; want 4", mx, err)
+	}
+	if _, err := (Series{}).Min(); err == nil {
+		t.Error("Min of empty series must error")
+	}
+	if _, err := (Series{}).Max(); err == nil {
+		t.Error("Max of empty series must error")
+	}
+}
+
+func TestShiftScaleNegate(t *testing.T) {
+	s := New(1, 2, -3)
+	sh := s.Shift(4)
+	if sh.Start != 5 || !New(5, 2, -3).Equal(sh) {
+		t.Errorf("Shift wrong: %v", sh)
+	}
+	if s.Start != 1 {
+		t.Error("Shift must not mutate the receiver")
+	}
+	sc := s.Scale(2)
+	if !New(1, 4, -6).Equal(sc) {
+		t.Errorf("Scale wrong: %v", sc)
+	}
+	if !s.Negate().Equal(New(1, -2, 3)) {
+		t.Errorf("Negate wrong: %v", s.Negate())
+	}
+}
+
+func TestCumulativeSum(t *testing.T) {
+	s := New(2, 1, 2, 3)
+	c := s.CumulativeSum()
+	if !c.Equal(New(2, 1, 3, 6)) {
+		t.Fatalf("CumulativeSum = %v", c)
+	}
+}
+
+func TestWindow(t *testing.T) {
+	s := New(2, 5, 6)
+	w := s.Window(0, 5)
+	if !w.Equal(New(0, 0, 0, 5, 6, 0)) {
+		t.Fatalf("Window = %v", w)
+	}
+	// Reversed bounds are normalised.
+	w2 := s.Window(5, 0)
+	if !w.Equal(w2) {
+		t.Fatalf("Window with reversed bounds = %v", w2)
+	}
+}
+
+func TestString(t *testing.T) {
+	s := New(2, 2, 3, 1, 2)
+	if got := s.String(); got != "{2..5}⟨2,3,1,2⟩" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Series{}).String(); got != "{}⟨⟩" {
+		t.Errorf("empty String = %q", got)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	s := New(0, 3, -4)
+	if s.NormL1() != 7 {
+		t.Errorf("L1 = %g, want 7", s.NormL1())
+	}
+	if s.NormL2() != 5 {
+		t.Errorf("L2 = %g, want 5", s.NormL2())
+	}
+	if s.NormLInf() != 4 {
+		t.Errorf("LInf = %g, want 4", s.NormLInf())
+	}
+}
+
+func TestNormValueDispatch(t *testing.T) {
+	s := New(0, 3, -4)
+	for _, c := range []struct {
+		n    Norm
+		want float64
+	}{{L1, 7}, {L2, 5}, {LInf, 4}} {
+		got, err := s.NormValue(c.n)
+		if err != nil || got != c.want {
+			t.Errorf("NormValue(%v) = %g, %v; want %g", c.n, got, err, c.want)
+		}
+	}
+	if _, err := s.NormValue(Norm(99)); err == nil {
+		t.Error("unknown norm must error")
+	}
+}
+
+func TestNormStrings(t *testing.T) {
+	if L1.String() != "L1" || L2.String() != "L2" || LInf.String() != "LInf" {
+		t.Error("norm names wrong")
+	}
+	if Norm(42).String() != "Norm(42)" {
+		t.Errorf("unknown norm String = %q", Norm(42).String())
+	}
+}
+
+func TestNormLp(t *testing.T) {
+	s := New(0, 3, -4)
+	got, err := s.NormLp(1)
+	if err != nil || math.Abs(got-7) > 1e-9 {
+		t.Errorf("Lp(1) = %g, %v", got, err)
+	}
+	got, err = s.NormLp(2)
+	if err != nil || math.Abs(got-5) > 1e-9 {
+		t.Errorf("Lp(2) = %g, %v", got, err)
+	}
+	got, err = s.NormLp(math.Inf(1))
+	if err != nil || got != 4 {
+		t.Errorf("Lp(inf) = %g, %v", got, err)
+	}
+	if _, err := s.NormLp(0.5); err == nil {
+		t.Error("Lp with p<1 must error")
+	}
+}
+
+func TestTemporalLpSeesTimeShift(t *testing.T) {
+	// A unit of energy displaced by k time units has TemporalL1 = k
+	// (earth-mover distance), while plain L1 is 2 for any k > 0.
+	d1 := Sub(New(1, 1), New(0, 1))   // displacement 1
+	d10 := Sub(New(10, 1), New(0, 1)) // displacement 10
+	if d1.NormL1() != 2 || d10.NormL1() != 2 {
+		t.Fatalf("plain L1 should be blind to displacement: %g, %g",
+			d1.NormL1(), d10.NormL1())
+	}
+	p1, err := d1.TemporalLp(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p10, err := d10.TemporalLp(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != 1 || p10 != 10 {
+		t.Fatalf("TemporalLp: got %g and %g, want 1 and 10", p1, p10)
+	}
+}
+
+func TestDistance(t *testing.T) {
+	d, err := Distance(New(0, 1, 2), New(0, 1, 2), L1)
+	if err != nil || d != 0 {
+		t.Errorf("Distance of identical series = %g, %v", d, err)
+	}
+	d, err = Distance(New(0, 3), New(1, 3), L1)
+	if err != nil || d != 6 {
+		t.Errorf("Distance of shifted impulses = %g, want 6", d)
+	}
+}
+
+// randomSeries generates bounded random series for property tests.
+func randomSeries(r *rand.Rand) Series {
+	n := r.Intn(8)
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(r.Intn(41) - 20)
+	}
+	return Series{Start: r.Intn(10), Values: vals}
+}
+
+func TestPropertyAddCommutes(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSeries(r), randomSeries(r)
+		return Add(a, b).EquivalentZeroPadded(Add(b, a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySubThenAddRoundTrips(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSeries(r), randomSeries(r)
+		return Add(Sub(a, b), b).EquivalentZeroPadded(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randomSeries(r), randomSeries(r)
+		sum := Add(a, b)
+		const eps = 1e-9
+		return sum.NormL1() <= a.NormL1()+b.NormL1()+eps &&
+			sum.NormL2() <= a.NormL2()+b.NormL2()+eps &&
+			sum.NormLInf() <= a.NormLInf()+b.NormLInf()+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNormOrdering(t *testing.T) {
+	// For any series: LInf <= L2 <= L1.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSeries(r)
+		const eps = 1e-9
+		return s.NormLInf() <= s.NormL2()+eps && s.NormL2() <= s.NormL1()+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNormAbsoluteHomogeneity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSeries(r)
+		k := int64(r.Intn(7) - 3)
+		scaled := s.Scale(k)
+		abs := math.Abs(float64(k))
+		const eps = 1e-6
+		return math.Abs(scaled.NormL1()-abs*s.NormL1()) < eps &&
+			math.Abs(scaled.NormL2()-abs*s.NormL2()) < eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyShiftPreservesNorms(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		s := randomSeries(r)
+		sh := s.Shift(r.Intn(20) - 10)
+		return sh.NormL1() == s.NormL1() && sh.NormL2() == s.NormL2()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

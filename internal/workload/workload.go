@@ -1,0 +1,339 @@
+// Package workload generates synthetic prosumer flex-offers and grid
+// profiles. It substitutes for the TotalFlex/MIRABEL project data the
+// paper draws its examples from (EVs, heat pumps, dishwashers, smart
+// refrigerators, solar panels, wind turbines, vehicle-to-grid batteries —
+// Section 1 and Scenario 1), which is not publicly available.
+//
+// Every generator is deterministic given its *rand.Rand, so experiments
+// are reproducible. The time unit is one hour and a day has 24 slots;
+// offers are generated within a configurable horizon of whole days.
+// Parameters (durations, power bands, time windows) follow the paper's
+// narrative: the EV use case charges 3 hours between 23:00 and 03:00 and
+// accepts 60–100 % of a full charge.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/market"
+	"flexmeasures/internal/timeseries"
+)
+
+// SlotsPerDay is the number of time units per day (hourly resolution).
+const SlotsPerDay = 24
+
+// Device enumerates the prosumer device classes from the paper.
+type Device int
+
+const (
+	// EV is the electric vehicle of the Section 1 use case.
+	EV Device = iota
+	// HeatPump is a long-running consumption device with per-slot
+	// modulation.
+	HeatPump
+	// Dishwasher is a short fixed-profile appliance with a wide start
+	// window.
+	Dishwasher
+	// Refrigerator is a smart fridge: small amounts, frequent, modest
+	// time flexibility.
+	Refrigerator
+	// SolarPanel produces (negative energy) with curtailment
+	// flexibility but no time flexibility.
+	SolarPanel
+	// WindTurbine produces with curtailment flexibility and no time
+	// flexibility.
+	WindTurbine
+	// VehicleToGrid both charges and discharges: a mixed flex-offer.
+	VehicleToGrid
+)
+
+// String names the device class.
+func (d Device) String() string {
+	switch d {
+	case EV:
+		return "ev"
+	case HeatPump:
+		return "heat-pump"
+	case Dishwasher:
+		return "dishwasher"
+	case Refrigerator:
+		return "refrigerator"
+	case SolarPanel:
+		return "solar-panel"
+	case WindTurbine:
+		return "wind-turbine"
+	case VehicleToGrid:
+		return "vehicle-to-grid"
+	default:
+		return fmt.Sprintf("Device(%d)", int(d))
+	}
+}
+
+// AllDevices lists every device class.
+func AllDevices() []Device {
+	return []Device{EV, HeatPump, Dishwasher, Refrigerator, SolarPanel, WindTurbine, VehicleToGrid}
+}
+
+// ErrBadDevice is returned for unknown device classes.
+var ErrBadDevice = errors.New("workload: unknown device")
+
+// ErrBadMix is returned for unusable population mixes.
+var ErrBadMix = errors.New("workload: mix must have positive total weight")
+
+// Generate creates one flex-offer of the given device class within
+// [0, SlotsPerDay) of day 0. Energy is in units of 100 Wh, so a 3 kW
+// charger slot is 30 units (the paper's integer-domain convention of
+// Section 2: scale to the granularity you need).
+func Generate(r *rand.Rand, d Device) (*flexoffer.FlexOffer, error) {
+	switch d {
+	case EV:
+		return genEV(r), nil
+	case HeatPump:
+		return genHeatPump(r), nil
+	case Dishwasher:
+		return genDishwasher(r), nil
+	case Refrigerator:
+		return genRefrigerator(r), nil
+	case SolarPanel:
+		return genSolar(r), nil
+	case WindTurbine:
+		return genWind(r), nil
+	case VehicleToGrid:
+		return genV2G(r), nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrBadDevice, int(d))
+	}
+}
+
+// genEV reproduces the Section 1 use case: plug-in around 23:00, 2–4
+// charging hours at 20–50 units per hour, done by 06:00, and a total
+// energy window of 60–100 % of a full charge.
+func genEV(r *rand.Rand) *flexoffer.FlexOffer {
+	duration := 2 + r.Intn(3)
+	plugin := 21 + r.Intn(4) // 21:00–00:00
+	deadline := plugin + 5 + r.Intn(3)
+	latest := deadline - duration
+	power := int64(20 + r.Intn(31))
+	slices := make([]flexoffer.Slice, duration)
+	for i := range slices {
+		slices[i] = flexoffer.Slice{Min: 0, Max: power}
+	}
+	full := power * int64(duration)
+	cmin := full * 6 / 10
+	f, err := flexoffer.NewWithTotals(plugin, latest, slices, cmin, full)
+	if err != nil {
+		panic(fmt.Sprintf("workload: internal EV generator bug: %v", err))
+	}
+	f.ID = fmt.Sprintf("ev-%04d", r.Intn(10000))
+	return f
+}
+
+// genHeatPump runs 4–8 hours with per-slot modulation between 40 % and
+// 100 % of rated power and a couple of hours of start flexibility.
+func genHeatPump(r *rand.Rand) *flexoffer.FlexOffer {
+	duration := 4 + r.Intn(5)
+	start := r.Intn(SlotsPerDay - duration - 3)
+	rated := int64(10 + r.Intn(16))
+	slices := make([]flexoffer.Slice, duration)
+	for i := range slices {
+		slices[i] = flexoffer.Slice{Min: rated * 4 / 10, Max: rated}
+	}
+	f := mustBuild(start, start+1+r.Intn(3), slices)
+	f.ID = fmt.Sprintf("hp-%04d", r.Intn(10000))
+	return f
+}
+
+// genDishwasher is a fixed two-to-three-hour profile with a wide start
+// window and no per-slot flexibility (the paper's example of a pure
+// time-flexible appliance).
+func genDishwasher(r *rand.Rand) *flexoffer.FlexOffer {
+	duration := 2 + r.Intn(2)
+	start := r.Intn(SlotsPerDay - duration - 9)
+	slices := make([]flexoffer.Slice, duration)
+	for i := range slices {
+		p := int64(8 + r.Intn(8))
+		slices[i] = flexoffer.Slice{Min: p, Max: p}
+	}
+	f := mustBuild(start, start+4+r.Intn(6), slices)
+	f.ID = fmt.Sprintf("dw-%04d", r.Intn(10000))
+	return f
+}
+
+// genRefrigerator is a one-hour cooling burst, deferrable by up to two
+// hours, with a small modulation band.
+func genRefrigerator(r *rand.Rand) *flexoffer.FlexOffer {
+	start := r.Intn(SlotsPerDay - 3)
+	p := int64(1 + r.Intn(3))
+	f := mustBuild(start, start+1+r.Intn(2), []flexoffer.Slice{{Min: p, Max: p + 2}})
+	f.ID = fmt.Sprintf("fr-%04d", r.Intn(10000))
+	return f
+}
+
+// genSolar is a production offer over the daylight hours: each slot can
+// deliver between full forecast output (negative) and zero (curtailed).
+// Production follows the sun, so there is no time flexibility.
+func genSolar(r *rand.Rand) *flexoffer.FlexOffer {
+	duration := 6 + r.Intn(3)
+	start := 8 + r.Intn(3)
+	cap := 10 + r.Intn(21)
+	slices := make([]flexoffer.Slice, duration)
+	for i := range slices {
+		// Bell-shaped forecast over the day.
+		frac := math.Sin(math.Pi * (float64(i) + 0.5) / float64(duration))
+		out := int64(float64(cap) * frac)
+		slices[i] = flexoffer.Slice{Min: -out, Max: 0}
+	}
+	f := mustBuild(start, start, slices)
+	f.ID = fmt.Sprintf("pv-%04d", r.Intn(10000))
+	return f
+}
+
+// genWind is a production offer across the whole day with noisy output
+// and curtailment flexibility, no time flexibility.
+func genWind(r *rand.Rand) *flexoffer.FlexOffer {
+	duration := 8 + r.Intn(9)
+	start := r.Intn(SlotsPerDay - duration)
+	cap := 20 + r.Intn(41)
+	slices := make([]flexoffer.Slice, duration)
+	for i := range slices {
+		out := int64(r.Intn(cap + 1))
+		slices[i] = flexoffer.Slice{Min: -out, Max: 0}
+	}
+	f := mustBuild(start, start, slices)
+	f.ID = fmt.Sprintf("wt-%04d", r.Intn(10000))
+	return f
+}
+
+// genV2G is the paper's mixed flex-offer: each slot can charge or
+// discharge within the battery's power band.
+func genV2G(r *rand.Rand) *flexoffer.FlexOffer {
+	duration := 3 + r.Intn(4)
+	start := 17 + r.Intn(4)
+	power := int64(15 + r.Intn(26))
+	slices := make([]flexoffer.Slice, duration)
+	for i := range slices {
+		slices[i] = flexoffer.Slice{Min: -power, Max: power}
+	}
+	f := mustBuild(start, start+1+r.Intn(3), slices)
+	f.ID = fmt.Sprintf("v2g-%04d", r.Intn(10000))
+	return f
+}
+
+func mustBuild(es, ls int, slices []flexoffer.Slice) *flexoffer.FlexOffer {
+	f, err := flexoffer.New(es, ls, slices...)
+	if err != nil {
+		panic(fmt.Sprintf("workload: internal generator bug: %v", err))
+	}
+	return f
+}
+
+// Mix assigns a sampling weight to each device class.
+type Mix map[Device]float64
+
+// DefaultMix is a residential neighbourhood: mostly appliances and EVs,
+// some rooftop solar, a little V2G.
+func DefaultMix() Mix {
+	return Mix{
+		EV:            0.25,
+		HeatPump:      0.20,
+		Dishwasher:    0.20,
+		Refrigerator:  0.15,
+		SolarPanel:    0.12,
+		WindTurbine:   0.03,
+		VehicleToGrid: 0.05,
+	}
+}
+
+// ConsumptionMix contains only consumption devices; every generated
+// offer is positive, which the area-based measures require.
+func ConsumptionMix() Mix {
+	return Mix{EV: 0.35, HeatPump: 0.25, Dishwasher: 0.25, Refrigerator: 0.15}
+}
+
+// Population samples n flex-offers from the mix. Offers are spread over
+// the requested number of days by shifting whole-day offsets.
+func Population(r *rand.Rand, n int, days int, mix Mix) ([]*flexoffer.FlexOffer, error) {
+	if days < 1 {
+		days = 1
+	}
+	var total float64
+	for _, w := range mix {
+		if w < 0 {
+			return nil, fmt.Errorf("%w: negative weight", ErrBadMix)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, ErrBadMix
+	}
+	devices := AllDevices()
+	out := make([]*flexoffer.FlexOffer, 0, n)
+	for len(out) < n {
+		x := r.Float64() * total
+		var chosen Device
+		for _, d := range devices {
+			x -= mix[d]
+			if x < 0 {
+				chosen = d
+				break
+			}
+		}
+		f, err := Generate(r, chosen)
+		if err != nil {
+			return nil, err
+		}
+		if day := r.Intn(days); day > 0 {
+			f, err = f.Shift(day * SlotsPerDay)
+			if err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// WindProfile returns a synthetic wind-production target series over the
+// horizon (positive values: energy available to consume), with slow
+// fronts and gusty noise. Scale sets the average level.
+func WindProfile(r *rand.Rand, horizon int, scale int64) timeseries.Series {
+	vals := make([]int64, horizon)
+	level := float64(scale)
+	for t := range vals {
+		level += (float64(scale)-level)*0.1 + r.NormFloat64()*float64(scale)*0.3
+		if level < 0 {
+			level = 0
+		}
+		vals[t] = int64(level)
+	}
+	return timeseries.New(0, vals...)
+}
+
+// DayAheadPrices returns a synthetic day-ahead spot price curve over the
+// horizon: a morning and an evening peak over a nightly base, plus
+// noise. Prices occasionally dip negative in windy night hours, which
+// exercises the market package's negative-price path.
+func DayAheadPrices(r *rand.Rand, horizon int) market.PriceCurve {
+	p := make(market.PriceCurve, horizon)
+	for t := range p {
+		h := t % SlotsPerDay
+		base := 20.0
+		switch {
+		case h >= 7 && h <= 9:
+			base = 45
+		case h >= 17 && h <= 20:
+			base = 55
+		case h <= 4:
+			base = 8
+		}
+		p[t] = base + r.NormFloat64()*4
+		if h <= 4 && r.Float64() < 0.08 {
+			p[t] = -2 - r.Float64()*3
+		}
+	}
+	return p
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+func TestGenerateAllDevicesValid(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for _, d := range AllDevices() {
+		for i := 0; i < 50; i++ {
+			f, err := Generate(r, d)
+			if err != nil {
+				t.Fatalf("%v: %v", d, err)
+			}
+			if err := f.Validate(); err != nil {
+				t.Fatalf("%v generated invalid offer %v: %v", d, f, err)
+			}
+			if f.ID == "" {
+				t.Fatalf("%v generated offer without ID", d)
+			}
+		}
+	}
+}
+
+func TestGenerateUnknownDevice(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := Generate(r, Device(99)); !errors.Is(err, ErrBadDevice) {
+		t.Fatalf("got %v, want ErrBadDevice", err)
+	}
+}
+
+func TestDeviceKinds(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	kinds := map[Device]flexoffer.Kind{
+		EV:            flexoffer.Positive,
+		HeatPump:      flexoffer.Positive,
+		Dishwasher:    flexoffer.Positive,
+		Refrigerator:  flexoffer.Positive,
+		SolarPanel:    flexoffer.Negative,
+		VehicleToGrid: flexoffer.Mixed,
+	}
+	for d, want := range kinds {
+		for i := 0; i < 30; i++ {
+			f, err := Generate(r, d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := f.Kind(); got != want {
+				t.Fatalf("%v: kind = %v, want %v (%v)", d, got, want, f)
+			}
+		}
+	}
+}
+
+func TestEVMatchesUseCase(t *testing.T) {
+	// Section 1: 2–4 h charge, done by early morning, 60 % minimum.
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 100; i++ {
+		f, err := Generate(r, EV)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := f.NumSlices(); n < 2 || n > 4 {
+			t.Fatalf("EV duration %d outside 2–4", n)
+		}
+		if f.TotalMin != f.TotalMax*6/10 {
+			t.Fatalf("EV cmin/cmax = %d/%d, want cmin = 60%% of cmax (integer-truncated)", f.TotalMin, f.TotalMax)
+		}
+		if f.TimeFlexibility() <= 0 {
+			t.Fatalf("EV should have start-time flexibility: %v", f)
+		}
+	}
+}
+
+func TestSolarHasNoTimeFlexibility(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 30; i++ {
+		f, err := Generate(r, SolarPanel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.TimeFlexibility() != 0 {
+			t.Fatalf("solar tf = %d, want 0 (the sun is not deferrable)", f.TimeFlexibility())
+		}
+	}
+}
+
+func TestDeviceStrings(t *testing.T) {
+	for _, d := range AllDevices() {
+		if s := d.String(); s == "" || strings.HasPrefix(s, "Device(") {
+			t.Errorf("device %d has no name", int(d))
+		}
+	}
+	if !strings.Contains(Device(42).String(), "42") {
+		t.Error("unknown device String should include the number")
+	}
+}
+
+func TestPopulationDeterministicAndSized(t *testing.T) {
+	a, err := Population(rand.New(rand.NewSource(42)), 200, 3, DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Population(rand.New(rand.NewSource(42)), 200, 3, DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatalf("sizes = %d, %d; want 200", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Equal(b[i]) {
+			t.Fatalf("population not deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestPopulationSpreadsAcrossDays(t *testing.T) {
+	offers, err := Population(rand.New(rand.NewSource(9)), 300, 5, DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	days := map[int]bool{}
+	for _, f := range offers {
+		if err := f.Validate(); err != nil {
+			t.Fatalf("invalid offer: %v", err)
+		}
+		days[f.EarliestStart/SlotsPerDay] = true
+	}
+	if len(days) < 3 {
+		t.Errorf("offers concentrated in %d days, want spread over ≥3 of 5", len(days))
+	}
+}
+
+func TestPopulationConsumptionMixAllPositive(t *testing.T) {
+	offers, err := Population(rand.New(rand.NewSource(13)), 150, 2, ConsumptionMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range offers {
+		if f.Kind() != flexoffer.Positive {
+			t.Fatalf("consumption mix produced %v offer %v", f.Kind(), f)
+		}
+	}
+}
+
+func TestPopulationBadMix(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	if _, err := Population(r, 5, 1, Mix{}); !errors.Is(err, ErrBadMix) {
+		t.Errorf("empty mix = %v, want ErrBadMix", err)
+	}
+	if _, err := Population(r, 5, 1, Mix{EV: -1}); !errors.Is(err, ErrBadMix) {
+		t.Errorf("negative weight = %v, want ErrBadMix", err)
+	}
+}
+
+func TestWindProfileShape(t *testing.T) {
+	s := WindProfile(rand.New(rand.NewSource(2)), 48, 30)
+	if s.Len() != 48 || s.Start != 0 {
+		t.Fatalf("profile range wrong: %v", s)
+	}
+	for _, v := range s.Values {
+		if v < 0 {
+			t.Fatal("wind production cannot be negative")
+		}
+	}
+	if s.Sum() == 0 {
+		t.Fatal("profile should not be identically zero")
+	}
+}
+
+func TestDayAheadPricesShape(t *testing.T) {
+	p := DayAheadPrices(rand.New(rand.NewSource(4)), 24*7)
+	if len(p) != 24*7 {
+		t.Fatalf("curve length = %d", len(p))
+	}
+	// Evening peak must on average exceed the night base.
+	var night, evening float64
+	var nN, nE int
+	for t0, v := range p {
+		switch h := t0 % SlotsPerDay; {
+		case h <= 4:
+			night += v
+			nN++
+		case h >= 17 && h <= 20:
+			evening += v
+			nE++
+		}
+	}
+	if evening/float64(nE) <= night/float64(nN) {
+		t.Errorf("evening mean %.1f not above night mean %.1f", evening/float64(nE), night/float64(nN))
+	}
+}
