@@ -1,6 +1,7 @@
 package flex
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -112,6 +113,25 @@ func BenchmarkAggregate1000(b *testing.B) {
 		if _, err := AggregateAll(offers, GroupParams{ESTTolerance: 4, TFTolerance: -1, MaxGroupSize: 64}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAggregate1000Parallel is the worker-pool counterpart of
+// BenchmarkAggregate1000; compare the workers=N sub-benchmarks against it
+// (and each other) for the parallel speedup on multi-core hardware.
+func BenchmarkAggregate1000Parallel(b *testing.B) {
+	offers := benchOffers(1000)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			pp := ParallelParams{Workers: workers}
+			gp := GroupParams{ESTTolerance: 4, TFTolerance: -1, MaxGroupSize: 64}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := AggregateAllParallel(offers, gp, pp); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

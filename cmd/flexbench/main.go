@@ -10,14 +10,28 @@
 //	flexbench -exp F7      # run one experiment
 //	flexbench -list        # list experiment IDs
 //	flexbench -check       # exit non-zero if any value mismatches the paper
+//
+// Beyond the paper artefacts, -agg times the serial aggregation pipeline
+// against the parallel one on a synthetic population and verifies that
+// both produce identical aggregates:
+//
+//	flexbench -agg 100000             # serial vs parallel, one worker per CPU
+//	flexbench -agg 100000 -workers 4  # pin the worker-pool size
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"math/rand"
 	"os"
+	"reflect"
+	"runtime"
+	"time"
 
+	"flexmeasures/internal/aggregate"
 	"flexmeasures/internal/experiments"
+	"flexmeasures/internal/workload"
 )
 
 func main() {
@@ -32,8 +46,13 @@ func run(args []string) error {
 	exp := fs.String("exp", "", "run a single experiment by ID (e.g. F1, T1, X2)")
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	check := fs.Bool("check", false, "fail when any measured value mismatches the paper")
+	aggN := fs.Int("agg", 0, "compare serial vs parallel aggregation over N synthetic offers and exit")
+	workers := fs.Int("workers", 0, "worker-pool size for -agg (0: one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *aggN > 0 {
+		return runAggCompare(os.Stdout, *aggN, *workers)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -70,5 +89,44 @@ func run(args []string) error {
 	if *check && failed {
 		return fmt.Errorf("some measured values disagree with the paper")
 	}
+	return nil
+}
+
+// runAggCompare times AggregateAll against AggregateAllParallel on a
+// reproducible synthetic population (seed 99, Scenario 1 grouping
+// parameters) and fails unless the two pipelines produce identical
+// aggregates in identical order.
+func runAggCompare(out io.Writer, n, workers int) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	offers, err := workload.Population(rand.New(rand.NewSource(99)), n, 3, workload.DefaultMix())
+	if err != nil {
+		return err
+	}
+	gp := aggregate.GroupParams{ESTTolerance: 4, TFTolerance: -1, MaxGroupSize: 64}
+
+	t0 := time.Now()
+	serial, err := aggregate.AggregateAll(offers, gp)
+	if err != nil {
+		return err
+	}
+	serialDur := time.Since(t0)
+
+	t0 = time.Now()
+	parallel, err := aggregate.AggregateAllParallel(offers, gp, aggregate.ParallelParams{Workers: workers})
+	if err != nil {
+		return err
+	}
+	parallelDur := time.Since(t0)
+
+	if !reflect.DeepEqual(serial, parallel) {
+		return fmt.Errorf("parallel aggregation diverged from serial over %d offers", n)
+	}
+	speedup := float64(serialDur) / float64(parallelDur)
+	fmt.Fprintf(out, "aggregated %d offers into %d aggregates\n", len(offers), len(serial))
+	fmt.Fprintf(out, "serial:   %v\n", serialDur)
+	fmt.Fprintf(out, "parallel: %v  (%d workers, %.2fx speedup)\n", parallelDur, workers, speedup)
+	fmt.Fprintln(out, "serial and parallel outputs are identical")
 	return nil
 }

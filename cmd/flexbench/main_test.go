@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bytes"
+	"strings"
 	"testing"
 )
 
@@ -19,6 +21,35 @@ func TestRunUnknownExperiment(t *testing.T) {
 func TestRunList(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunAggCompare(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runAggCompare(&buf, 2000, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "aggregated 2000 offers") ||
+		!strings.Contains(out, "serial and parallel outputs are identical") {
+		t.Errorf("comparison output wrong:\n%s", out)
+	}
+}
+
+// TestRunAggFlag covers the flag wiring from run() to runAggCompare.
+func TestRunAggFlag(t *testing.T) {
+	if err := run([]string{"-agg", "200", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAggCompareDefaultWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runAggCompare(&buf, 500, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "outputs are identical") {
+		t.Errorf("comparison output wrong:\n%s", buf.String())
 	}
 }
 

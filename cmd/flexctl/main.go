@@ -10,11 +10,13 @@
 //	flexctl render   offers.json             # profile + area diagrams
 //	flexctl enumerate -limit 50 offers.json  # list valid assignments
 //	flexctl aggregate -est 4 offers.json     # group + aggregate, report losses
+//	flexctl aggregate -workers 8 offers.json # same, aggregating groups in parallel
 //	flexctl schedule -horizon 72 offers.json # greedy schedule vs. flat target
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -245,6 +247,7 @@ func cmdAggregate(args []string, out io.Writer) error {
 	tft := fs.Int("tft", -1, "time-flexibility tolerance (-1: unbounded)")
 	size := fs.Int("max-group", 0, "maximum group size (0: unbounded)")
 	balance := fs.Bool("balance", false, "use balance-aware grouping instead")
+	workers := fs.Int("workers", 0, "aggregation workers (0: one per CPU, 1: serial)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -258,13 +261,16 @@ func cmdAggregate(args []string, out io.Writer) error {
 	} else {
 		groups = aggregate.Group(offers, aggregate.GroupParams{ESTTolerance: *est, TFTolerance: *tft, MaxGroupSize: *size})
 	}
+	// CollectAll keeps the error output deterministic when several
+	// groups fail: every failure is reported, sorted by group index.
+	ags, err := aggregate.AggregateGroupsParallel(context.Background(), groups,
+		aggregate.ParallelParams{Workers: *workers, ErrorMode: aggregate.CollectAll})
+	if err != nil {
+		return err
+	}
 	header := []string{"group", "offers", "kind", "tf", "ef", "product loss", "vector_l1 loss"}
 	var rows [][]string
-	for i, g := range groups {
-		ag, err := aggregate.Aggregate(g)
-		if err != nil {
-			return err
-		}
+	for i, ag := range ags {
 		pLoss, err := ag.Loss(core.ProductMeasure{})
 		if err != nil {
 			return err
@@ -274,7 +280,7 @@ func cmdAggregate(args []string, out io.Writer) error {
 			return err
 		}
 		rows = append(rows, []string{
-			fmt.Sprintf("%d", i), fmt.Sprintf("%d", len(g)),
+			fmt.Sprintf("%d", i), fmt.Sprintf("%d", len(groups[i])),
 			ag.Offer.Kind().String(),
 			fmt.Sprintf("%d", ag.Offer.TimeFlexibility()),
 			fmt.Sprintf("%d", ag.Offer.EnergyFlexibility()),

@@ -128,6 +128,29 @@ func TestAggregateSubcommand(t *testing.T) {
 	}
 }
 
+// TestAggregateSubcommandParallel checks that -workers changes nothing
+// about the output: the parallel pipeline is byte-identical to serial.
+func TestAggregateSubcommandParallel(t *testing.T) {
+	path := writeFixture(t)
+	var serial, parallel bytes.Buffer
+	if err := run([]string{"aggregate", "-est", "24", "-workers", "1", path}, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"aggregate", "-est", "24", "-workers", "4", path}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("parallel output differs from serial:\n%s\nvs\n%s", serial.String(), parallel.String())
+	}
+	parallel.Reset()
+	if err := run([]string{"aggregate", "-balance", "-workers", "4", path}, &parallel); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(parallel.String(), "aggregates") {
+		t.Errorf("balance aggregation with workers wrong:\n%s", parallel.String())
+	}
+}
+
 func TestScheduleSubcommand(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"schedule", "-horizon", "12", writeFixture(t)}, &buf); err != nil {

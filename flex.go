@@ -18,6 +18,20 @@
 // scenarios need: aggregation with disaggregation, target-tracking
 // scheduling, and market valuation.
 //
+// # Parallel aggregation
+//
+// Aggregation across groups is embarrassingly parallel, and the library
+// ships a worker-pool pipeline for batches of thousands to millions of
+// offers: AggregateAllParallel (and the context-aware
+// AggregateAllParallelCtx) shards the grouping output across
+// ParallelParams.Workers workers — or, via AggregateWithConfig, across
+// Config.Workers, where 0 means one worker per logical CPU and 1 forces
+// the serial path. The parallel pipeline yields results identical to
+// AggregateAll in the same group order for every worker count; per-group
+// failures are reported as GroupError (first-error mode) or GroupErrors
+// (collect-all mode), each identifying the failing group by index, size
+// and first constituent ID.
+//
 // # Quick start
 //
 //	f, err := flex.NewFlexOffer(1, 6,
@@ -33,6 +47,7 @@
 package flex
 
 import (
+	"context"
 	"math/big"
 
 	"flexmeasures/internal/aggregate"
@@ -222,6 +237,76 @@ func BalanceGroups(offers []*FlexOffer, p BalanceParams) [][]*FlexOffer {
 // AggregateAll groups and aggregates in one call.
 func AggregateAll(offers []*FlexOffer, p GroupParams) ([]*Aggregated, error) {
 	return aggregate.AggregateAll(offers, p)
+}
+
+// Parallel aggregation pipeline types; see the aggregate package for the
+// scheduling and determinism guarantees.
+type (
+	// ParallelParams controls the aggregation worker pool.
+	ParallelParams = aggregate.ParallelParams
+	// ErrorMode selects first-error or collect-all failure reporting.
+	ErrorMode = aggregate.ErrorMode
+	// GroupError identifies one failing group (index, size, first ID).
+	GroupError = aggregate.GroupError
+	// GroupErrors is the collect-all failure report, sorted by group.
+	GroupErrors = aggregate.GroupErrors
+)
+
+// ErrorMode values.
+const (
+	FirstError = aggregate.FirstError
+	CollectAll = aggregate.CollectAll
+)
+
+// AggregateAllParallel is AggregateAll executed by a worker pool; the
+// result is identical to AggregateAll for every worker count.
+func AggregateAllParallel(offers []*FlexOffer, gp GroupParams, pp ParallelParams) ([]*Aggregated, error) {
+	return aggregate.AggregateAllParallel(offers, gp, pp)
+}
+
+// AggregateAllParallelCtx is AggregateAllParallel with cancellation.
+func AggregateAllParallelCtx(ctx context.Context, offers []*FlexOffer, gp GroupParams, pp ParallelParams) ([]*Aggregated, error) {
+	return aggregate.AggregateAllParallelCtx(ctx, offers, gp, pp)
+}
+
+// Config bundles the options of the one-call aggregation entry point
+// AggregateWithConfig.
+type Config struct {
+	// Group controls similarity-based grouping.
+	Group GroupParams
+	// Workers sizes the aggregation worker pool: 0 means one worker
+	// per logical CPU, 1 forces the serial pipeline, and larger values
+	// fan the groups out across that many goroutines.
+	Workers int
+	// ErrorMode selects first-error or collect-all failure reporting
+	// (parallel pipeline only; the serial pipeline always reports the
+	// first failure).
+	ErrorMode ErrorMode
+	// Safe tightens every constituent's totals into its slice bounds
+	// before aggregating (AggregateSafe), guaranteeing that every valid
+	// aggregate assignment disaggregates.
+	Safe bool
+}
+
+// AggregateWithConfig groups and aggregates under cfg, routing to the
+// serial or parallel pipeline according to cfg.Workers. A cancelled ctx
+// is honored on both routes (the serial pipeline checks it up front;
+// the parallel one also stops claiming groups mid-batch).
+func AggregateWithConfig(ctx context.Context, offers []*FlexOffer, cfg Config) ([]*Aggregated, error) {
+	if cfg.Workers == 1 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cfg.Safe {
+			return aggregate.AggregateAllSafe(offers, cfg.Group)
+		}
+		return aggregate.AggregateAll(offers, cfg.Group)
+	}
+	pp := ParallelParams{Workers: cfg.Workers, ErrorMode: cfg.ErrorMode}
+	if cfg.Safe {
+		return aggregate.AggregateAllSafeParallel(ctx, offers, cfg.Group, pp)
+	}
+	return aggregate.AggregateAllParallelCtx(ctx, offers, cfg.Group, pp)
 }
 
 // Alignment selects the anchoring of constituents inside an aggregate

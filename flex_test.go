@@ -1,7 +1,9 @@
 package flex
 
 import (
+	"context"
 	"math/big"
+	"reflect"
 	"testing"
 )
 
@@ -112,6 +114,56 @@ func TestPublicAPIAggregation(t *testing.T) {
 	bg := BalanceGroups([]*FlexOffer{a, neg}, BalanceParams{ESTTolerance: 4})
 	if len(bg) == 0 {
 		t.Fatal("balance groups empty")
+	}
+}
+
+// TestPublicAPIParallelAggregation exercises the worker-pool facade:
+// AggregateAllParallel and every Config routing of AggregateWithConfig
+// must match the serial AggregateAll.
+func TestPublicAPIParallelAggregation(t *testing.T) {
+	var offers []*FlexOffer
+	for i := 0; i < 40; i++ {
+		f, err := NewFlexOffer(i/2, i/2+3,
+			Slice{Min: int64(i % 3), Max: int64(i%3 + 2)},
+			Slice{Min: 0, Max: int64(i%5 + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		offers = append(offers, f)
+	}
+	gp := GroupParams{ESTTolerance: 2, TFTolerance: -1, MaxGroupSize: 6}
+	serial, err := AggregateAll(offers, gp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := AggregateAllParallel(offers, gp, ParallelParams{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatal("AggregateAllParallel diverges from AggregateAll")
+	}
+	for _, cfg := range []Config{
+		{Group: gp},                         // parallel, one worker per CPU
+		{Group: gp, Workers: 1},             // serial routing
+		{Group: gp, Workers: 3},             // pinned pool
+		{Group: gp, ErrorMode: CollectAll},  // collect-all reporting
+		{Group: gp, Workers: 2, Safe: true}, // safe parallel
+		{Group: gp, Workers: 1, Safe: true}, // safe serial
+	} {
+		got, err := AggregateWithConfig(context.Background(), offers, cfg)
+		if err != nil {
+			t.Fatalf("config %+v: %v", cfg, err)
+		}
+		want := serial
+		if cfg.Safe {
+			if want, err = AggregateAllSafe(offers, gp); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("config %+v diverges from serial reference", cfg)
+		}
 	}
 }
 

@@ -1,0 +1,3 @@
+module flexmeasures
+
+go 1.22

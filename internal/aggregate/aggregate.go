@@ -300,7 +300,7 @@ func (ag *Aggregated) transferInto(out []flexoffer.Assignment, i int, need int64
 			}
 			spareSlot := out[k].Values[jk] - g.Slices[jk].Min
 			spareTotal := out[k].TotalEnergy() - g.TotalMin
-			amt := min64(min64(spareSlot, spareTotal), min64(room, need))
+			amt := min(spareSlot, spareTotal, room, need)
 			if amt <= 0 {
 				continue
 			}
@@ -336,7 +336,7 @@ func (ag *Aggregated) transferOutOf(out []flexoffer.Assignment, i int, excess in
 			}
 			roomSlot := g.Slices[jk].Max - out[k].Values[jk]
 			roomTotal := g.TotalMax - out[k].TotalEnergy()
-			amt := min64(min64(roomSlot, roomTotal), min64(spare, excess))
+			amt := min(roomSlot, roomTotal, spare, excess)
 			if amt <= 0 {
 				continue
 			}
@@ -348,13 +348,6 @@ func (ag *Aggregated) transferOutOf(out []flexoffer.Assignment, i int, excess in
 		}
 	}
 	return moved
-}
-
-func min64(a, b int64) int64 {
-	if a < b {
-		return a
-	}
-	return b
 }
 
 // Loss quantifies the flexibility an aggregation gave up under measure m:
@@ -485,12 +478,17 @@ func AggregateAllSafe(offers []*flexoffer.FlexOffer, p GroupParams) ([]*Aggregat
 	return aggregateGroups(Group(offers, p), AggregateSafe)
 }
 
+// aggregateGroups is the serial pipeline. Failures carry the full
+// identifying context of the failing group (index, size, first
+// constituent ID) as a *GroupError, matching the parallel pipeline, so a
+// failing group in a 10k-group batch is identifiable from the error
+// alone.
 func aggregateGroups(groups [][]*flexoffer.FlexOffer, agg func([]*flexoffer.FlexOffer) (*Aggregated, error)) ([]*Aggregated, error) {
 	out := make([]*Aggregated, 0, len(groups))
 	for i, g := range groups {
 		ag, err := agg(g)
 		if err != nil {
-			return nil, fmt.Errorf("aggregate: group %d: %w", i, err)
+			return nil, newGroupError(i, g, err)
 		}
 		out = append(out, ag)
 	}

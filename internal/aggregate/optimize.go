@@ -33,6 +33,15 @@ type OptimizeParams struct {
 	MaxGroupSize int
 	// MaxPasses bounds the merge passes; 0 means until convergence.
 	MaxPasses int
+	// Workers bounds the goroutines evaluating merge candidates per
+	// pass; values below 1 mean runtime.GOMAXPROCS(0). The result is
+	// identical for every worker count — only the loss evaluations run
+	// concurrently; candidate selection stays deterministic. Any
+	// worker count other than 1 calls Measure from multiple
+	// goroutines, so a custom Measure must be safe for concurrent use
+	// (every measure in this library is — they are stateless value
+	// types); set Workers to 1 to force a serial scan otherwise.
+	Workers int
 }
 
 // OptimizeGroups implements the paper's Section 6 future work —
@@ -82,19 +91,36 @@ func OptimizeGroups(offers []*flexoffer.FlexOffer, p OptimizeParams) ([][]*flexo
 
 // mergePass performs every non-overlapping admissible adjacent merge in
 // ascending order of loss. It returns nil when no merge was admissible.
+//
+// Measuring a merge candidate (two aggregations plus up to three measure
+// evaluations) dominates the pass, and the candidates are independent, so
+// the scan fans out across p.Workers goroutines; results land in
+// per-index slots, keeping candidate selection byte-identical to a serial
+// scan. With n singleton groups the first pass alone evaluates n−1
+// candidates, which made the serial scan the O(n²) hot spot of
+// OptimizeGroups.
 func mergePass(groups [][]*flexoffer.FlexOffer, p OptimizeParams) ([][]*flexoffer.FlexOffer, error) {
 	type candidate struct {
 		left int
 		loss float64
 	}
-	var cands []candidate
-	for i := 0; i+1 < len(groups); i++ {
+	type evaluation struct {
+		loss float64
+		ok   bool
+		err  error
+	}
+	evals := make([]evaluation, max(len(groups)-1, 0))
+	forEachIndex(len(evals), p.Workers, func(i int) {
 		loss, ok, err := mergeLoss(groups[i], groups[i+1], p)
-		if err != nil {
-			return nil, err
+		evals[i] = evaluation{loss: loss, ok: ok, err: err}
+	})
+	var cands []candidate
+	for i, ev := range evals {
+		if ev.err != nil {
+			return nil, ev.err
 		}
-		if ok {
-			cands = append(cands, candidate{left: i, loss: loss})
+		if ev.ok {
+			cands = append(cands, candidate{left: i, loss: ev.loss})
 		}
 	}
 	if len(cands) == 0 {

@@ -1,0 +1,268 @@
+package aggregate
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+// This file implements the parallel aggregation pipeline: grouping output
+// is sharded across a pool of workers, each aggregating whole groups
+// independently. Aggregation is embarrassingly parallel across groups —
+// groups share no state and Aggregate is deterministic — so the parallel
+// pipeline produces results identical to the serial AggregateAll, in the
+// same group order, for any worker count. That invariant is enforced by
+// the equivalence property test in parallel_test.go.
+
+// ErrorMode selects how the parallel pipeline reports per-group failures.
+type ErrorMode int
+
+const (
+	// FirstError stops the pipeline at the first failing group and
+	// returns that group's *GroupError. When several groups fail near-
+	// simultaneously, the lowest-indexed error observed before the
+	// pipeline drained is returned; which groups were reached depends on
+	// scheduling.
+	FirstError ErrorMode = iota
+	// CollectAll aggregates every group regardless of failures and
+	// returns all failures together as GroupErrors, sorted by group
+	// index. Use it to triage a large batch in one pass.
+	CollectAll
+)
+
+// String names the error mode.
+func (m ErrorMode) String() string {
+	switch m {
+	case FirstError:
+		return "first-error"
+	case CollectAll:
+		return "collect-all"
+	default:
+		return fmt.Sprintf("ErrorMode(%d)", int(m))
+	}
+}
+
+// ParallelParams controls the worker pool of the parallel aggregation
+// pipeline. The zero value uses one worker per logical CPU, automatic
+// batching and FirstError reporting.
+type ParallelParams struct {
+	// Workers is the number of concurrent aggregation workers; values
+	// below 1 mean runtime.GOMAXPROCS(0). The pool never spawns more
+	// workers than there are groups.
+	Workers int
+	// BatchSize is the number of consecutive groups a worker claims at
+	// a time. Larger batches amortize coordination; smaller batches
+	// balance skewed group sizes. Values below 1 pick a batch that
+	// spreads the groups roughly 4× over the workers.
+	BatchSize int
+	// ErrorMode selects first-error or collect-all failure reporting.
+	ErrorMode ErrorMode
+}
+
+// GroupError reports the failure of one group in a batched aggregation,
+// carrying enough context to identify the group in a 10k-group batch:
+// its index in grouping order, its size, and the ID of its first
+// constituent.
+type GroupError struct {
+	// Group is the index of the failing group in grouping output order.
+	Group int
+	// Size is the number of constituents in the group.
+	Size int
+	// FirstID is the ID of the group's first constituent ("" if unset).
+	FirstID string
+	// Err is the underlying aggregation error.
+	Err error
+}
+
+// newGroupError wraps err with the identifying context of group i.
+func newGroupError(i int, group []*flexoffer.FlexOffer, err error) *GroupError {
+	ge := &GroupError{Group: i, Size: len(group), Err: err}
+	if len(group) > 0 {
+		ge.FirstID = group[0].ID
+	}
+	return ge
+}
+
+// Error identifies the group and preserves the underlying message.
+func (e *GroupError) Error() string {
+	if e.FirstID != "" {
+		return fmt.Sprintf("aggregate: group %d (%d offers, first %q): %v", e.Group, e.Size, e.FirstID, e.Err)
+	}
+	return fmt.Sprintf("aggregate: group %d (%d offers): %v", e.Group, e.Size, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is and errors.As.
+func (e *GroupError) Unwrap() error { return e.Err }
+
+// GroupErrors is the CollectAll failure report: every failing group's
+// error, sorted by group index.
+type GroupErrors []*GroupError
+
+// Error summarizes the failure count and lists the first few groups.
+func (es GroupErrors) Error() string {
+	if len(es) == 1 {
+		return es[0].Error()
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "aggregate: %d groups failed:", len(es))
+	for i, e := range es {
+		if i == 4 {
+			fmt.Fprintf(&b, " …(%d more)", len(es)-i)
+			break
+		}
+		fmt.Fprintf(&b, "\n  %v", e)
+	}
+	return b.String()
+}
+
+// Unwrap exposes the per-group errors to errors.Is and errors.As.
+func (es GroupErrors) Unwrap() []error {
+	out := make([]error, len(es))
+	for i, e := range es {
+		out[i] = e
+	}
+	return out
+}
+
+// AggregateAllParallel is AggregateAll executed by a worker pool: it
+// groups the offers with gp and aggregates the groups concurrently under
+// pp. The result is identical to AggregateAll — same aggregates, same
+// group order — for every worker count.
+func AggregateAllParallel(offers []*flexoffer.FlexOffer, gp GroupParams, pp ParallelParams) ([]*Aggregated, error) {
+	return AggregateAllParallelCtx(context.Background(), offers, gp, pp)
+}
+
+// AggregateAllParallelCtx is AggregateAllParallel with cancellation: when
+// ctx is cancelled mid-batch the pipeline stops claiming groups, drains,
+// and returns ctx's error.
+func AggregateAllParallelCtx(ctx context.Context, offers []*flexoffer.FlexOffer, gp GroupParams, pp ParallelParams) ([]*Aggregated, error) {
+	return AggregateGroupsParallel(ctx, Group(offers, gp), pp)
+}
+
+// AggregateAllSafeParallel is AggregateAllSafe executed by the worker
+// pool (AggregateSafe per group).
+func AggregateAllSafeParallel(ctx context.Context, offers []*flexoffer.FlexOffer, gp GroupParams, pp ParallelParams) ([]*Aggregated, error) {
+	return aggregateGroupsParallel(ctx, Group(offers, gp), AggregateSafe, pp)
+}
+
+// AggregateGroupsParallel aggregates pre-computed groups (from Group,
+// BalanceGroups or OptimizeGroups) concurrently, preserving group order.
+func AggregateGroupsParallel(ctx context.Context, groups [][]*flexoffer.FlexOffer, pp ParallelParams) ([]*Aggregated, error) {
+	return aggregateGroupsParallel(ctx, groups, Aggregate, pp)
+}
+
+// aggregateGroupsParallel shards the groups across the forEachIndex
+// worker pool: each aggregate and each failure lands in its group's
+// slot, so neither output order nor error reporting depends on
+// scheduling. Failures are wrapped with newGroupError exactly like the
+// serial path. After cancellation (or, in FirstError mode, a failure)
+// the remaining groups are skipped, not aggregated.
+func aggregateGroupsParallel(ctx context.Context, groups [][]*flexoffer.FlexOffer, agg func([]*flexoffer.FlexOffer) (*Aggregated, error), pp ParallelParams) ([]*Aggregated, error) {
+	n := len(groups)
+	out := make([]*Aggregated, n)
+	if n == 0 {
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	errSlots := make([]*GroupError, n)
+	var failed atomic.Bool
+	done := ctx.Done()
+	forEachIndexBatch(n, pp.Workers, pp.BatchSize, func(i int) {
+		if pp.ErrorMode == FirstError && failed.Load() {
+			return
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
+		ag, err := agg(groups[i])
+		if err != nil {
+			errSlots[i] = newGroupError(i, groups[i], err)
+			failed.Store(true)
+			return
+		}
+		out[i] = ag
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if failed.Load() {
+		var errs GroupErrors
+		for _, e := range errSlots {
+			if e != nil {
+				errs = append(errs, e)
+			}
+		}
+		if pp.ErrorMode == FirstError {
+			return nil, errs[0]
+		}
+		return nil, errs
+	}
+	return out, nil
+}
+
+// forEachIndex runs fn(i) for every i in [0, n) across up to workers
+// goroutines with automatic batching. It is the shared fan-out primitive
+// for CPU-bound index-addressed work whose results are written into
+// per-index slots (so ordering is free).
+func forEachIndex(n, workers int, fn func(int)) {
+	forEachIndexBatch(n, workers, 0, fn)
+}
+
+// forEachIndexBatch is forEachIndex with an explicit batch size: workers
+// claim batch consecutive indices at a time from an atomic cursor.
+// Values below 1 pick a batch that spreads the indices roughly 4× over
+// the workers; workers below 1 mean runtime.GOMAXPROCS(0).
+func forEachIndexBatch(n, workers, batch int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if batch < 1 {
+		batch = n / (workers * 4)
+		if batch < 1 {
+			batch = 1
+		}
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				end := int(cursor.Add(int64(batch)))
+				start := end - batch
+				if start >= n {
+					return
+				}
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -106,20 +106,11 @@ func (ag *Aggregated) findPath(out []flexoffer.Assignment, target int, want int6
 				if slotSpare <= 0 {
 					continue
 				}
-				cap := states[cur].cap
-				if gainRoom < cap {
-					cap = gainRoom
-				}
-				if slotSpare < cap {
-					cap = slotSpare
-				}
+				bottleneck := min(states[cur].cap, gainRoom, slotSpare)
 				visited[k] = true
-				states[k] = pathState{prev: cur, prevAbs: abs, cap: cap}
+				states[k] = pathState{prev: cur, prevAbs: abs, cap: bottleneck}
 				if totalSpare := out[k].TotalEnergy() - g.TotalMin; totalSpare > 0 {
-					if totalSpare < cap {
-						cap = totalSpare
-					}
-					return tracePath(states, k), cap
+					return tracePath(states, k), min(bottleneck, totalSpare)
 				}
 				queue = append(queue, k)
 			}
@@ -160,20 +151,11 @@ func (ag *Aggregated) findDrainPath(out []flexoffer.Assignment, target int, want
 				if gainRoom <= 0 {
 					continue
 				}
-				cap := states[cur].cap
-				if loseSpare < cap {
-					cap = loseSpare
-				}
-				if gainRoom < cap {
-					cap = gainRoom
-				}
+				bottleneck := min(states[cur].cap, loseSpare, gainRoom)
 				visited[k] = true
-				states[k] = pathState{prev: cur, prevAbs: abs, cap: cap}
+				states[k] = pathState{prev: cur, prevAbs: abs, cap: bottleneck}
 				if headroom := g.TotalMax - out[k].TotalEnergy(); headroom > 0 {
-					if headroom < cap {
-						cap = headroom
-					}
-					return traceDrainPath(states, k), cap
+					return traceDrainPath(states, k), min(bottleneck, headroom)
 				}
 				queue = append(queue, k)
 			}
