@@ -17,9 +17,19 @@
 //
 //	flexbench -agg 100000             # serial vs parallel, one worker per CPU
 //	flexbench -agg 100000 -workers 4  # pin the worker-pool size
+//
+// -sched does the same for the scheduling hot path: it times the legacy
+// full-recompute candidate evaluator against the incremental delta
+// evaluator (verifying identical schedules), then the materialized
+// aggregate→schedule→disaggregate batch against the streaming pipeline
+// (verifying identical output again):
+//
+//	flexbench -sched 1000             # legacy vs incremental + batch vs streaming
+//	flexbench -sched 1000 -workers 4  # pin the pipeline worker-pool size
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -31,6 +41,8 @@ import (
 
 	"flexmeasures/internal/aggregate"
 	"flexmeasures/internal/experiments"
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/sched"
 	"flexmeasures/internal/workload"
 )
 
@@ -47,12 +59,16 @@ func run(args []string) error {
 	list := fs.Bool("list", false, "list experiment IDs and exit")
 	check := fs.Bool("check", false, "fail when any measured value mismatches the paper")
 	aggN := fs.Int("agg", 0, "compare serial vs parallel aggregation over N synthetic offers and exit")
-	workers := fs.Int("workers", 0, "worker-pool size for -agg (0: one per CPU)")
+	schedN := fs.Int("sched", 0, "compare legacy vs incremental scheduling and batch vs streaming pipeline over N synthetic offers and exit")
+	workers := fs.Int("workers", 0, "worker-pool size for -agg / -sched (0: one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *aggN > 0 {
 		return runAggCompare(os.Stdout, *aggN, *workers)
+	}
+	if *schedN > 0 {
+		return runSchedCompare(os.Stdout, *schedN, *workers)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -128,5 +144,95 @@ func runAggCompare(out io.Writer, n, workers int) error {
 	fmt.Fprintf(out, "serial:   %v\n", serialDur)
 	fmt.Fprintf(out, "parallel: %v  (%d workers, %.2fx speedup)\n", parallelDur, workers, speedup)
 	fmt.Fprintln(out, "serial and parallel outputs are identical")
+	return nil
+}
+
+// runSchedCompare exercises the scheduling hot path on a reproducible
+// synthetic population (seed 99): first the legacy full-recompute
+// candidate evaluator against the incremental delta evaluator on the
+// raw fleet, then the materialized aggregate→schedule→disaggregate
+// batch against the streaming pipeline. Both comparisons fail unless
+// the outputs are identical.
+func runSchedCompare(out io.Writer, n, workers int) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rng := rand.New(rand.NewSource(99))
+	offers, err := workload.Population(rng, n, 3, workload.DefaultMix())
+	if err != nil {
+		return err
+	}
+	var expected int64
+	for _, f := range offers {
+		expected += (f.TotalMin + f.TotalMax) / 2
+	}
+	horizon := 4 * workload.SlotsPerDay
+	target := workload.WindProfile(rng, horizon, expected/int64(horizon))
+
+	t0 := time.Now()
+	legacy, err := sched.Schedule(offers, target, sched.Options{FullRecompute: true})
+	if err != nil {
+		return err
+	}
+	legacyDur := time.Since(t0)
+
+	t0 = time.Now()
+	incremental, err := sched.Schedule(offers, target, sched.Options{})
+	if err != nil {
+		return err
+	}
+	incrementalDur := time.Since(t0)
+
+	if !reflect.DeepEqual(legacy, incremental) {
+		return fmt.Errorf("incremental schedule diverged from legacy over %d offers", n)
+	}
+	fmt.Fprintf(out, "scheduled %d offers over %d slots (imbalance %.0f)\n",
+		n, horizon, incremental.Imbalance(target))
+	fmt.Fprintf(out, "legacy evaluator:      %v\n", legacyDur)
+	fmt.Fprintf(out, "incremental evaluator: %v  (%.2fx speedup)\n",
+		incrementalDur, float64(legacyDur)/float64(incrementalDur))
+	fmt.Fprintln(out, "legacy and incremental schedules are identical")
+
+	// Batch vs streaming pipeline over the aggregated fleet.
+	gp := aggregate.GroupParams{ESTTolerance: 4, TFTolerance: -1, MaxGroupSize: 64}
+	t0 = time.Now()
+	ags, err := aggregate.AggregateAllSafe(offers, gp)
+	if err != nil {
+		return err
+	}
+	aggOffers := make([]*flexoffer.FlexOffer, len(ags))
+	for i, ag := range ags {
+		aggOffers[i] = ag.Offer
+	}
+	batchRes, err := sched.Schedule(aggOffers, target, sched.Options{})
+	if err != nil {
+		return err
+	}
+	if _, err := aggregate.DisaggregateAllParallel(context.Background(), ags, batchRes.Assignments,
+		aggregate.ParallelParams{Workers: 1}); err != nil {
+		return err
+	}
+	batchDur := time.Since(t0)
+
+	t0 = time.Now()
+	pp := aggregate.ParallelParams{Workers: workers}
+	items, groups := aggregate.AggregateAllSafeStream(context.Background(), offers, gp, pp)
+	streamRes, err := sched.ScheduleStream(context.Background(), items, groups, target, sched.Options{})
+	if err != nil {
+		return err
+	}
+	if _, err := aggregate.DisaggregateAllParallel(context.Background(), streamRes.Aggregates, streamRes.Assignments, pp); err != nil {
+		return err
+	}
+	streamDur := time.Since(t0)
+
+	if !reflect.DeepEqual(batchRes.Assignments, streamRes.Assignments) || !batchRes.Load.Equal(streamRes.Load) {
+		return fmt.Errorf("streaming pipeline diverged from batch over %d aggregates", len(ags))
+	}
+	fmt.Fprintf(out, "pipelined %d offers → %d aggregates\n", n, len(ags))
+	fmt.Fprintf(out, "batch (serial):       %v\n", batchDur)
+	fmt.Fprintf(out, "streaming (pipeline): %v  (%d workers, %.2fx speedup)\n",
+		streamDur, workers, float64(batchDur)/float64(streamDur))
+	fmt.Fprintln(out, "batch and streaming schedules are identical")
 	return nil
 }

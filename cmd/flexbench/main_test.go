@@ -61,3 +61,22 @@ func TestRunAllWithCheck(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunSchedCompare(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runSchedCompare(&buf, 500, 4); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "legacy and incremental schedules are identical") ||
+		!strings.Contains(out, "batch and streaming schedules are identical") {
+		t.Errorf("comparison output wrong:\n%s", out)
+	}
+}
+
+// TestRunSchedFlag covers the flag wiring from run() to runSchedCompare.
+func TestRunSchedFlag(t *testing.T) {
+	if err := run([]string{"-sched", "150", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,6 +12,8 @@
 //	flexctl aggregate -est 4 offers.json     # group + aggregate, report losses
 //	flexctl aggregate -workers 8 offers.json # same, aggregating groups in parallel
 //	flexctl schedule -horizon 72 offers.json # greedy schedule vs. flat target
+//	flexctl schedule -pipeline -workers 8 offers.json
+//	                                         # streaming group→aggregate→schedule→disaggregate
 package main
 
 import (
@@ -22,6 +24,7 @@ import (
 	"io"
 	"os"
 
+	flex "flexmeasures"
 	"flexmeasures/internal/aggregate"
 	"flexmeasures/internal/core"
 	"flexmeasures/internal/flexoffer"
@@ -354,6 +357,13 @@ func cmdSchedule(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("schedule", flag.ContinueOnError)
 	horizon := fs.Int("horizon", 48, "scheduling horizon in time units")
 	level := fs.Int64("target", -1, "flat target level per slot (-1: fleet average)")
+	cap := fs.Int64("cap", 0, "soft peak cap (0: uncapped)")
+	legacy := fs.Bool("legacy", false, "use the legacy full-recompute candidate evaluator")
+	pipeline := fs.Bool("pipeline", false, "stream group→aggregate→schedule→disaggregate instead of scheduling raw offers")
+	workers := fs.Int("workers", 0, "pipeline worker-pool size (with -pipeline; 0: one per CPU)")
+	est := fs.Int("est", 2, "earliest-start-time grouping tolerance (with -pipeline)")
+	tft := fs.Int("tft", -1, "time-flexibility grouping tolerance (with -pipeline; -1: unbounded)")
+	size := fs.Int("max-group", 0, "maximum group size (with -pipeline; 0: unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -370,7 +380,34 @@ func cmdSchedule(args []string, out io.Writer) error {
 		lvl = expected / int64(*horizon)
 	}
 	target := timeseries.Constant(0, *horizon, lvl)
-	res, err := sched.Schedule(offers, target, sched.Options{})
+	if *pipeline {
+		if *legacy {
+			return fmt.Errorf("-legacy applies to direct scheduling only: the streaming pipeline always uses the incremental evaluator")
+		}
+		cfg := flex.Config{
+			Group:   flex.GroupParams{ESTTolerance: *est, TFTolerance: *tft, MaxGroupSize: *size},
+			Workers: *workers,
+			// Safe aggregation guarantees the disaggregation stage
+			// succeeds for whatever assignments the scheduler picks.
+			Safe:    true,
+			PeakCap: *cap,
+		}
+		res, err := flex.SchedulePipeline(context.Background(), offers, target, cfg)
+		if err != nil {
+			return err
+		}
+		prosumers := 0
+		for _, parts := range res.Disaggregated {
+			prosumers += len(parts)
+		}
+		fmt.Fprintf(out, "pipelined %d offers → %d aggregates → %d prosumer assignments (%d workers)\n",
+			len(offers), len(res.Aggregates), prosumers, *workers)
+		fmt.Fprintf(out, "target %d/slot over %d slots\n", lvl, *horizon)
+		fmt.Fprintf(out, "imbalance (L1): %.0f   peak load: %d\n",
+			res.AggregateSchedule.Imbalance(target), res.AggregateSchedule.PeakLoad())
+		return nil
+	}
+	res, err := sched.Schedule(offers, target, sched.Options{PeakCap: *cap, FullRecompute: *legacy})
 	if err != nil {
 		return err
 	}

@@ -32,6 +32,19 @@
 // (collect-all mode), each identifying the failing group by index, size
 // and first constituent ID.
 //
+// # Streaming scheduling pipeline
+//
+// SchedulePipeline chains the paper's entire Scenario 1 — group →
+// aggregate → schedule → disaggregate — without materializing the
+// aggregate batch: AggregateAllStream hands each finished aggregate
+// straight to the scheduler, which places it the moment its group index
+// is next, and DisaggregateAllParallel fans the scheduled aggregates
+// back out to per-prosumer assignments on the same worker pool. The
+// scheduler itself scores every candidate start in O(profile) with zero
+// allocations via an incremental load−target residual
+// (timeseries.Accumulator); ScheduleOptions.FullRecompute retains the
+// legacy full-recompute evaluator as an equivalence oracle.
+//
 // # Quick start
 //
 //	f, err := flex.NewFlexOffer(1, 6,
@@ -54,6 +67,7 @@ import (
 	"flexmeasures/internal/core"
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/grid"
+	"flexmeasures/internal/sched"
 	"flexmeasures/internal/timeseries"
 )
 
@@ -286,6 +300,10 @@ type Config struct {
 	// before aggregating (AggregateSafe), guaranteeing that every valid
 	// aggregate assignment disaggregates.
 	Safe bool
+	// PeakCap, when positive, makes SchedulePipeline treat |load| above
+	// the cap as prohibitively expensive (soft cap; see
+	// ScheduleOptions.PeakCap).
+	PeakCap int64
 }
 
 // AggregateWithConfig groups and aggregates under cfg, routing to the
@@ -307,6 +325,90 @@ func AggregateWithConfig(ctx context.Context, offers []*FlexOffer, cfg Config) (
 		return aggregate.AggregateAllSafeParallel(ctx, offers, cfg.Group, pp)
 	}
 	return aggregate.AggregateAllParallelCtx(ctx, offers, cfg.Group, pp)
+}
+
+// AggregateStreamItem is one completed group of a streaming
+// aggregation: items arrive in completion order and Index identifies
+// the group in grouping order.
+type AggregateStreamItem = aggregate.StreamItem
+
+// AggregateAllStream groups and aggregates concurrently, emitting each
+// aggregate as soon as its worker finishes it; the returned count tells
+// the consumer how many items to expect. The streaming input side of
+// SchedulePipeline, exposed for consumers with their own placement
+// logic.
+func AggregateAllStream(ctx context.Context, offers []*FlexOffer, gp GroupParams, pp ParallelParams) (<-chan AggregateStreamItem, int) {
+	return aggregate.AggregateAllStream(ctx, offers, gp, pp)
+}
+
+// DisaggregateAllParallel maps scheduled aggregate assignments back to
+// their constituents concurrently: assignments[i] must be valid for
+// ags[i].Offer, and the result holds one assignment per constituent in
+// constituent order. Failure reporting follows pp.ErrorMode exactly
+// like the aggregation pipeline.
+func DisaggregateAllParallel(ctx context.Context, ags []*Aggregated, assignments []Assignment, pp ParallelParams) ([][]Assignment, error) {
+	return aggregate.DisaggregateAllParallel(ctx, ags, assignments, pp)
+}
+
+// PipelineResult is the output of SchedulePipeline: the complete
+// Scenario-1 chain from raw offers to per-prosumer assignments.
+type PipelineResult struct {
+	// Aggregates holds the aggregated groups in group order.
+	Aggregates []*Aggregated
+	// AggregateSchedule is the schedule of the aggregates:
+	// AggregateSchedule.Assignments[i] instantiates Aggregates[i].Offer.
+	AggregateSchedule *ScheduleResult
+	// Disaggregated[i][j] is the assignment of
+	// Aggregates[i].Constituents[j]. Disaggregation preserves slot-wise
+	// sums, so the constituent assignments reproduce Load exactly.
+	Disaggregated [][]Assignment
+	// Load is the slot-wise total load of the schedule.
+	Load Series
+}
+
+// SchedulePipeline runs the paper's full Scenario-1 chain — group →
+// aggregate → schedule → disaggregate — as one streaming pipeline:
+// aggregation workers (cfg.Workers, one per CPU when 0) hand each
+// finished aggregate straight to the scheduler, which places it as soon
+// as its group index is next, overlapping aggregation CPU with
+// placement instead of materializing the full aggregate batch first;
+// the scheduled aggregates are then disaggregated by the same worker
+// pool. The resulting schedule is identical to the materialized
+// sequence AggregateWithConfig → Schedule (arrival order) →
+// Disaggregate for every worker count.
+//
+// Scheduling uses arrival (group) order and the incremental evaluator;
+// cfg.PeakCap applies a soft peak cap, and cfg.Safe guarantees
+// disaggregability by tightening constituents before aggregation.
+func SchedulePipeline(ctx context.Context, offers []*FlexOffer, target Series, cfg Config) (*PipelineResult, error) {
+	// Cancelling on return releases the aggregation workers if
+	// scheduling or disaggregation aborts early.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	pp := ParallelParams{Workers: cfg.Workers, ErrorMode: cfg.ErrorMode}
+	var (
+		items <-chan AggregateStreamItem
+		n     int
+	)
+	if cfg.Safe {
+		items, n = aggregate.AggregateAllSafeStream(ctx, offers, cfg.Group, pp)
+	} else {
+		items, n = aggregate.AggregateAllStream(ctx, offers, cfg.Group, pp)
+	}
+	sr, err := sched.ScheduleStream(ctx, items, n, target, sched.Options{PeakCap: cfg.PeakCap})
+	if err != nil {
+		return nil, err
+	}
+	parts, err := aggregate.DisaggregateAllParallel(ctx, sr.Aggregates, sr.Assignments, pp)
+	if err != nil {
+		return nil, err
+	}
+	return &PipelineResult{
+		Aggregates:        sr.Aggregates,
+		AggregateSchedule: &sr.Result,
+		Disaggregated:     parts,
+		Load:              sr.Load,
+	}, nil
 }
 
 // Alignment selects the anchoring of constituents inside an aggregate

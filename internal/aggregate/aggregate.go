@@ -390,13 +390,31 @@ func Group(offers []*flexoffer.FlexOffer, p GroupParams) [][]*flexoffer.FlexOffe
 	if len(offers) == 0 {
 		return nil
 	}
-	sorted := append([]*flexoffer.FlexOffer(nil), offers...)
-	sort.SliceStable(sorted, func(i, j int) bool {
-		if sorted[i].EarliestStart != sorted[j].EarliestStart {
-			return sorted[i].EarliestStart < sorted[j].EarliestStart
+	// Precompute the sort keys once: with a comparator that recomputes
+	// them, a sort of n offers pays the key derivation O(n log n) times
+	// and chases the offer pointers on every comparison. Sorting a
+	// permutation over flat key slices keeps the comparator to two
+	// integer loads. The stable sort over identical keys yields exactly
+	// the permutation the previous offer-slice sort produced.
+	perm := make([]int, len(offers))
+	ests := make([]int, len(offers))
+	tfs := make([]int, len(offers))
+	for i, f := range offers {
+		perm[i] = i
+		ests[i] = f.EarliestStart
+		tfs[i] = f.TimeFlexibility()
+	}
+	sort.SliceStable(perm, func(i, j int) bool {
+		a, b := perm[i], perm[j]
+		if ests[a] != ests[b] {
+			return ests[a] < ests[b]
 		}
-		return sorted[i].TimeFlexibility() < sorted[j].TimeFlexibility()
+		return tfs[a] < tfs[b]
 	})
+	sorted := make([]*flexoffer.FlexOffer, len(offers))
+	for i, p := range perm {
+		sorted[i] = offers[p]
+	}
 	var groups [][]*flexoffer.FlexOffer
 	var cur []*flexoffer.FlexOffer
 	var baseEST, minTF, maxTF int

@@ -194,17 +194,154 @@ func aggregateGroupsParallel(ctx context.Context, groups [][]*flexoffer.FlexOffe
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	if failed.Load() {
-		var errs GroupErrors
-		for _, e := range errSlots {
-			if e != nil {
-				errs = append(errs, e)
+	if err := collectFailures(errSlots, pp.ErrorMode); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// collectFailures folds per-index failure slots into the mode's error
+// shape: the lowest-indexed failure alone (FirstError) or all of them
+// sorted by index (CollectAll). Nil when nothing failed.
+func collectFailures(errSlots []*GroupError, mode ErrorMode) error {
+	var errs GroupErrors
+	for _, e := range errSlots {
+		if e != nil {
+			errs = append(errs, e)
+		}
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	if mode == FirstError {
+		return errs[0]
+	}
+	return errs
+}
+
+// StreamItem is one completed group of a streaming aggregation. Items
+// arrive in completion order, not group order; Index identifies the
+// group in grouping-output order. Exactly one of Agg and Err is set.
+type StreamItem struct {
+	// Index is the group's position in grouping-output order.
+	Index int
+	// Agg is the group's aggregate (nil when the group failed).
+	Agg *Aggregated
+	// Err reports the group's failure (nil on success).
+	Err *GroupError
+}
+
+// AggregateAllStream groups the offers with gp and aggregates the
+// groups concurrently under pp, emitting each aggregate on the returned
+// channel as soon as its worker finishes it — the streaming counterpart
+// of AggregateAllParallel, for consumers (like sched.ScheduleStream)
+// that overlap their own work with aggregation instead of waiting for
+// the full batch. It returns the channel and the number of groups the
+// consumer should expect.
+//
+// The channel is buffered to the group count, so producers never block:
+// abandoning the channel mid-stream leaks no goroutines once the
+// in-flight groups finish, and cancelling ctx stops workers from
+// claiming further groups. The channel is closed when every group has
+// been aggregated, failed, or been skipped. In FirstError mode workers
+// stop claiming groups after the first failure (the failing item is
+// still delivered); in CollectAll mode every group is attempted and
+// every failure delivered.
+func AggregateAllStream(ctx context.Context, offers []*flexoffer.FlexOffer, gp GroupParams, pp ParallelParams) (<-chan StreamItem, int) {
+	return streamGroups(ctx, Group(offers, gp), Aggregate, pp)
+}
+
+// AggregateAllSafeStream is AggregateAllStream using AggregateSafe per
+// group (every valid aggregate assignment disaggregates).
+func AggregateAllSafeStream(ctx context.Context, offers []*flexoffer.FlexOffer, gp GroupParams, pp ParallelParams) (<-chan StreamItem, int) {
+	return streamGroups(ctx, Group(offers, gp), AggregateSafe, pp)
+}
+
+// AggregateGroupsStream streams the aggregation of pre-computed groups
+// (from Group, BalanceGroups or OptimizeGroups).
+func AggregateGroupsStream(ctx context.Context, groups [][]*flexoffer.FlexOffer, pp ParallelParams) (<-chan StreamItem, int) {
+	return streamGroups(ctx, groups, Aggregate, pp)
+}
+
+// streamGroups fans the groups out across the worker pool and emits
+// each result as it completes.
+func streamGroups(ctx context.Context, groups [][]*flexoffer.FlexOffer, agg func([]*flexoffer.FlexOffer) (*Aggregated, error), pp ParallelParams) (<-chan StreamItem, int) {
+	n := len(groups)
+	ch := make(chan StreamItem, n)
+	if n == 0 {
+		close(ch)
+		return ch, 0
+	}
+	done := ctx.Done()
+	go func() {
+		defer close(ch)
+		var failed atomic.Bool
+		forEachIndexBatch(n, pp.Workers, pp.BatchSize, func(i int) {
+			if pp.ErrorMode == FirstError && failed.Load() {
+				return
 			}
+			select {
+			case <-done:
+				return
+			default:
+			}
+			ag, err := agg(groups[i])
+			if err != nil {
+				failed.Store(true)
+				ch <- StreamItem{Index: i, Err: newGroupError(i, groups[i], err)}
+				return
+			}
+			ch <- StreamItem{Index: i, Agg: ag}
+		})
+	}()
+	return ch, n
+}
+
+// DisaggregateAllParallel maps scheduled aggregate assignments back to
+// their constituents concurrently: assignments[i] must be a valid
+// assignment of ags[i].Offer, and out[i] holds one assignment per
+// ags[i].Constituents in constituent order. Per-aggregate repair shares
+// no state across aggregates, so the fan-out is the same worker-pool
+// shape as the aggregation pipeline, with identical determinism (each
+// result lands in its own slot) and failure reporting (GroupError /
+// GroupErrors keyed by aggregate index).
+func DisaggregateAllParallel(ctx context.Context, ags []*Aggregated, assignments []flexoffer.Assignment, pp ParallelParams) ([][]flexoffer.Assignment, error) {
+	if len(assignments) != len(ags) {
+		return nil, fmt.Errorf("aggregate: %d assignments for %d aggregates", len(assignments), len(ags))
+	}
+	n := len(ags)
+	out := make([][]flexoffer.Assignment, n)
+	if n == 0 {
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	errSlots := make([]*GroupError, n)
+	var failed atomic.Bool
+	done := ctx.Done()
+	forEachIndexBatch(n, pp.Workers, pp.BatchSize, func(i int) {
+		if pp.ErrorMode == FirstError && failed.Load() {
+			return
 		}
-		if pp.ErrorMode == FirstError {
-			return nil, errs[0]
+		select {
+		case <-done:
+			return
+		default:
 		}
-		return nil, errs
+		parts, err := ags[i].Disaggregate(assignments[i])
+		if err != nil {
+			errSlots[i] = newGroupError(i, ags[i].Constituents, err)
+			failed.Store(true)
+			return
+		}
+		out[i] = parts
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := collectFailures(errSlots, pp.ErrorMode); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

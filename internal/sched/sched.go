@@ -79,6 +79,14 @@ type Options struct {
 	// when the fleet's mandatory energy cannot fit under it, the
 	// schedule is still produced, with the overage minimised.
 	PeakCap int64
+	// FullRecompute switches Schedule to the legacy candidate
+	// evaluator, which materializes the full load and difference series
+	// and recomputes their O(horizon) norm for every candidate start.
+	// The default incremental evaluator scores each candidate in O(k)
+	// over only the offer's own slots and produces identical schedules
+	// (the equivalence property test pins this); the legacy path is
+	// retained as the oracle for that test and for flexbench -sched.
+	FullRecompute bool
 }
 
 // Result is a complete schedule: one assignment per offer (by input
@@ -119,6 +127,11 @@ func (r *Result) PeakLoad() int64 {
 // into [cmin, cmax], and the start with the smallest resulting imbalance
 // contribution wins. The returned assignments are always valid for their
 // offers.
+//
+// By default candidates are scored by the incremental delta evaluator
+// (see incremental.go), which does zero allocations in the candidate
+// loop; Options.FullRecompute selects the legacy full-recompute
+// evaluator. Both produce identical schedules.
 func Schedule(offers []*flexoffer.FlexOffer, target timeseries.Series, opts Options) (*Result, error) {
 	if len(offers) == 0 {
 		return nil, ErrNoOffers
@@ -127,6 +140,27 @@ func Schedule(offers []*flexoffer.FlexOffer, target timeseries.Series, opts Opti
 	if err != nil {
 		return nil, err
 	}
+	if opts.FullRecompute {
+		return scheduleFullRecompute(offers, order, target, opts)
+	}
+	res := &Result{Assignments: make([]flexoffer.Assignment, len(offers))}
+	ev := newEvaluator(target, opts.PeakCap)
+	ev.reserve(offers)
+	for _, idx := range order {
+		a, err := placeOffer(ev, offers[idx], idx)
+		if err != nil {
+			return nil, err
+		}
+		res.Assignments[idx] = a
+	}
+	res.Load = ev.loadSeries()
+	return res, nil
+}
+
+// scheduleFullRecompute is the legacy scheduling loop: every candidate
+// evaluation materializes the would-be load and its difference to the
+// target. Kept as the equivalence oracle for the incremental evaluator.
+func scheduleFullRecompute(offers []*flexoffer.FlexOffer, order []int, target timeseries.Series, opts Options) (*Result, error) {
 	res := &Result{Assignments: make([]flexoffer.Assignment, len(offers))}
 	load := timeseries.Series{}
 	for _, idx := range order {
@@ -191,12 +225,16 @@ func placeOne(f *flexoffer.FlexOffer, load, target timeseries.Series) (flexoffer
 	return placeOneCapped(f, load, target, 0)
 }
 
-// placeOneCapped is placeOne with a soft peak cap: every unit of |load|
-// above the cap costs vastly more than any imbalance, so capped
-// placements are preferred whenever one exists.
+// placeOneCapped is placeOne with a soft peak cap: any amount of |load|
+// above the cap outranks any amount of imbalance, so capped placements
+// are preferred whenever one exists. Candidates are compared by the
+// exact integer pair (overage, imbalance) — lexicographically, via
+// betterCost — rather than a float-weighted sum, so the ranking is
+// identical to the incremental evaluator's delta ranking at every
+// magnitude (float64 summation would lose low-order bits past 2^53).
 func placeOneCapped(f *flexoffer.FlexOffer, load, target timeseries.Series, cap int64) (flexoffer.Assignment, error) {
 	var best flexoffer.Assignment
-	bestCost := 0.0
+	var bestAbs, bestOver int64
 	found := false
 	for start := f.EarliestStart; start <= f.LatestStart; start++ {
 		a, err := fitValues(f, start, load, target)
@@ -204,18 +242,42 @@ func placeOneCapped(f *flexoffer.FlexOffer, load, target timeseries.Series, cap 
 			continue
 		}
 		after := timeseries.Add(load, a.Series())
-		cost := timeseries.Sub(after, target).NormL1()
+		costAbs := normL1Int(timeseries.Sub(after, target))
+		var costOver int64
 		if cap > 0 {
-			cost += 1e9 * float64(overage(after, cap))
+			costOver = overage(after, cap)
 		}
-		if !found || cost < bestCost {
-			best, bestCost, found = a, cost, true
+		if !found || betterCost(costOver, costAbs, bestOver, bestAbs) {
+			best, bestAbs, bestOver, found = a, costAbs, costOver, true
 		}
 	}
 	if !found {
 		return flexoffer.Assignment{}, flexoffer.ErrInfeasibleTotal
 	}
 	return best, nil
+}
+
+// betterCost ranks candidate costs: less overage wins outright (the cap
+// is "prohibitively expensive"), imbalance breaks ties. Strict
+// comparison, so among equals the earliest-scanned start wins — the
+// tie-break both evaluators share.
+func betterCost(over, abs, bestOver, bestAbs int64) bool {
+	if over != bestOver {
+		return over < bestOver
+	}
+	return abs < bestAbs
+}
+
+// normL1Int is the L1 norm in exact integer arithmetic.
+func normL1Int(s timeseries.Series) int64 {
+	var sum int64
+	for _, v := range s.Values {
+		if v < 0 {
+			v = -v
+		}
+		sum += v
+	}
+	return sum
 }
 
 // overage sums |load| above the cap across all slots.
@@ -234,44 +296,125 @@ func overage(load timeseries.Series, cap int64) int64 {
 
 // fitValues chooses slice values at the given start that close the gap
 // to the target, then repairs the total into [cmin, cmax] by moving the
-// value set as little as possible.
+// value set as little as possible. It is the legacy evaluator's wrapper
+// around fitInto (incremental.go), so both evaluators choose identical
+// values.
 func fitValues(f *flexoffer.FlexOffer, start int, load, target timeseries.Series) (flexoffer.Assignment, error) {
 	a := flexoffer.Assignment{Start: start, Values: make([]int64, f.NumSlices())}
-	for i, s := range f.Slices {
+	residual := make([]int64, f.NumSlices())
+	for i := range residual {
 		t := start + i
-		want := target.At(t) - load.At(t)
-		v := want
-		if v < s.Min {
-			v = s.Min
-		}
-		if v > s.Max {
-			v = s.Max
-		}
-		a.Values[i] = v
+		residual[i] = load.At(t) - target.At(t)
 	}
-	total := a.TotalEnergy()
-	// Repair the total: raise the cheapest slots (largest remaining
-	// headroom first would also work; slot order keeps it deterministic).
-	for i := 0; total < f.TotalMin && i < len(a.Values); i++ {
-		room := f.Slices[i].Max - a.Values[i]
-		need := f.TotalMin - total
-		if room > need {
-			room = need
-		}
-		a.Values[i] += room
-		total += room
-	}
-	for i := 0; total > f.TotalMax && i < len(a.Values); i++ {
-		spare := a.Values[i] - f.Slices[i].Min
-		excess := total - f.TotalMax
-		if spare > excess {
-			spare = excess
-		}
-		a.Values[i] -= spare
-		total -= spare
+	if !fitInto(f, residual, a.Values) {
+		return flexoffer.Assignment{}, flexoffer.ErrInfeasibleTotal
 	}
 	if err := f.ValidateAssignment(a); err != nil {
 		return flexoffer.Assignment{}, err
 	}
 	return a, nil
+}
+
+// repairTotal nudges vals — already clamped into their slice ranges — so
+// the total lands in [totalMin, totalMax], and reports whether it could
+// (false only when the slice ranges themselves cannot reach the band,
+// which cannot happen for a Validate-d offer).
+//
+// Both passes are headroom-greedy water-fills: the raise pass always
+// adds energy to the slots with the most remaining headroom (slice max
+// minus current value), lowering the largest headrooms level by level,
+// and the lower pass symmetrically drains the slots with the most spare
+// above their slice minima. Compared to the previous index-order repair
+// — which filled slot 0 to its maximum before touching slot 1, piling
+// the repaired energy onto the front of the profile — water-filling
+// spreads the repair across the profile, so repaired totals sit closer
+// to the slot-wise target shape and contribute smaller peaks.
+//
+// Determinism guarantee: the result is a pure function of (vals, slices,
+// totalMin, totalMax). Each round computes the current headroom level
+// from the values alone and distributes the remainder in ascending slot
+// order, so equal inputs — regardless of scheduling order, worker count
+// or previous calls — produce identical outputs. The scheduler's
+// equivalence and streaming tests rely on this.
+func repairTotal(vals []int64, slices []flexoffer.Slice, totalMin, totalMax int64) bool {
+	var total int64
+	for _, v := range vals {
+		total += v
+	}
+	if total < totalMin {
+		return waterFill(vals, slices, totalMin-total, +1)
+	}
+	if total > totalMax {
+		return waterFill(vals, slices, total-totalMax, -1)
+	}
+	return true
+}
+
+// waterFill moves amount units of energy into (dir=+1) or out of
+// (dir=−1) vals by repeatedly leveling the slots with the most headroom
+// — slice max minus value when raising, value minus slice min when
+// lowering — down to the runner-up headroom, then spreading the
+// remainder evenly in ascending slot order. One function serves both
+// directions so the passes cannot drift apart; it takes a sign instead
+// of accessor closures so the per-candidate hot path stays
+// allocation-free.
+func waterFill(vals []int64, slices []flexoffer.Slice, amount int64, dir int64) bool {
+	headroom := func(i int) int64 {
+		if dir > 0 {
+			return slices[i].Max - vals[i]
+		}
+		return vals[i] - slices[i].Min
+	}
+	for amount > 0 {
+		// Find the largest headroom, how many slots sit at it, and the
+		// runner-up level to drop them to.
+		maxH, second := int64(-1), int64(-1)
+		n := int64(0)
+		for i := range slices {
+			h := headroom(i)
+			switch {
+			case h > maxH:
+				second = maxH
+				maxH = h
+				n = 1
+			case h == maxH:
+				n++
+			case h > second:
+				second = h
+			}
+		}
+		if maxH <= 0 {
+			return false
+		}
+		if second < 0 {
+			second = 0
+		}
+		step := maxH - second // ≥ 1: second is always strictly below maxH
+		if capacity := n * step; capacity < amount {
+			// Drop every maximal slot to the runner-up level and repeat.
+			for i := range slices {
+				if headroom(i) == maxH {
+					vals[i] += dir * step
+				}
+			}
+			amount -= capacity
+			continue
+		}
+		// The maximal slots can absorb the rest; spread it evenly with
+		// the remainder going to the lowest-indexed slots.
+		q, rem := amount/n, amount%n
+		for i := range slices {
+			if headroom(i) != maxH {
+				continue
+			}
+			d := q
+			if rem > 0 {
+				d++
+				rem--
+			}
+			vals[i] += dir * d
+		}
+		return true
+	}
+	return true
 }

@@ -1,0 +1,119 @@
+package timeseries
+
+// Accumulator is a mutable integer-valued series over a growable
+// contiguous window, for hot paths that repeatedly fold small series
+// into a running total. Unlike the immutable Series operations (Add,
+// Sub), which materialize a fresh slice per call, an Accumulator is
+// written in place: folding a k-slot assignment into a running load
+// costs O(k) and zero allocations once the window covers it.
+//
+// Points outside the window read as zero, matching Series.At. The zero
+// value is an empty accumulator ready to use.
+type Accumulator struct {
+	lo   int
+	vals []int64
+}
+
+// NewAccumulator returns an empty accumulator.
+func NewAccumulator() *Accumulator { return &Accumulator{} }
+
+// Len reports the number of time units the window currently spans.
+func (a *Accumulator) Len() int { return len(a.vals) }
+
+// Lo returns the first time unit of the window (undefined when Len is 0).
+func (a *Accumulator) Lo() int { return a.lo }
+
+// Hi returns the first time unit after the window (undefined when Len
+// is 0).
+func (a *Accumulator) Hi() int { return a.lo + len(a.vals) }
+
+// Ensure grows the window to cover [lo, hi), preserving existing values
+// and zero-filling new cells. Shrinking never happens; covering ranges
+// are a no-op. Growth is the only allocating operation on an
+// accumulator, so callers that pre-size the window get allocation-free
+// updates from then on.
+func (a *Accumulator) Ensure(lo, hi int) {
+	if hi <= lo {
+		return
+	}
+	if len(a.vals) == 0 {
+		a.lo = lo
+		a.vals = make([]int64, hi-lo)
+		return
+	}
+	if lo >= a.lo && hi <= a.Hi() {
+		return
+	}
+	newLo, newHi := a.lo, a.Hi()
+	if lo < newLo {
+		newLo = lo
+	}
+	if hi > newHi {
+		newHi = hi
+	}
+	grown := make([]int64, newHi-newLo)
+	copy(grown[a.lo-newLo:], a.vals)
+	a.lo, a.vals = newLo, grown
+}
+
+// At returns the value at time t, or 0 when t is outside the window.
+func (a *Accumulator) At(t int) int64 {
+	if t < a.lo || t >= a.Hi() {
+		return 0
+	}
+	return a.vals[t-a.lo]
+}
+
+// Values returns the backing cells for [lo, hi) after ensuring the
+// window covers it. The slice aliases the accumulator's storage: writes
+// through it are visible to At and Snapshot, and it is invalidated by
+// the next Ensure that grows the window. It exists so per-candidate
+// loops can index cells directly instead of paying At's bounds checks.
+func (a *Accumulator) Values(lo, hi int) []int64 {
+	a.Ensure(lo, hi)
+	return a.vals[lo-a.lo : hi-a.lo]
+}
+
+// AddSeries folds s into the accumulator pointwise, growing the window
+// as needed.
+func (a *Accumulator) AddSeries(s Series) { a.AddScaled(s, 1) }
+
+// AddScaled folds k·s into the accumulator pointwise, growing the
+// window as needed. AddScaled(target, -1) turns a load accumulator into
+// a load−target residual.
+func (a *Accumulator) AddScaled(s Series, k int64) {
+	if s.IsEmpty() {
+		return
+	}
+	a.Ensure(s.Start, s.End())
+	cells := a.vals[s.Start-a.lo:]
+	for i, v := range s.Values {
+		cells[i] += k * v
+	}
+}
+
+// AddValues folds vals into the window starting at time start, growing
+// the window as needed.
+func (a *Accumulator) AddValues(start int, vals []int64) {
+	if len(vals) == 0 {
+		return
+	}
+	a.Ensure(start, start+len(vals))
+	cells := a.vals[start-a.lo:]
+	for i, v := range vals {
+		cells[i] += v
+	}
+}
+
+// Snapshot returns an immutable copy of [lo, hi), reading cells outside
+// the window as zero (the result always has length hi−lo).
+func (a *Accumulator) Snapshot(lo, hi int) Series {
+	if hi <= lo {
+		return Series{}
+	}
+	out := Series{Start: lo, Values: make([]int64, hi-lo)}
+	for t := lo; t < hi; t++ {
+		out.Values[t-lo] = a.At(t)
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package timeseries
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAccumulatorZeroValue(t *testing.T) {
+	var a Accumulator
+	if a.Len() != 0 {
+		t.Fatalf("Len = %d, want 0", a.Len())
+	}
+	if a.At(3) != 0 {
+		t.Fatalf("At on empty = %d, want 0", a.At(3))
+	}
+	if !a.Snapshot(0, 0).IsEmpty() {
+		t.Fatal("empty snapshot must be empty")
+	}
+}
+
+func TestAccumulatorEnsureGrowsBothSides(t *testing.T) {
+	a := NewAccumulator()
+	a.Ensure(2, 5)
+	a.AddValues(2, []int64{1, 2, 3})
+	a.Ensure(0, 8)
+	if a.Lo() != 0 || a.Hi() != 8 {
+		t.Fatalf("window [%d,%d), want [0,8)", a.Lo(), a.Hi())
+	}
+	want := []int64{0, 0, 1, 2, 3, 0, 0, 0}
+	for t2, w := range want {
+		if a.At(t2) != w {
+			t.Errorf("At(%d) = %d, want %d", t2, a.At(t2), w)
+		}
+	}
+	// Covering ranges are no-ops.
+	a.Ensure(3, 4)
+	if a.Lo() != 0 || a.Hi() != 8 {
+		t.Fatalf("no-op Ensure changed window to [%d,%d)", a.Lo(), a.Hi())
+	}
+}
+
+func TestAccumulatorMatchesSeriesAdd(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		acc := NewAccumulator()
+		var sum Series
+		for i := 0; i < 8; i++ {
+			start := r.Intn(20) - 5
+			vals := make([]int64, 1+r.Intn(6))
+			for j := range vals {
+				vals[j] = int64(r.Intn(21) - 10)
+			}
+			s := New(start, vals...)
+			acc.AddSeries(s)
+			sum = Add(sum, s)
+		}
+		got := acc.Snapshot(sum.Start, sum.End())
+		if !got.Equal(sum) {
+			t.Fatalf("trial %d: accumulator %v != folded series %v", trial, got, sum)
+		}
+	}
+}
+
+func TestAccumulatorAddScaled(t *testing.T) {
+	a := NewAccumulator()
+	target := New(1, 4, 5, 6)
+	a.AddScaled(target, -1)
+	a.AddValues(2, []int64{5})
+	if a.At(1) != -4 || a.At(2) != 0 || a.At(3) != -6 {
+		t.Fatalf("residual = [%d %d %d], want [-4 0 -6]", a.At(1), a.At(2), a.At(3))
+	}
+	a.AddScaled(Series{}, 3) // empty series is a no-op
+	if a.Len() != 3 {
+		t.Fatalf("empty AddScaled grew the window to %d", a.Len())
+	}
+}
+
+func TestAccumulatorValuesAliasing(t *testing.T) {
+	a := NewAccumulator()
+	cells := a.Values(4, 7)
+	if len(cells) != 3 {
+		t.Fatalf("len(cells) = %d, want 3", len(cells))
+	}
+	cells[1] = 9
+	if a.At(5) != 9 {
+		t.Fatalf("write through Values not visible: At(5) = %d", a.At(5))
+	}
+}
+
+func TestAccumulatorSnapshotOutsideWindow(t *testing.T) {
+	a := NewAccumulator()
+	a.AddValues(3, []int64{7})
+	s := a.Snapshot(1, 6)
+	want := New(1, 0, 0, 7, 0, 0)
+	if !s.Equal(want) {
+		t.Fatalf("snapshot %v, want %v", s, want)
+	}
+}
+
+func TestAccumulatorNoAllocsWhenPresized(t *testing.T) {
+	a := NewAccumulator()
+	a.Ensure(0, 100)
+	vals := []int64{1, 2, 3, 4}
+	allocs := testing.AllocsPerRun(100, func() {
+		a.AddValues(10, vals)
+		_ = a.Values(10, 14)
+		_ = a.At(12)
+	})
+	if allocs != 0 {
+		t.Fatalf("pre-sized accumulator allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -1,0 +1,138 @@
+package flex
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"flexmeasures/internal/timeseries"
+)
+
+func pipelineFixture(t *testing.T, n int) ([]*FlexOffer, Series, Config) {
+	t.Helper()
+	r := rand.New(rand.NewSource(2026))
+	offers, err := Population(r, n, 2, DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expected int64
+	for _, f := range offers {
+		expected += (f.TotalMin + f.TotalMax) / 2
+	}
+	horizon := 3 * SlotsPerDay
+	target := WindProfile(r, horizon, expected/int64(horizon))
+	cfg := Config{
+		Group: GroupParams{ESTTolerance: 3, TFTolerance: -1, MaxGroupSize: 24},
+		// Safe aggregation guarantees the disaggregation stage succeeds
+		// for whatever assignment the scheduler picks.
+		Safe: true,
+	}
+	return offers, target, cfg
+}
+
+// TestSchedulePipelineMatchesBatch pins the pipeline's defining
+// property: the streaming group→aggregate→schedule→disaggregate chain
+// produces exactly the schedule of the materialized batch sequence, for
+// several worker counts.
+func TestSchedulePipelineMatchesBatch(t *testing.T) {
+	offers, target, cfg := pipelineFixture(t, 400)
+
+	// Materialized reference path.
+	batchCfg := cfg
+	batchCfg.Workers = 1
+	ags, err := AggregateWithConfig(context.Background(), offers, batchCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggOffers := make([]*FlexOffer, len(ags))
+	for i, ag := range ags {
+		aggOffers[i] = ag.Offer
+	}
+	batch, err := Schedule(aggOffers, target, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 4} {
+		cfg.Workers = workers
+		res, err := SchedulePipeline(context.Background(), offers, target, cfg)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(res.AggregateSchedule.Assignments, batch.Assignments) {
+			t.Fatalf("workers=%d: pipeline schedule diverges from batch", workers)
+		}
+		if !res.Load.Equal(batch.Load) {
+			t.Fatalf("workers=%d: pipeline load diverges from batch", workers)
+		}
+		if len(res.Aggregates) != len(ags) || len(res.Disaggregated) != len(ags) {
+			t.Fatalf("workers=%d: %d aggregates, %d disaggregations, want %d",
+				workers, len(res.Aggregates), len(res.Disaggregated), len(ags))
+		}
+	}
+}
+
+// TestSchedulePipelineDisaggregationValid checks the last stage: every
+// constituent assignment is valid and the slot-wise sums reproduce the
+// aggregate schedule (the grid-level profile survives disaggregation).
+func TestSchedulePipelineDisaggregationValid(t *testing.T) {
+	offers, target, cfg := pipelineFixture(t, 250)
+	cfg.Workers = 4
+	res, err := SchedulePipeline(context.Background(), offers, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prosumers := 0
+	for i, ag := range res.Aggregates {
+		var sum Series
+		for j, p := range res.Disaggregated[i] {
+			if err := ag.Constituents[j].ValidateAssignment(p); err != nil {
+				t.Fatalf("aggregate %d constituent %d: %v", i, j, err)
+			}
+			sum = timeseries.Add(sum, p.Series())
+			prosumers++
+		}
+		if !sum.EquivalentZeroPadded(res.AggregateSchedule.Assignments[i].Series()) {
+			t.Fatalf("aggregate %d: disaggregation changed the profile", i)
+		}
+	}
+	if prosumers != len(offers) {
+		t.Fatalf("disaggregated %d prosumers of %d", prosumers, len(offers))
+	}
+}
+
+// TestSchedulePipelinePeakCap: the cap reaches the streaming scheduler.
+func TestSchedulePipelinePeakCap(t *testing.T) {
+	offers, target, cfg := pipelineFixture(t, 150)
+	cfg.Workers = 2
+	uncapped, err := SchedulePipeline(context.Background(), offers, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := uncapped.AggregateSchedule.PeakLoad()
+	cfg.PeakCap = base * 3 / 4
+	capped, err := SchedulePipeline(context.Background(), offers, target, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.AggregateSchedule.PeakLoad() > base {
+		t.Errorf("capped peak %d exceeds uncapped %d", capped.AggregateSchedule.PeakLoad(), base)
+	}
+}
+
+func TestSchedulePipelineNoOffers(t *testing.T) {
+	_, target, cfg := pipelineFixture(t, 10)
+	if _, err := SchedulePipeline(context.Background(), nil, target, cfg); err == nil {
+		t.Fatal("empty pipeline must error")
+	}
+}
+
+func TestSchedulePipelineCancelled(t *testing.T) {
+	offers, target, cfg := pipelineFixture(t, 100)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SchedulePipeline(ctx, offers, target, cfg); err == nil {
+		t.Fatal("cancelled pipeline must error")
+	}
+}
