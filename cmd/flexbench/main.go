@@ -26,6 +26,15 @@
 //
 //	flexbench -sched 1000             # legacy vs incremental + batch vs streaming
 //	flexbench -sched 1000 -workers 4  # pin the pipeline worker-pool size
+//
+// -engine measures what the Engine's persistent worker pool buys over
+// the legacy execution model, which spun a goroutine pool up and down
+// on every call: both run the same repeated aggregation batches, one
+// through per-call spin-up, one through one long-lived flex.Engine
+// (verifying identical aggregates):
+//
+//	flexbench -engine 2000            # repeated batches, spin-up vs persistent pool
+//	flexbench -engine 2000 -workers 4 # pin the pool size
 package main
 
 import (
@@ -39,6 +48,7 @@ import (
 	"runtime"
 	"time"
 
+	flex "flexmeasures"
 	"flexmeasures/internal/aggregate"
 	"flexmeasures/internal/experiments"
 	"flexmeasures/internal/flexoffer"
@@ -60,7 +70,8 @@ func run(args []string) error {
 	check := fs.Bool("check", false, "fail when any measured value mismatches the paper")
 	aggN := fs.Int("agg", 0, "compare serial vs parallel aggregation over N synthetic offers and exit")
 	schedN := fs.Int("sched", 0, "compare legacy vs incremental scheduling and batch vs streaming pipeline over N synthetic offers and exit")
-	workers := fs.Int("workers", 0, "worker-pool size for -agg / -sched (0: one per CPU)")
+	engineN := fs.Int("engine", 0, "compare per-call pool spin-up vs the persistent Engine pool over repeated batches of N synthetic offers and exit")
+	workers := fs.Int("workers", 0, "worker-pool size for -agg / -sched / -engine (0: one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -69,6 +80,9 @@ func run(args []string) error {
 	}
 	if *schedN > 0 {
 		return runSchedCompare(os.Stdout, *schedN, *workers)
+	}
+	if *engineN > 0 {
+		return runEngineCompare(os.Stdout, *engineN, *workers)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -144,6 +158,67 @@ func runAggCompare(out io.Writer, n, workers int) error {
 	fmt.Fprintf(out, "serial:   %v\n", serialDur)
 	fmt.Fprintf(out, "parallel: %v  (%d workers, %.2fx speedup)\n", parallelDur, workers, speedup)
 	fmt.Fprintln(out, "serial and parallel outputs are identical")
+	return nil
+}
+
+// runEngineCompare measures the Engine's persistent-pool execution
+// model against per-call goroutine spin-up: the same aggregation batch
+// (seed 99, Scenario 1 grouping) is run repeatedly, once through the
+// legacy model that builds and tears down a worker pool inside every
+// call, once through one long-lived flex.Engine whose pool outlives
+// the calls. Both must produce identical aggregates every round. The
+// per-call delta is the pool setup cost the Engine removes from a
+// service's request hot path.
+func runEngineCompare(out io.Writer, n, workers int) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	offers, err := workload.Population(rand.New(rand.NewSource(99)), n, 3, workload.DefaultMix())
+	if err != nil {
+		return err
+	}
+	gp := aggregate.GroupParams{ESTTolerance: 4, TFTolerance: -1, MaxGroupSize: 64}
+	const rounds = 50
+
+	// Warm both paths once so first-call effects don't skew either side.
+	want, err := aggregate.AggregateAll(offers, gp)
+	if err != nil {
+		return err
+	}
+	eng := flex.New(flex.WithWorkers(workers), flex.WithGrouping(gp))
+	defer eng.Close()
+
+	t0 := time.Now()
+	for r := 0; r < rounds; r++ {
+		got, err := aggregate.AggregateAllParallelCtx(context.Background(), offers, gp,
+			aggregate.ParallelParams{Workers: workers})
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(want, got) {
+			return fmt.Errorf("spin-up aggregation diverged in round %d", r)
+		}
+	}
+	spinDur := time.Since(t0)
+
+	t0 = time.Now()
+	for r := 0; r < rounds; r++ {
+		got, err := eng.Aggregate(context.Background(), offers)
+		if err != nil {
+			return err
+		}
+		if !reflect.DeepEqual(want, got) {
+			return fmt.Errorf("engine aggregation diverged in round %d", r)
+		}
+	}
+	engineDur := time.Since(t0)
+
+	fmt.Fprintf(out, "%d rounds of aggregating %d offers into %d aggregates (%d workers)\n",
+		rounds, len(offers), len(want), workers)
+	fmt.Fprintf(out, "per-call spin-up:  %v total, %v/call\n", spinDur, spinDur/rounds)
+	fmt.Fprintf(out, "persistent engine: %v total, %v/call  (%.2fx speedup)\n",
+		engineDur, engineDur/rounds, float64(spinDur)/float64(engineDur))
+	fmt.Fprintln(out, "spin-up and engine outputs are identical")
 	return nil
 }
 

@@ -258,16 +258,24 @@ func cmdAggregate(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	var groups [][]*flexoffer.FlexOffer
-	if *balance {
-		groups = aggregate.BalanceGroups(offers, aggregate.BalanceParams{ESTTolerance: *est, MaxGroupSize: *size})
-	} else {
-		groups = aggregate.Group(offers, aggregate.GroupParams{ESTTolerance: *est, TFTolerance: *tft, MaxGroupSize: *size})
-	}
 	// CollectAll keeps the error output deterministic when several
 	// groups fail: every failure is reported, sorted by group index.
-	ags, err := aggregate.AggregateGroupsParallel(context.Background(), groups,
-		aggregate.ParallelParams{Workers: *workers, ErrorMode: aggregate.CollectAll})
+	var ags []*flex.Aggregated
+	if *balance {
+		// Balance-aware grouping has no engine option yet; aggregate the
+		// pre-computed groups on a per-call pool.
+		groups := aggregate.BalanceGroups(offers, aggregate.BalanceParams{ESTTolerance: *est, MaxGroupSize: *size})
+		ags, err = aggregate.AggregateGroupsParallel(context.Background(), groups,
+			aggregate.ParallelParams{Workers: *workers, ErrorMode: aggregate.CollectAll})
+	} else {
+		eng := flex.New(
+			flex.WithWorkers(*workers),
+			flex.WithGrouping(flex.GroupParams{ESTTolerance: *est, TFTolerance: *tft, MaxGroupSize: *size}),
+			flex.WithErrorMode(flex.CollectAll),
+		)
+		defer eng.Close()
+		ags, err = eng.Aggregate(context.Background(), offers)
+	}
 	if err != nil {
 		return err
 	}
@@ -283,7 +291,7 @@ func cmdAggregate(args []string, out io.Writer) error {
 			return err
 		}
 		rows = append(rows, []string{
-			fmt.Sprintf("%d", i), fmt.Sprintf("%d", len(groups[i])),
+			fmt.Sprintf("%d", i), fmt.Sprintf("%d", len(ag.Constituents)),
 			ag.Offer.Kind().String(),
 			fmt.Sprintf("%d", ag.Offer.TimeFlexibility()),
 			fmt.Sprintf("%d", ag.Offer.EnergyFlexibility()),
@@ -291,7 +299,7 @@ func cmdAggregate(args []string, out io.Writer) error {
 		})
 	}
 	fmt.Fprint(out, render.Table(header, rows))
-	fmt.Fprintf(out, "%d offers → %d aggregates\n", len(offers), len(groups))
+	fmt.Fprintf(out, "%d offers → %d aggregates\n", len(offers), len(ags))
 	return nil
 }
 
@@ -380,19 +388,32 @@ func cmdSchedule(args []string, out io.Writer) error {
 		lvl = expected / int64(*horizon)
 	}
 	target := timeseries.Constant(0, *horizon, lvl)
-	if *pipeline {
-		if *legacy {
+	if *legacy {
+		if *pipeline {
 			return fmt.Errorf("-legacy applies to direct scheduling only: the streaming pipeline always uses the incremental evaluator")
 		}
-		cfg := flex.Config{
-			Group:   flex.GroupParams{ESTTolerance: *est, TFTolerance: *tft, MaxGroupSize: *size},
-			Workers: *workers,
-			// Safe aggregation guarantees the disaggregation stage
-			// succeeds for whatever assignments the scheduler picks.
-			Safe:    true,
-			PeakCap: *cap,
+		res, err := sched.Schedule(offers, target, sched.Options{PeakCap: *cap, FullRecompute: true})
+		if err != nil {
+			return err
 		}
-		res, err := flex.SchedulePipeline(context.Background(), offers, target, cfg)
+		fmt.Fprintf(out, "scheduled %d offers against a flat target of %d/slot over %d slots\n",
+			len(offers), lvl, *horizon)
+		fmt.Fprintf(out, "imbalance (L1): %.0f   peak load: %d\n", res.Imbalance(target), res.PeakLoad())
+		return nil
+	}
+	// One engine option set serves both the direct and the pipelined
+	// schedule, so -cap means the same thing on either path.
+	eng := flex.New(
+		flex.WithWorkers(*workers),
+		flex.WithGrouping(flex.GroupParams{ESTTolerance: *est, TFTolerance: *tft, MaxGroupSize: *size}),
+		// Safe aggregation guarantees the disaggregation stage succeeds
+		// for whatever assignments the scheduler picks.
+		flex.WithSafe(true),
+		flex.WithPeakCap(*cap),
+	)
+	defer eng.Close()
+	if *pipeline {
+		res, err := eng.Pipeline(context.Background(), offers, target)
 		if err != nil {
 			return err
 		}
@@ -401,13 +422,13 @@ func cmdSchedule(args []string, out io.Writer) error {
 			prosumers += len(parts)
 		}
 		fmt.Fprintf(out, "pipelined %d offers → %d aggregates → %d prosumer assignments (%d workers)\n",
-			len(offers), len(res.Aggregates), prosumers, *workers)
+			len(offers), len(res.Aggregates), prosumers, eng.Workers())
 		fmt.Fprintf(out, "target %d/slot over %d slots\n", lvl, *horizon)
 		fmt.Fprintf(out, "imbalance (L1): %.0f   peak load: %d\n",
 			res.AggregateSchedule.Imbalance(target), res.AggregateSchedule.PeakLoad())
 		return nil
 	}
-	res, err := sched.Schedule(offers, target, sched.Options{PeakCap: *cap, FullRecompute: *legacy})
+	res, err := eng.Schedule(context.Background(), offers, target)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,378 @@
+package flex
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"flexmeasures/internal/aggregate"
+	"flexmeasures/internal/core"
+	"flexmeasures/internal/pool"
+	"flexmeasures/internal/sched"
+	"flexmeasures/internal/timeseries"
+)
+
+// Engine is the library's long-lived entry point: one option-configured
+// object that owns a persistent worker pool and presents the paper's
+// operations — aggregation (Scenario 1), scheduling, the full streaming
+// pipeline, disaggregation and the flexibility measures — as
+// context-first methods. Create one with New at startup, share it
+// freely (every method is safe for concurrent use; calls share the pool
+// without sharing any per-call state), and Close it on shutdown.
+//
+// The Engine exists because a service handling heavy traffic should not
+// pay goroutine-pool setup per request: the free functions this API
+// replaces each spun up and tore down their own workers on every call.
+// An Engine's pool outlives calls, so the per-request cost is the work
+// itself. Results are bit-identical to the deprecated free functions
+// for every worker count — the equivalence tests pin this down.
+//
+// One option set governs every method: WithPeakCap, for example,
+// applies to Schedule and Pipeline alike, so the same cap can never
+// silently differ between the two paths (the trap the legacy
+// Config.PeakCap — consulted only by SchedulePipeline — left open).
+type Engine struct {
+	opts engineOptions
+	// pool is nil when the engine is serial (WithWorkers(1)): methods
+	// then run entirely on the calling goroutine.
+	pool *pool.Pool
+}
+
+// engineOptions is the resolved option set of one Engine.
+type engineOptions struct {
+	workers int
+	group   GroupParams
+	safe    bool
+	peakCap int64
+	errMode ErrorMode
+	norm    Norm
+}
+
+// Option configures an Engine at construction (functional options).
+type Option func(*engineOptions)
+
+// WithWorkers sizes the engine's persistent worker pool: 0 (the
+// default) means one worker per logical CPU, 1 makes the engine fully
+// serial (no pool, every method runs on the calling goroutine), and
+// larger values pin the pool size.
+func WithWorkers(n int) Option {
+	return func(o *engineOptions) { o.workers = n }
+}
+
+// WithGrouping sets the similarity-based grouping parameters Aggregate
+// and Pipeline partition offers with. The default is the zero
+// GroupParams (identical earliest starts and time flexibilities per
+// group, unbounded group size).
+func WithGrouping(p GroupParams) Option {
+	return func(o *engineOptions) { o.group = p }
+}
+
+// WithSafe makes Aggregate and Pipeline tighten every constituent's
+// totals into its slice bounds before aggregating (AggregateSafe),
+// guaranteeing that every valid aggregate assignment disaggregates.
+func WithSafe(safe bool) Option {
+	return func(o *engineOptions) { o.safe = safe }
+}
+
+// WithPeakCap sets a soft peak cap: Schedule and Pipeline treat |load|
+// above the cap as prohibitively expensive — the paper's DSO congestion
+// management. The cap is soft: when the fleet's mandatory energy cannot
+// fit under it, a schedule is still produced with the overage
+// minimised. 0 (the default) disables the cap.
+func WithPeakCap(cap int64) Option {
+	return func(o *engineOptions) { o.peakCap = cap }
+}
+
+// WithErrorMode selects first-error or collect-all failure reporting
+// for the per-group stages (Aggregate, Pipeline, Disaggregate). The
+// default is FirstError.
+func WithErrorMode(m ErrorMode) Option {
+	return func(o *engineOptions) { o.errMode = m }
+}
+
+// WithNorm selects the norm (L1, L2, LInf) the vector and series
+// measures use in Measures. The default is L1, matching AllMeasures.
+func WithNorm(n Norm) Option {
+	return func(o *engineOptions) { o.norm = n }
+}
+
+// New returns a long-lived Engine configured by the options. Unless
+// WithWorkers(1) made it serial, the engine starts its worker pool
+// immediately; the pool persists across calls until Close.
+func New(opts ...Option) *Engine {
+	e := &Engine{opts: engineOptions{norm: L1}}
+	for _, opt := range opts {
+		opt(&e.opts)
+	}
+	if e.opts.norm == 0 {
+		e.opts.norm = L1
+	}
+	if e.opts.workers != 1 {
+		e.pool = pool.New(e.opts.workers)
+	}
+	return e
+}
+
+// Workers reports the engine's resolved worker count (1 for a serial
+// engine).
+func (e *Engine) Workers() int {
+	if e.pool == nil {
+		return 1
+	}
+	return e.pool.Workers()
+}
+
+// Close releases the engine's worker pool. Calls already in flight
+// complete; calls made after Close still work, degraded to the calling
+// goroutine. Close is idempotent.
+func (e *Engine) Close() { e.pool.Close() }
+
+// config presents the engine's option set in the legacy Config shape —
+// the bridge the deprecated free-function shims and the engine methods
+// share, so the two cannot apply different option sets.
+func (e *Engine) config() Config {
+	return Config{
+		Group:     e.opts.group,
+		Workers:   e.opts.workers,
+		ErrorMode: e.opts.errMode,
+		Safe:      e.opts.safe,
+		PeakCap:   e.opts.peakCap,
+	}
+}
+
+// parallelParams attaches the engine's pool to per-call parallel
+// params: pp.Workers == 1 stays serial (matching the legacy contract
+// that 1 forces the serial path); anything else submits to the
+// persistent pool, with pp.Workers capping this call's share of it.
+func (e *Engine) parallelParams(pp ParallelParams) ParallelParams {
+	// The nil check on e.pool matters: wrapping a nil *pool.Pool in the
+	// Executor interface would make pp.Pool non-nil and silently
+	// serialize the call instead of falling back to per-call spin-up.
+	if pp.Workers != 1 && pp.Pool == nil && e.pool != nil {
+		pp.Pool = e.pool
+	}
+	return pp
+}
+
+// Aggregate groups the offers under the engine's grouping parameters
+// and aggregates every group on the worker pool (Scenario 1's
+// aggregation stage). The result is identical to the serial
+// AggregateAll in the same group order for every engine configuration;
+// per-group failures are reported under the engine's error mode.
+func (e *Engine) Aggregate(ctx context.Context, offers []*FlexOffer) ([]*Aggregated, error) {
+	return e.aggregateWith(ctx, offers, e.config())
+}
+
+// aggregateWith is Aggregate under an explicit legacy Config — the
+// shared implementation of the engine method and the deprecated
+// AggregateWithConfig shim.
+func (e *Engine) aggregateWith(ctx context.Context, offers []*FlexOffer, cfg Config) ([]*Aggregated, error) {
+	// The Workers == 1 fast path skips the per-group error slots, which
+	// is only legal in first-error mode: collect-all must keep
+	// aggregating past failures, so it goes through the slot machinery
+	// below (with one worker that machinery still runs inline on the
+	// calling goroutine, in group order).
+	if cfg.Workers == 1 && cfg.ErrorMode == FirstError {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if cfg.Safe {
+			return aggregate.AggregateAllSafe(offers, cfg.Group)
+		}
+		return aggregate.AggregateAll(offers, cfg.Group)
+	}
+	pp := e.parallelParams(ParallelParams{Workers: cfg.Workers, ErrorMode: cfg.ErrorMode})
+	if cfg.Safe {
+		return aggregate.AggregateAllSafeParallel(ctx, offers, cfg.Group, pp)
+	}
+	return aggregate.AggregateAllParallelCtx(ctx, offers, cfg.Group, pp)
+}
+
+// Schedule greedily assigns every offer a start time and energy values
+// so the total load tracks the target series, using the incremental
+// candidate evaluator and the engine's peak cap. Offers are placed in
+// arrival order; for the flexibility-ranked and random orders keep
+// using the sched options through the deprecated Schedule function.
+func (e *Engine) Schedule(ctx context.Context, offers []*FlexOffer, target Series) (*ScheduleResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sched.Schedule(offers, target, sched.Options{PeakCap: e.opts.peakCap})
+}
+
+// Improve refines a schedule by local search: each round re-places one
+// offer at a time against the residual target and keeps moves that
+// lower the L1 imbalance, until a full sweep makes no improvement or
+// maxRounds is reached (0: until convergence). It runs on the
+// incremental evaluator, so each re-placement is O(profile) rather
+// than O(horizon) per candidate. Improve minimises imbalance only; the
+// engine's peak cap does not constrain it.
+func (e *Engine) Improve(ctx context.Context, offers []*FlexOffer, target Series, res *ScheduleResult, maxRounds int) (*ScheduleResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return sched.Improve(offers, target, res, maxRounds)
+}
+
+// Pipeline runs the paper's full Scenario-1 chain — group → aggregate →
+// schedule → disaggregate — as one streaming pipeline on the engine's
+// worker pool: each finished aggregate is handed straight to the
+// scheduler, which places it as soon as its group index is next, and
+// the scheduled aggregates are disaggregated by the same workers. The
+// result is identical to the materialized sequence Aggregate → Schedule
+// (arrival order) → Disaggregate for every engine configuration, and
+// the engine's peak cap applies exactly as in Schedule.
+func (e *Engine) Pipeline(ctx context.Context, offers []*FlexOffer, target Series) (*PipelineResult, error) {
+	return e.pipelineWith(ctx, offers, target, e.config())
+}
+
+// pipelineWith is Pipeline under an explicit legacy Config — the shared
+// implementation of the engine method and the deprecated
+// SchedulePipeline shim.
+func (e *Engine) pipelineWith(ctx context.Context, offers []*FlexOffer, target Series, cfg Config) (*PipelineResult, error) {
+	// Cancelling on return releases the aggregation workers if
+	// scheduling or disaggregation aborts early.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	pp := e.parallelParams(ParallelParams{Workers: cfg.Workers, ErrorMode: cfg.ErrorMode})
+	var (
+		items <-chan AggregateStreamItem
+		n     int
+	)
+	if cfg.Safe {
+		items, n = aggregate.AggregateAllSafeStream(ctx, offers, cfg.Group, pp)
+	} else {
+		items, n = aggregate.AggregateAllStream(ctx, offers, cfg.Group, pp)
+	}
+	sr, err := sched.ScheduleStream(ctx, items, n, target, sched.Options{PeakCap: cfg.PeakCap})
+	if err != nil {
+		return nil, err
+	}
+	parts, err := aggregate.DisaggregateAllParallel(ctx, sr.Aggregates, sr.Assignments, pp)
+	if err != nil {
+		return nil, err
+	}
+	return &PipelineResult{
+		Aggregates:        sr.Aggregates,
+		AggregateSchedule: &sr.Result,
+		Disaggregated:     parts,
+		Load:              sr.Load,
+	}, nil
+}
+
+// Disaggregate maps scheduled aggregate assignments back to their
+// constituents on the worker pool: assignments[i] must be valid for
+// ags[i].Offer, and the result holds one assignment per constituent in
+// constituent order. Failures are reported under the engine's error
+// mode, keyed by aggregate index.
+func (e *Engine) Disaggregate(ctx context.Context, ags []*Aggregated, assignments []Assignment) ([][]Assignment, error) {
+	pp := e.parallelParams(ParallelParams{Workers: e.opts.workers, ErrorMode: e.opts.errMode})
+	return aggregate.DisaggregateAllParallel(ctx, ags, assignments, pp)
+}
+
+// MeasureTable is Engine.Measures' output: the paper's eight measures
+// (Table 1 column order) evaluated over a set of offers.
+type MeasureTable struct {
+	// Names holds the measure names, Table 1 column order.
+	Names []string
+	// Values[i][j] is measure j evaluated on offer i; NaN where the
+	// measure is undefined for the offer (e.g. the relative area
+	// measure on a mixed offer).
+	Values [][]float64
+	// Set[j] is measure j's set-level value over all offers; NaN where
+	// undefined.
+	Set []float64
+}
+
+// Measures evaluates the paper's eight flexibility measures on every
+// offer — the vector and series measures under the engine's norm — plus
+// the set-level values, fanning the offers across the worker pool.
+// Undefined values are reported as NaN rather than failing the batch.
+func (e *Engine) Measures(ctx context.Context, offers []*FlexOffer) (*MeasureTable, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	ms := e.measureSet()
+	t := &MeasureTable{
+		Names:  make([]string, len(ms)),
+		Values: make([][]float64, len(offers)),
+		Set:    make([]float64, len(ms)),
+	}
+	for j, m := range ms {
+		t.Names[j] = m.Name()
+	}
+	done := ctx.Done()
+	e.runIndexed(len(offers), func(i int) {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		row := make([]float64, len(ms))
+		for j, m := range ms {
+			v, err := m.Value(offers[i])
+			if err != nil {
+				v = math.NaN()
+			}
+			row[j] = v
+		}
+		t.Values[i] = row
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for j, m := range ms {
+		v, err := m.SetValue(offers)
+		if err != nil {
+			v = math.NaN()
+		}
+		t.Set[j] = v
+	}
+	return t, nil
+}
+
+// measureSet is AllMeasures with the engine's norm applied to the
+// vector and series measures (keeping the aligned series variant, whose
+// behaviour matches every Table 1 cell).
+func (e *Engine) measureSet() []Measure {
+	return []Measure{
+		core.TimeMeasure{},
+		core.EnergyMeasure{},
+		core.ProductMeasure{},
+		core.VectorMeasure{NormKind: timeseries.Norm(e.opts.norm)},
+		core.SeriesMeasure{NormKind: timeseries.Norm(e.opts.norm), Aligned: true},
+		core.AssignmentsMeasure{},
+		core.AbsoluteAreaMeasure{},
+		core.RelativeAreaMeasure{},
+	}
+}
+
+// runIndexed fans fn(i) over [0, n) across the engine's pool, or runs
+// it inline on a serial engine.
+func (e *Engine) runIndexed(n int, fn func(int)) {
+	if e.pool != nil {
+		e.pool.ForEach(n, 0, 0, fn)
+		return
+	}
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// The default engine behind the deprecated free functions: created
+// lazily on first use with default options, never closed. Its pool is
+// shared by every shim call, so legacy callers get the persistent-pool
+// execution model without code changes.
+var (
+	defaultOnce   sync.Once
+	defaultEngine *Engine
+)
+
+// Default returns the lazily-created, process-wide engine the
+// deprecated free functions route through. Prefer constructing your own
+// Engine with New — it gives you option control and a Close — but the
+// default engine is the right tool for one-off calls in short programs.
+func Default() *Engine {
+	defaultOnce.Do(func() { defaultEngine = New() })
+	return defaultEngine
+}

@@ -1,0 +1,368 @@
+package flex
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// engineTestFleet builds a reproducible mixed population and a wind
+// target sized to its expected energy.
+func engineTestFleet(t testing.TB, n int) ([]*FlexOffer, Series) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(23))
+	offers, err := Population(rng, n, 2, DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var expected int64
+	for _, f := range offers {
+		expected += (f.TotalMin + f.TotalMax) / 2
+	}
+	horizon := 3 * SlotsPerDay
+	target := WindProfile(rng, horizon, expected/int64(horizon))
+	return offers, target
+}
+
+var engineTestGroup = GroupParams{ESTTolerance: 3, TFTolerance: -1, MaxGroupSize: 24}
+
+// TestEngineAggregateEquivalence pins the acceptance criterion that the
+// Engine's aggregation output is bit-identical to the legacy serial
+// free function for every worker count.
+func TestEngineAggregateEquivalence(t *testing.T) {
+	offers, _ := engineTestFleet(t, 300)
+	want, err := AggregateAll(offers, engineTestGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 5, 8} {
+		eng := New(WithWorkers(workers), WithGrouping(engineTestGroup))
+		got, err := eng.Aggregate(context.Background(), offers)
+		eng.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: Engine.Aggregate diverged from AggregateAll", workers)
+		}
+	}
+}
+
+// TestEnginePipelineEquivalence pins the same criterion for the full
+// chain: Engine.Pipeline must reproduce the legacy SchedulePipeline's
+// serial output — aggregates, schedule, disaggregation and load — for
+// every worker count.
+func TestEnginePipelineEquivalence(t *testing.T) {
+	offers, target := engineTestFleet(t, 300)
+	want, err := SchedulePipeline(context.Background(), offers, target,
+		Config{Group: engineTestGroup, Workers: 1, Safe: true, PeakCap: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 3, 5, 8} {
+		eng := New(WithWorkers(workers), WithGrouping(engineTestGroup), WithSafe(true), WithPeakCap(40))
+		got, err := eng.Pipeline(context.Background(), offers, target)
+		eng.Close()
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("workers=%d: Engine.Pipeline diverged from SchedulePipeline", workers)
+		}
+	}
+}
+
+// TestEngineScheduleEquivalence checks Engine.Schedule against the
+// legacy free function, cap included.
+func TestEngineScheduleEquivalence(t *testing.T) {
+	offers, target := engineTestFleet(t, 120)
+	for _, cap := range []int64{0, 50} {
+		want, err := Schedule(offers, target, ScheduleOptions{PeakCap: cap})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := New(WithWorkers(2), WithPeakCap(cap))
+		got, err := eng.Schedule(context.Background(), offers, target)
+		eng.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("cap=%d: Engine.Schedule diverged from Schedule", cap)
+		}
+	}
+}
+
+// TestEnginePeakCapConsistentAcrossPaths pins the Config.PeakCap fix:
+// one engine option set must apply the same cap whether the aggregates
+// are scheduled through Pipeline or handed to Schedule directly, so the
+// two paths can never silently disagree.
+func TestEnginePeakCapConsistentAcrossPaths(t *testing.T) {
+	offers, target := engineTestFleet(t, 200)
+	const cap = 35
+	eng := New(WithWorkers(3), WithGrouping(engineTestGroup), WithSafe(true), WithPeakCap(cap))
+	defer eng.Close()
+	pipe, err := eng.Pipeline(context.Background(), offers, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggOffers := make([]*FlexOffer, len(pipe.Aggregates))
+	for i, ag := range pipe.Aggregates {
+		aggOffers[i] = ag.Offer
+	}
+	direct, err := eng.Schedule(context.Background(), aggOffers, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(direct.Assignments, pipe.AggregateSchedule.Assignments) {
+		t.Error("Schedule and Pipeline placed the same aggregates differently under one engine cap")
+	}
+	if !direct.Load.Equal(pipe.Load) {
+		t.Error("Schedule and Pipeline produced different loads under one engine cap")
+	}
+}
+
+// TestEngineImproveEquivalence checks Engine.Improve against the legacy
+// free function.
+func TestEngineImproveEquivalence(t *testing.T) {
+	offers, target := engineTestFleet(t, 80)
+	base, err := Schedule(offers, target, ScheduleOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Improve(offers, target, base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(WithWorkers(2))
+	defer eng.Close()
+	got, err := eng.Improve(context.Background(), offers, target, base, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("Engine.Improve diverged from Improve")
+	}
+}
+
+// TestEngineDisaggregateEquivalence checks Engine.Disaggregate against
+// the legacy parallel free function in serial mode.
+func TestEngineDisaggregateEquivalence(t *testing.T) {
+	offers, target := engineTestFleet(t, 200)
+	eng := New(WithWorkers(4), WithGrouping(engineTestGroup), WithSafe(true))
+	defer eng.Close()
+	ags, err := eng.Aggregate(context.Background(), offers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggOffers := make([]*FlexOffer, len(ags))
+	for i, ag := range ags {
+		aggOffers[i] = ag.Offer
+	}
+	sr, err := eng.Schedule(context.Background(), aggOffers, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := DisaggregateAllParallel(context.Background(), ags, sr.Assignments, ParallelParams{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := eng.Disaggregate(context.Background(), ags, sr.Assignments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("Engine.Disaggregate diverged from DisaggregateAllParallel")
+	}
+}
+
+// expectedMeasureTable computes Engine.Measures' result serially
+// through the public measure API — the baseline the engine must match.
+func expectedMeasureTable(t *testing.T, measures []Measure, offers []*FlexOffer) *MeasureTable {
+	t.Helper()
+	mt := &MeasureTable{
+		Names:  make([]string, len(measures)),
+		Values: make([][]float64, len(offers)),
+		Set:    make([]float64, len(measures)),
+	}
+	for j, m := range measures {
+		mt.Names[j] = m.Name()
+		v, err := m.SetValue(offers)
+		if err != nil {
+			v = math.NaN()
+		}
+		mt.Set[j] = v
+	}
+	for i, f := range offers {
+		row := make([]float64, len(measures))
+		for j, m := range measures {
+			v, err := m.Value(f)
+			if err != nil {
+				v = math.NaN()
+			}
+			row[j] = v
+		}
+		mt.Values[i] = row
+	}
+	return mt
+}
+
+// measureTablesEqual compares tables treating NaN as equal to NaN.
+func measureTablesEqual(a, b *MeasureTable) bool {
+	if !reflect.DeepEqual(a.Names, b.Names) || len(a.Values) != len(b.Values) || len(a.Set) != len(b.Set) {
+		return false
+	}
+	eq := func(x, y float64) bool {
+		return x == y || (math.IsNaN(x) && math.IsNaN(y))
+	}
+	for j := range a.Set {
+		if !eq(a.Set[j], b.Set[j]) {
+			return false
+		}
+	}
+	for i := range a.Values {
+		if len(a.Values[i]) != len(b.Values[i]) {
+			return false
+		}
+		for j := range a.Values[i] {
+			if !eq(a.Values[i][j], b.Values[i][j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestEngineMeasures checks the fan-out measure evaluation against the
+// serial baseline, under the default norm and WithNorm(L2), for serial
+// and pooled engines. DefaultMix includes producers, so NaN cells (the
+// area measures on production/mixed offers) are exercised too.
+func TestEngineMeasures(t *testing.T) {
+	offers, _ := engineTestFleet(t, 150)
+	for _, norm := range []Norm{L1, L2} {
+		for _, workers := range []int{1, 4} {
+			eng := New(WithWorkers(workers), WithNorm(norm))
+			want := expectedMeasureTable(t, eng.measureSet(), offers)
+			got, err := eng.Measures(context.Background(), offers)
+			eng.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !measureTablesEqual(want, got) {
+				t.Fatalf("norm=%v workers=%d: Engine.Measures diverged from serial baseline", norm, workers)
+			}
+		}
+	}
+	// The norm option must actually reach the vector measure.
+	l1 := New(WithWorkers(1))
+	defer l1.Close()
+	l2 := New(WithWorkers(1), WithNorm(L2))
+	defer l2.Close()
+	a, err := l1.Measures(context.Background(), offers[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := l2.Measures(context.Background(), offers[:1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Names[3] == b.Names[3] {
+		t.Errorf("vector measure name did not change with the norm: %q vs %q", a.Names[3], b.Names[3])
+	}
+}
+
+// TestEngineSerialCollectAll pins that WithErrorMode(CollectAll) is
+// honored even on a fully serial engine: every failing group must be
+// reported, not just the first, matching the parallel path.
+func TestEngineSerialCollectAll(t *testing.T) {
+	// Two singleton groups (disjoint start windows) corrupted after
+	// construction so each fails aggregation.
+	bad1, err := NewFlexOffer(0, 0, Slice{Min: 1, Max: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad2, err := NewFlexOffer(5, 5, Slice{Min: 1, Max: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad1.TotalMin, bad1.TotalMax = 10, 0
+	bad2.TotalMin, bad2.TotalMax = 10, 0
+	offers := []*FlexOffer{bad1, bad2}
+
+	for _, workers := range []int{1, 2} {
+		eng := New(WithWorkers(workers), WithErrorMode(CollectAll))
+		_, err := eng.Aggregate(context.Background(), offers)
+		eng.Close()
+		if err == nil {
+			t.Fatalf("workers=%d: corrupted offers aggregated successfully", workers)
+		}
+		var ges GroupErrors
+		if !errors.As(err, &ges) {
+			t.Fatalf("workers=%d: error is %T, want GroupErrors: %v", workers, err, err)
+		}
+		if len(ges) != 2 {
+			t.Fatalf("workers=%d: collected %d failures, want 2: %v", workers, len(ges), err)
+		}
+	}
+}
+
+// TestEngineCancelledContext checks that every method refuses a
+// cancelled context up front.
+func TestEngineCancelledContext(t *testing.T) {
+	offers, target := engineTestFleet(t, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := New(WithWorkers(2), WithGrouping(engineTestGroup))
+	defer eng.Close()
+	if _, err := eng.Aggregate(ctx, offers); err == nil {
+		t.Error("Aggregate accepted a cancelled context")
+	}
+	if _, err := eng.Schedule(ctx, offers, target); err == nil {
+		t.Error("Schedule accepted a cancelled context")
+	}
+	if _, err := eng.Pipeline(ctx, offers, target); err == nil {
+		t.Error("Pipeline accepted a cancelled context")
+	}
+	if _, err := eng.Measures(ctx, offers); err == nil {
+		t.Error("Measures accepted a cancelled context")
+	}
+}
+
+// TestEngineCloseDegradesGracefully: calls after Close must still
+// produce correct results (on the calling goroutine).
+func TestEngineCloseDegradesGracefully(t *testing.T) {
+	offers, _ := engineTestFleet(t, 100)
+	want, err := AggregateAll(offers, engineTestGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := New(WithWorkers(4), WithGrouping(engineTestGroup))
+	eng.Close()
+	eng.Close() // idempotent
+	got, err := eng.Aggregate(context.Background(), offers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Error("Aggregate after Close diverged from AggregateAll")
+	}
+}
+
+func TestEngineWorkers(t *testing.T) {
+	serial := New(WithWorkers(1))
+	defer serial.Close()
+	if serial.Workers() != 1 {
+		t.Errorf("serial engine Workers() = %d, want 1", serial.Workers())
+	}
+	pooled := New(WithWorkers(5))
+	defer pooled.Close()
+	if pooled.Workers() != 5 {
+		t.Errorf("pooled engine Workers() = %d, want 5", pooled.Workers())
+	}
+	if Default() != Default() {
+		t.Error("Default() is not a singleton")
+	}
+}

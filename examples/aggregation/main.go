@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -28,9 +29,13 @@ func main() {
 	}
 	fmt.Println("EST tol   groups   flexibility retained (% of the unaggregated set)")
 	for _, tol := range []int{0, 2, 4, 8} {
-		ags, err := flex.AggregateAll(offers, flex.GroupParams{
+		// One engine per tolerance: grouping is part of an engine's
+		// option set, fixed at construction.
+		eng := flex.New(flex.WithGrouping(flex.GroupParams{
 			ESTTolerance: tol, TFTolerance: -1, MaxGroupSize: 50,
-		})
+		}))
+		ags, err := eng.Aggregate(context.Background(), offers)
+		eng.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -56,7 +61,9 @@ func main() {
 
 	// Disaggregation: schedule one aggregate and push the assignment
 	// back to its constituents.
-	ags, err := flex.AggregateAll(offers, flex.GroupParams{ESTTolerance: 2, TFTolerance: -1, MaxGroupSize: 50})
+	eng := flex.New(flex.WithGrouping(flex.GroupParams{ESTTolerance: 2, TFTolerance: -1, MaxGroupSize: 50}))
+	defer eng.Close()
+	ags, err := eng.Aggregate(context.Background(), offers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -49,7 +50,9 @@ func main() {
 	for t := 25; t <= 29; t++ { // strong wind 01:00–05:00
 		wind.Values[t] += 40
 	}
-	res, err := flex.Schedule([]*flex.FlexOffer{ev}, wind, flex.ScheduleOptions{})
+	eng := flex.New()
+	defer eng.Close()
+	res, err := eng.Schedule(context.Background(), []*flex.FlexOffer{ev}, wind)
 	if err != nil {
 		log.Fatal(err)
 	}

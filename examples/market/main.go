@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -24,8 +25,10 @@ func main() {
 	prices := flex.DayAheadPrices(rand.New(rand.NewSource(7)), 3*flex.SlotsPerDay)
 
 	// Individually the offers are too small to trade; aggregate to
-	// market-sized units first (Scenario 2).
-	ags, err := flex.AggregateAll(offers, flex.GroupParams{ESTTolerance: 3, TFTolerance: 4, MaxGroupSize: 40})
+	// market-sized units first (Scenario 2) on a long-lived engine.
+	eng := flex.New(flex.WithGrouping(flex.GroupParams{ESTTolerance: 3, TFTolerance: 4, MaxGroupSize: 40}))
+	defer eng.Close()
+	ags, err := eng.Aggregate(context.Background(), offers)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -32,7 +33,7 @@ func main() {
 		target.Values[t] = expected / int64(horizon)
 	}
 
-	uncapped, err := flex.Schedule(offers, target, flex.ScheduleOptions{})
+	uncapped, err := scheduleWithCap(offers, target, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func main() {
 	show("none", uncapped, 0)
 	for _, frac := range []float64{0.85, 0.7, 0.55} {
 		cap := int64(float64(base) * frac)
-		res, err := flex.Schedule(offers, target, flex.ScheduleOptions{PeakCap: cap})
+		res, err := scheduleWithCap(offers, target, cap)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -62,6 +63,15 @@ func main() {
 	fmt.Println("  [tes,tls] window — exactly the time flexibility tf(f) measures. When the")
 	fmt.Println("  cap drops below the mandatory concurrency, overage reappears: the grid")
 	fmt.Println("  needs more flexibility (or reinforcement) beyond that point.")
+}
+
+// scheduleWithCap schedules the fleet under one feeder cap; the cap is
+// part of an engine's option set, so each cap gets its own short-lived
+// engine (a real DSO service would hold one per feeder).
+func scheduleWithCap(offers []*flex.FlexOffer, target flex.Series, cap int64) (*flex.ScheduleResult, error) {
+	eng := flex.New(flex.WithPeakCap(cap))
+	defer eng.Close()
+	return eng.Schedule(context.Background(), offers, target)
 }
 
 // sparkline renders load values as a compact bar chart scaled to max.

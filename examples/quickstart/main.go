@@ -5,8 +5,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"math"
 
 	flex "flexmeasures"
 )
@@ -52,7 +54,8 @@ func main() {
 	fmt.Println()
 
 	// Examples 11–12: only the area measures see the size difference
-	// between a 1–5 unit offer and a 101–105 unit offer.
+	// between a 1–5 unit offer and a 101–105 unit offer. The engine
+	// evaluates all eight measures over the pair in one call.
 	small, err := flex.NewFlexOffer(1, 3, flex.Slice{Min: 1, Max: 5})
 	if err != nil {
 		log.Fatal(err)
@@ -61,17 +64,22 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	eng := flex.New()
+	defer eng.Close()
+	table, err := eng.Measures(context.Background(), []*flex.FlexOffer{small, large})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("Examples 11–12: fx (small) vs fy (100× larger amounts):")
-	for _, m := range flex.AllMeasures() {
-		vs, errS := m.Value(small)
-		vl, errL := m.Value(large)
-		if errS != nil || errL != nil {
+	for j, name := range table.Names {
+		vs, vl := table.Values[0][j], table.Values[1][j]
+		if math.IsNaN(vs) || math.IsNaN(vl) {
 			continue
 		}
 		marker := "  (blind to size)"
 		if vs != vl {
 			marker = "  (sees size)"
 		}
-		fmt.Printf("  %-18s %10.3f %10.3f%s\n", m.Name(), vs, vl, marker)
+		fmt.Printf("  %-18s %10.3f %10.3f%s\n", name, vs, vl, marker)
 	}
 }

@@ -18,32 +18,62 @@
 // scenarios need: aggregation with disaggregation, target-tracking
 // scheduling, and market valuation.
 //
-// # Parallel aggregation
+// # The Engine
 //
-// Aggregation across groups is embarrassingly parallel, and the library
-// ships a worker-pool pipeline for batches of thousands to millions of
-// offers: AggregateAllParallel (and the context-aware
-// AggregateAllParallelCtx) shards the grouping output across
-// ParallelParams.Workers workers — or, via AggregateWithConfig, across
-// Config.Workers, where 0 means one worker per logical CPU and 1 forces
-// the serial path. The parallel pipeline yields results identical to
-// AggregateAll in the same group order for every worker count; per-group
-// failures are reported as GroupError (first-error mode) or GroupErrors
-// (collect-all mode), each identifying the failing group by index, size
-// and first constituent ID.
+// The primary entry point is the Engine: one long-lived,
+// goroutine-safe object, configured once with functional options, that
+// owns a persistent worker pool and presents every batch operation as a
+// context-first method:
 //
-// # Streaming scheduling pipeline
+//	eng := flex.New(
+//		flex.WithWorkers(8),
+//		flex.WithGrouping(flex.GroupParams{ESTTolerance: 2, TFTolerance: -1}),
+//		flex.WithSafe(true),
+//		flex.WithPeakCap(500),
+//	)
+//	defer eng.Close()
 //
-// SchedulePipeline chains the paper's entire Scenario 1 — group →
+//	ags, err := eng.Aggregate(ctx, offers)          // Scenario 1 aggregation
+//	res, err := eng.Pipeline(ctx, offers, target)   // group→aggregate→schedule→disaggregate
+//	tab, err := eng.Measures(ctx, offers)           // the paper's eight measures
+//
+// Create one Engine at startup, share it across requests (concurrent
+// calls share the pool without sharing per-call state), and Close it on
+// shutdown. One option set governs every method — WithPeakCap, for
+// example, applies to Schedule and Pipeline alike — so the same setting
+// can never silently differ between paths.
+//
+// Aggregation across groups is embarrassingly parallel, so
+// Engine.Aggregate shards the grouping output across the pool and still
+// yields results identical to the serial path in the same group order
+// for every worker count; per-group failures are reported as GroupError
+// (first-error mode) or GroupErrors (collect-all mode), each
+// identifying the failing group by index, size and first constituent
+// ID. Engine.Pipeline chains the paper's entire Scenario 1 — group →
 // aggregate → schedule → disaggregate — without materializing the
-// aggregate batch: AggregateAllStream hands each finished aggregate
-// straight to the scheduler, which places it the moment its group index
-// is next, and DisaggregateAllParallel fans the scheduled aggregates
-// back out to per-prosumer assignments on the same worker pool. The
-// scheduler itself scores every candidate start in O(profile) with zero
-// allocations via an incremental load−target residual
-// (timeseries.Accumulator); ScheduleOptions.FullRecompute retains the
-// legacy full-recompute evaluator as an equivalence oracle.
+// aggregate batch: each finished aggregate is handed straight to the
+// scheduler, which places it the moment its group index is next, and
+// the scheduled aggregates fan back out to per-prosumer assignments on
+// the same pool. The scheduler scores every candidate start in
+// O(profile) with zero allocations via an incremental load−target
+// residual (timeseries.Accumulator); ScheduleOptions.FullRecompute
+// retains the legacy full-recompute evaluator as an equivalence oracle,
+// for scheduling and for the Improve local search alike.
+//
+// # Deprecated free functions
+//
+// The batch operations used to be free functions — AggregateAll,
+// AggregateAllParallel(Ctx), AggregateWithConfig, AggregateAllStream,
+// SchedulePipeline, Schedule, Improve, DisaggregateAllParallel — the
+// parallel ones each spinning a goroutine pool up and down per call.
+// They all still work as thin deprecated shims: the parallel and
+// streaming ones borrow the shared Default engine's persistent pool,
+// the inherently serial ones (AggregateAll, AggregateAllSafe, Schedule,
+// Improve, ScheduleAndImprove) stay serial and never instantiate the
+// Default engine. Their outputs remain bit-identical to the
+// corresponding Engine methods; new code should construct an Engine.
+// The per-offer primitives (constructors, the measure functions,
+// market valuation, workload generation, codecs) are not deprecated.
 //
 // # Quick start
 //
@@ -56,7 +86,7 @@
 // The examples/ directory contains runnable programs for the paper's EV
 // use case, aggregation (Scenario 1) and flexibility trading
 // (Scenario 2); cmd/flexbench regenerates every table and figure of the
-// paper.
+// paper, and cmd/flexctl drives the Engine from the command line.
 package flex
 
 import (
@@ -67,7 +97,6 @@ import (
 	"flexmeasures/internal/core"
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/grid"
-	"flexmeasures/internal/sched"
 	"flexmeasures/internal/timeseries"
 )
 
@@ -249,6 +278,11 @@ func BalanceGroups(offers []*FlexOffer, p BalanceParams) [][]*FlexOffer {
 }
 
 // AggregateAll groups and aggregates in one call.
+//
+// Deprecated: create a long-lived [Engine] with [New] (configuring the
+// grouping via [WithGrouping] and [WithWorkers](1) for the serial
+// path) and call [Engine.Aggregate]. This shim stays fully serial — it
+// does not instantiate the [Default] engine.
 func AggregateAll(offers []*FlexOffer, p GroupParams) ([]*Aggregated, error) {
 	return aggregate.AggregateAll(offers, p)
 }
@@ -258,6 +292,10 @@ func AggregateAll(offers []*FlexOffer, p GroupParams) ([]*Aggregated, error) {
 type (
 	// ParallelParams controls the aggregation worker pool.
 	ParallelParams = aggregate.ParallelParams
+	// Executor is the execution substrate of a parallel call
+	// (ParallelParams.Pool): an Engine's persistent pool implements
+	// it, nil means per-call goroutine spin-up.
+	Executor = aggregate.Executor
 	// ErrorMode selects first-error or collect-all failure reporting.
 	ErrorMode = aggregate.ErrorMode
 	// GroupError identifies one failing group (index, size, first ID).
@@ -274,17 +312,33 @@ const (
 
 // AggregateAllParallel is AggregateAll executed by a worker pool; the
 // result is identical to AggregateAll for every worker count.
+//
+// Deprecated: create a long-lived [Engine] with [New] and call
+// [Engine.Aggregate]; this shim borrows the shared [Default] engine's
+// persistent pool instead of spinning up goroutines per call.
 func AggregateAllParallel(offers []*FlexOffer, gp GroupParams, pp ParallelParams) ([]*Aggregated, error) {
-	return aggregate.AggregateAllParallel(offers, gp, pp)
+	return AggregateAllParallelCtx(context.Background(), offers, gp, pp)
 }
 
 // AggregateAllParallelCtx is AggregateAllParallel with cancellation.
+//
+// Deprecated: create a long-lived [Engine] with [New] and call
+// [Engine.Aggregate]; this shim borrows the shared [Default] engine's
+// persistent pool instead of spinning up goroutines per call.
 func AggregateAllParallelCtx(ctx context.Context, offers []*FlexOffer, gp GroupParams, pp ParallelParams) ([]*Aggregated, error) {
-	return aggregate.AggregateAllParallelCtx(ctx, offers, gp, pp)
+	return aggregate.AggregateAllParallelCtx(ctx, offers, gp, Default().parallelParams(pp))
 }
 
-// Config bundles the options of the one-call aggregation entry point
-// AggregateWithConfig.
+// Config bundles the options of the legacy one-call entry points
+// AggregateWithConfig and SchedulePipeline. It is the per-call
+// counterpart of an Engine's option set — New's functional options
+// cover exactly these fields — and the engine applies one Config-shaped
+// option set uniformly across all its methods, so a setting like
+// PeakCap can never differ between the scheduling paths.
+//
+// Deprecated: configure a long-lived [Engine] with [New]'s options
+// ([WithGrouping], [WithWorkers], [WithErrorMode], [WithSafe],
+// [WithPeakCap]) instead.
 type Config struct {
 	// Group controls similarity-based grouping.
 	Group GroupParams
@@ -292,17 +346,20 @@ type Config struct {
 	// per logical CPU, 1 forces the serial pipeline, and larger values
 	// fan the groups out across that many goroutines.
 	Workers int
-	// ErrorMode selects first-error or collect-all failure reporting
-	// (parallel pipeline only; the serial pipeline always reports the
-	// first failure).
+	// ErrorMode selects first-error or collect-all failure reporting.
+	// Collect-all is honored for every Workers value, including the
+	// serial Workers == 1 path.
 	ErrorMode ErrorMode
 	// Safe tightens every constituent's totals into its slice bounds
 	// before aggregating (AggregateSafe), guaranteeing that every valid
 	// aggregate assignment disaggregates.
 	Safe bool
-	// PeakCap, when positive, makes SchedulePipeline treat |load| above
+	// PeakCap, when positive, makes the scheduler treat |load| above
 	// the cap as prohibitively expensive (soft cap; see
-	// ScheduleOptions.PeakCap).
+	// ScheduleOptions.PeakCap). Of the legacy entry points only
+	// SchedulePipeline schedules, so only it consults the cap; on an
+	// Engine the equivalent option (WithPeakCap) applies to Schedule
+	// and Pipeline alike.
 	PeakCap int64
 }
 
@@ -310,21 +367,12 @@ type Config struct {
 // serial or parallel pipeline according to cfg.Workers. A cancelled ctx
 // is honored on both routes (the serial pipeline checks it up front;
 // the parallel one also stops claiming groups mid-batch).
+//
+// Deprecated: create a long-lived [Engine] with [New] and call
+// [Engine.Aggregate]; this shim borrows the shared [Default] engine's
+// persistent pool instead of spinning up goroutines per call.
 func AggregateWithConfig(ctx context.Context, offers []*FlexOffer, cfg Config) ([]*Aggregated, error) {
-	if cfg.Workers == 1 {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		if cfg.Safe {
-			return aggregate.AggregateAllSafe(offers, cfg.Group)
-		}
-		return aggregate.AggregateAll(offers, cfg.Group)
-	}
-	pp := ParallelParams{Workers: cfg.Workers, ErrorMode: cfg.ErrorMode}
-	if cfg.Safe {
-		return aggregate.AggregateAllSafeParallel(ctx, offers, cfg.Group, pp)
-	}
-	return aggregate.AggregateAllParallelCtx(ctx, offers, cfg.Group, pp)
+	return Default().aggregateWith(ctx, offers, cfg)
 }
 
 // AggregateStreamItem is one completed group of a streaming
@@ -335,10 +383,13 @@ type AggregateStreamItem = aggregate.StreamItem
 // AggregateAllStream groups and aggregates concurrently, emitting each
 // aggregate as soon as its worker finishes it; the returned count tells
 // the consumer how many items to expect. The streaming input side of
-// SchedulePipeline, exposed for consumers with their own placement
-// logic.
+// the pipeline, exposed for consumers with their own placement logic.
+//
+// Deprecated: create a long-lived [Engine] with [New] and call
+// [Engine.Pipeline] for the full chain; this shim borrows the shared
+// [Default] engine's persistent pool.
 func AggregateAllStream(ctx context.Context, offers []*FlexOffer, gp GroupParams, pp ParallelParams) (<-chan AggregateStreamItem, int) {
-	return aggregate.AggregateAllStream(ctx, offers, gp, pp)
+	return aggregate.AggregateAllStream(ctx, offers, gp, Default().parallelParams(pp))
 }
 
 // DisaggregateAllParallel maps scheduled aggregate assignments back to
@@ -346,8 +397,12 @@ func AggregateAllStream(ctx context.Context, offers []*FlexOffer, gp GroupParams
 // ags[i].Offer, and the result holds one assignment per constituent in
 // constituent order. Failure reporting follows pp.ErrorMode exactly
 // like the aggregation pipeline.
+//
+// Deprecated: create a long-lived [Engine] with [New] and call
+// [Engine.Disaggregate]; this shim borrows the shared [Default]
+// engine's persistent pool.
 func DisaggregateAllParallel(ctx context.Context, ags []*Aggregated, assignments []Assignment, pp ParallelParams) ([][]Assignment, error) {
-	return aggregate.DisaggregateAllParallel(ctx, ags, assignments, pp)
+	return aggregate.DisaggregateAllParallel(ctx, ags, assignments, Default().parallelParams(pp))
 }
 
 // PipelineResult is the output of SchedulePipeline: the complete
@@ -380,35 +435,12 @@ type PipelineResult struct {
 // Scheduling uses arrival (group) order and the incremental evaluator;
 // cfg.PeakCap applies a soft peak cap, and cfg.Safe guarantees
 // disaggregability by tightening constituents before aggregation.
+//
+// Deprecated: create a long-lived [Engine] with [New] and call
+// [Engine.Pipeline]; this shim borrows the shared [Default] engine's
+// persistent pool instead of spinning up goroutines per call.
 func SchedulePipeline(ctx context.Context, offers []*FlexOffer, target Series, cfg Config) (*PipelineResult, error) {
-	// Cancelling on return releases the aggregation workers if
-	// scheduling or disaggregation aborts early.
-	ctx, cancel := context.WithCancel(ctx)
-	defer cancel()
-	pp := ParallelParams{Workers: cfg.Workers, ErrorMode: cfg.ErrorMode}
-	var (
-		items <-chan AggregateStreamItem
-		n     int
-	)
-	if cfg.Safe {
-		items, n = aggregate.AggregateAllSafeStream(ctx, offers, cfg.Group, pp)
-	} else {
-		items, n = aggregate.AggregateAllStream(ctx, offers, cfg.Group, pp)
-	}
-	sr, err := sched.ScheduleStream(ctx, items, n, target, sched.Options{PeakCap: cfg.PeakCap})
-	if err != nil {
-		return nil, err
-	}
-	parts, err := aggregate.DisaggregateAllParallel(ctx, sr.Aggregates, sr.Assignments, pp)
-	if err != nil {
-		return nil, err
-	}
-	return &PipelineResult{
-		Aggregates:        sr.Aggregates,
-		AggregateSchedule: &sr.Result,
-		Disaggregated:     parts,
-		Load:              sr.Load,
-	}, nil
+	return Default().pipelineWith(ctx, offers, target, cfg)
 }
 
 // Alignment selects the anchoring of constituents inside an aggregate
@@ -434,6 +466,11 @@ func AggregateSafe(group []*FlexOffer) (*Aggregated, error) {
 }
 
 // AggregateAllSafe groups and safe-aggregates in one call.
+//
+// Deprecated: create a long-lived [Engine] with [New] (configuring
+// [WithGrouping], [WithSafe](true) and [WithWorkers](1) for the serial
+// path) and call [Engine.Aggregate]. This shim stays fully serial — it
+// does not instantiate the [Default] engine.
 func AggregateAllSafe(offers []*FlexOffer, p GroupParams) ([]*Aggregated, error) {
 	return aggregate.AggregateAllSafe(offers, p)
 }

@@ -3,12 +3,11 @@ package aggregate
 import (
 	"context"
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
 	"sync/atomic"
 
 	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/pool"
 )
 
 // This file implements the parallel aggregation pipeline: grouping output
@@ -47,13 +46,27 @@ func (m ErrorMode) String() string {
 	}
 }
 
+// Executor abstracts the execution substrate a parallel call submits
+// its index loop to. The pool package's persistent *Pool implements it;
+// a nil Executor means per-call goroutine spin-up.
+type Executor interface {
+	// ForEach runs fn(i) for every i in [0, n) across at most workers
+	// concurrent participants (0: the executor's full width; requests
+	// above the executor's own size are capped to it), claiming batch
+	// consecutive indices at a time (0: automatic batching). It returns
+	// when every index has been processed.
+	ForEach(n, workers, batch int, fn func(int))
+}
+
 // ParallelParams controls the worker pool of the parallel aggregation
-// pipeline. The zero value uses one worker per logical CPU, automatic
-// batching and FirstError reporting.
+// pipeline. The zero value spins up one goroutine per logical CPU for
+// the call, with automatic batching and FirstError reporting.
 type ParallelParams struct {
 	// Workers is the number of concurrent aggregation workers; values
-	// below 1 mean runtime.GOMAXPROCS(0). The pool never spawns more
-	// workers than there are groups.
+	// below 1 mean runtime.GOMAXPROCS(0). The pipeline never uses more
+	// workers than there are groups. When Pool is set — as the Engine
+	// and the deprecated flex shims do — Workers instead caps this
+	// call's share of the pool and cannot exceed the pool's own size.
 	Workers int
 	// BatchSize is the number of consecutive groups a worker claims at
 	// a time. Larger batches amortize coordination; smaller batches
@@ -62,6 +75,23 @@ type ParallelParams struct {
 	BatchSize int
 	// ErrorMode selects first-error or collect-all failure reporting.
 	ErrorMode ErrorMode
+	// Pool, when non-nil, submits the group loop to a persistent
+	// executor instead of spawning Workers goroutines for this one call
+	// — the Engine's long-lived execution model, which removes
+	// per-request pool setup from the hot path.
+	Pool Executor
+}
+
+// forEach runs fn(i) for every group index in [0, n) under the params'
+// execution model: the persistent pool when one is attached, otherwise
+// per-call goroutine spin-up. Results land in per-index slots, so
+// output never depends on which worker claimed which batch.
+func (pp ParallelParams) forEach(n int, fn func(int)) {
+	if pp.Pool != nil {
+		pp.Pool.ForEach(n, pp.Workers, pp.BatchSize, fn)
+		return
+	}
+	pool.Run(n, pp.Workers, pp.BatchSize, fn)
 }
 
 // GroupError reports the failure of one group in a batched aggregation,
@@ -174,7 +204,7 @@ func aggregateGroupsParallel(ctx context.Context, groups [][]*flexoffer.FlexOffe
 	errSlots := make([]*GroupError, n)
 	var failed atomic.Bool
 	done := ctx.Done()
-	forEachIndexBatch(n, pp.Workers, pp.BatchSize, func(i int) {
+	pp.forEach(n, func(i int) {
 		if pp.ErrorMode == FirstError && failed.Load() {
 			return
 		}
@@ -276,7 +306,7 @@ func streamGroups(ctx context.Context, groups [][]*flexoffer.FlexOffer, agg func
 	go func() {
 		defer close(ch)
 		var failed atomic.Bool
-		forEachIndexBatch(n, pp.Workers, pp.BatchSize, func(i int) {
+		pp.forEach(n, func(i int) {
 			if pp.ErrorMode == FirstError && failed.Load() {
 				return
 			}
@@ -320,7 +350,7 @@ func DisaggregateAllParallel(ctx context.Context, ags []*Aggregated, assignments
 	errSlots := make([]*GroupError, n)
 	var failed atomic.Bool
 	done := ctx.Done()
-	forEachIndexBatch(n, pp.Workers, pp.BatchSize, func(i int) {
+	pp.forEach(n, func(i int) {
 		if pp.ErrorMode == FirstError && failed.Load() {
 			return
 		}
@@ -347,59 +377,9 @@ func DisaggregateAllParallel(ctx context.Context, ags []*Aggregated, assignments
 }
 
 // forEachIndex runs fn(i) for every i in [0, n) across up to workers
-// goroutines with automatic batching. It is the shared fan-out primitive
-// for CPU-bound index-addressed work whose results are written into
-// per-index slots (so ordering is free).
+// freshly spawned goroutines with automatic batching; retained for
+// callers without per-call params (OptimizeGroups). The index-sharded
+// fan-out itself lives in the pool package.
 func forEachIndex(n, workers int, fn func(int)) {
-	forEachIndexBatch(n, workers, 0, fn)
-}
-
-// forEachIndexBatch is forEachIndex with an explicit batch size: workers
-// claim batch consecutive indices at a time from an atomic cursor.
-// Values below 1 pick a batch that spreads the indices roughly 4× over
-// the workers; workers below 1 mean runtime.GOMAXPROCS(0).
-func forEachIndexBatch(n, workers, batch int, fn func(int)) {
-	if n <= 0 {
-		return
-	}
-	if workers < 1 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			fn(i)
-		}
-		return
-	}
-	if batch < 1 {
-		batch = n / (workers * 4)
-		if batch < 1 {
-			batch = 1
-		}
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				end := int(cursor.Add(int64(batch)))
-				start := end - batch
-				if start >= n {
-					return
-				}
-				if end > n {
-					end = n
-				}
-				for i := start; i < end; i++ {
-					fn(i)
-				}
-			}
-		}()
-	}
-	wg.Wait()
+	pool.Run(n, workers, 0, fn)
 }

@@ -1,0 +1,232 @@
+// Package pool provides a persistent worker pool for index-addressed
+// CPU-bound fan-out: run fn(i) for every i in [0, n) across a fixed set
+// of long-lived goroutines. It is the execution substrate of the public
+// Engine — aggregation, disaggregation and the streaming scheduler all
+// submit their group loops here instead of each spawning and tearing
+// down goroutines per call, so a long-running service pays the pool
+// setup cost once instead of on every request.
+//
+// Two properties shape the design:
+//
+//   - The pool is safe for concurrent submission: any number of
+//     goroutines may call ForEach on the same pool at once. Each call
+//     drives its own atomic cursor, so calls share the workers without
+//     sharing any per-call state.
+//
+//   - The submitting goroutine always participates in its own call.
+//     Pool workers are enlisted best-effort (a busy pool lends no
+//     hands), so every ForEach completes even when all workers are
+//     serving other calls — there is no queueing and no deadlock, and a
+//     Close()d or nil pool degrades to a plain serial loop.
+//
+// Determinism is the caller's job and comes for free with the intended
+// usage: workers write results into per-index slots, so output never
+// depends on which goroutine claimed which batch.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a fixed-size set of persistent worker goroutines. The zero
+// value is not usable; create pools with New. A nil *Pool is valid
+// everywhere and means "no shared workers": ForEach on a nil pool runs
+// the whole loop on the calling goroutine (callers that want per-call
+// goroutine spin-up instead use Run).
+type Pool struct {
+	workers int
+	tasks   chan func()
+	closed  atomic.Bool
+	once    sync.Once
+}
+
+// New starts a pool of the given size; values below 1 mean one worker
+// per logical CPU (runtime.GOMAXPROCS(0)). The workers live until Close
+// is called; idle workers cost nothing but their stacks.
+func New(workers int) *Pool {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Pool{
+		workers: workers,
+		// The channel is deliberately unbuffered: a helper task is
+		// handed off only by rendezvous with a worker that is idle
+		// right now. Buffering would let a saturated pool accept tasks
+		// it cannot start, and the submitting call's final wait would
+		// then stall behind unrelated long-running work — the opposite
+		// of the fail-fast enlistment ForEach promises.
+		tasks: make(chan func()),
+	}
+	for i := 0; i < workers; i++ {
+		go func() {
+			for task := range p.tasks {
+				task()
+			}
+		}()
+	}
+	return p
+}
+
+// Workers reports the pool size (0 for a nil pool).
+func (p *Pool) Workers() int {
+	if p == nil {
+		return 0
+	}
+	return p.workers
+}
+
+// Close stops the workers once the tasks already handed to them finish.
+// Close is idempotent. Submitting after Close is permitted and runs the
+// work entirely on the submitting goroutine; Close may therefore be
+// called while other goroutines are still submitting, without panics —
+// their calls just stop getting helpers.
+func (p *Pool) Close() {
+	if p == nil {
+		return
+	}
+	p.once.Do(func() {
+		p.closed.Store(true)
+		close(p.tasks)
+	})
+}
+
+// ForEach runs fn(i) for every i in [0, n), fanning batches of
+// consecutive indices out across the pool's workers. The calling
+// goroutine participates, workers are enlisted best-effort, and the
+// call returns only when every index has been processed. workers caps
+// the parallelism of this one call (values below 1 mean the full pool);
+// batch is the number of consecutive indices claimed at a time (values
+// below 1 pick a batch that spreads the indices roughly 4× over the
+// participants).
+func (p *Pool) ForEach(n, workers, batch int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	limit := p.Workers()
+	if p == nil || p.closed.Load() {
+		limit = 1
+	}
+	if workers < 1 || workers > limit {
+		workers = limit
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	loop := makeLoop(&cursor, n, normalizeBatch(batch, n, workers), fn)
+	var wg sync.WaitGroup
+	task := func() {
+		defer wg.Done()
+		loop()
+	}
+	// Enlist up to workers−1 helpers without blocking: if the pool is
+	// saturated by other calls, the caller drains the cursor alone.
+	// closed.Load() above was only advisory — a concurrent Close can
+	// land between it and the send — so the send is guarded by recover
+	// rather than a lock; a send that loses that race simply runs
+	// caller-side like any other failed enlistment.
+	for h := 0; h < workers-1; h++ {
+		wg.Add(1)
+		if !p.trySubmit(task) {
+			wg.Done()
+			break
+		}
+	}
+	loop()
+	wg.Wait()
+}
+
+// trySubmit offers task to an idle worker, reporting whether one took
+// it. It never blocks; a send racing a concurrent Close is absorbed.
+func (p *Pool) trySubmit(task func()) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	select {
+	case p.tasks <- task:
+		return true
+	default:
+		return false
+	}
+}
+
+// Run is the pool-less fallback: it runs fn(i) for every i in [0, n)
+// across up to workers freshly spawned goroutines (values below 1 mean
+// one per logical CPU) and waits for them. This is the per-call
+// spin-up model the Engine's persistent pool replaces; it remains the
+// substrate of the deprecated free functions when no engine is
+// involved, and the baseline that `flexbench -engine` measures the
+// pool against.
+func Run(n, workers, batch int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	loop := makeLoop(&cursor, n, normalizeBatch(batch, n, workers), fn)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			loop()
+		}()
+	}
+	wg.Wait()
+}
+
+// normalizeBatch resolves a batch-size request against the index count
+// and participant count: explicit positive values win, otherwise the
+// batch spreads the indices roughly 4× over the participants so skewed
+// per-index costs still balance.
+func normalizeBatch(batch, n, workers int) int {
+	if batch < 1 {
+		batch = n / (workers * 4)
+		if batch < 1 {
+			batch = 1
+		}
+	}
+	return batch
+}
+
+// makeLoop returns the claim loop every participant of one call runs:
+// grab the next batch of consecutive indices off the shared cursor,
+// process them, repeat until the cursor passes n.
+func makeLoop(cursor *atomic.Int64, n, batch int, fn func(int)) func() {
+	return func() {
+		for {
+			end := int(cursor.Add(int64(batch)))
+			start := end - batch
+			if start >= n {
+				return
+			}
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				fn(i)
+			}
+		}
+	}
+}

@@ -3,6 +3,7 @@ package sched
 import (
 	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -103,6 +104,86 @@ func TestScheduleAndImprove(t *testing.T) {
 	}
 	if res.Imbalance(target) != 0 {
 		t.Errorf("imbalance = %g, want 0", res.Imbalance(target))
+	}
+}
+
+// TestPropertyImproveIncrementalEquivalence pins the headline claim of
+// the incremental local search: for random fleets, targets and round
+// caps it produces exactly the refined schedule the legacy
+// full-recompute loop produces — same assignments, same load series.
+func TestPropertyImproveIncrementalEquivalence(t *testing.T) {
+	fn := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		offers := make([]*flexoffer.FlexOffer, 1+r.Intn(12))
+		for i := range offers {
+			offers[i] = randomOfferForSched(r)
+		}
+		vals := make([]int64, 14)
+		for i := range vals {
+			vals[i] = int64(r.Intn(9) - 2)
+		}
+		target := timeseries.New(r.Intn(3), vals...)
+		base, err := Schedule(offers, target, Options{})
+		if err != nil {
+			return false
+		}
+		maxRounds := r.Intn(4) // 0 = until convergence
+		legacy, err := ImproveWith(offers, target, base, maxRounds, Options{FullRecompute: true})
+		if err != nil {
+			return false
+		}
+		incremental, err := Improve(offers, target, base, maxRounds)
+		if err != nil {
+			return false
+		}
+		if !reflect.DeepEqual(legacy.Assignments, incremental.Assignments) {
+			return false
+		}
+		return legacy.Load.Equal(incremental.Load)
+	}
+	if err := quick.Check(fn, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// improveBenchFleet builds a reproducible fleet and greedy schedule for
+// the Improve benchmarks.
+func improveBenchFleet(b *testing.B, n int) ([]*flexoffer.FlexOffer, timeseries.Series, *Result) {
+	b.Helper()
+	r := rand.New(rand.NewSource(5))
+	offers := make([]*flexoffer.FlexOffer, n)
+	for i := range offers {
+		offers[i] = randomOfferForSched(r)
+	}
+	vals := make([]int64, 32)
+	for i := range vals {
+		vals[i] = int64(r.Intn(12))
+	}
+	target := timeseries.New(0, vals...)
+	base, err := Schedule(offers, target, Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return offers, target, base
+}
+
+func BenchmarkImprove200(b *testing.B) {
+	offers, target, base := improveBenchFleet(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Improve(offers, target, base, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkImprove200Legacy(b *testing.B) {
+	offers, target, base := improveBenchFleet(b, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ImproveWith(offers, target, base, 2, Options{FullRecompute: true}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

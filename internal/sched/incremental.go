@@ -99,6 +99,22 @@ func (ev *evaluator) ensureSlices(k int) {
 // for a Validate-d offer). place performs zero allocations once the
 // window and scratch buffers cover the offer.
 func (ev *evaluator) place(f *flexoffer.FlexOffer) (start int, ok bool) {
+	start, _, ok = ev.scan(f)
+	if ok {
+		ev.addValues(start, ev.best[:f.NumSlices()])
+	}
+	return start, ok
+}
+
+// scan finds the best start for f against the current residual without
+// committing anything: the winning values are staged in ev.best and
+// dAbs is the winner's imbalance delta Σ |r+v| − |r| over its own
+// slots, which the local-search Improve compares against the delta of
+// removing an existing assignment. The peak-cap overage delta ranks
+// candidates inside the scan but is not returned — scan's only
+// cap-aware caller (place) commits the winner unconditionally. ok is
+// false when no feasible candidate exists.
+func (ev *evaluator) scan(f *flexoffer.FlexOffer) (start int, dAbs int64, ok bool) {
 	k := f.NumSlices()
 	ev.residual.Ensure(f.EarliestStart, f.LatestEnd())
 	ev.load.Ensure(f.EarliestStart, f.LatestEnd())
@@ -111,44 +127,74 @@ func (ev *evaluator) place(f *flexoffer.FlexOffer) (start int, ok bool) {
 		if !fitInto(f, res, ev.scratch[:k]) {
 			continue
 		}
-		var dAbs int64
+		var cAbs int64
 		for i, v := range ev.scratch[:k] {
 			r := res[i]
-			dAbs += abs64(r+v) - abs64(r)
+			cAbs += abs64(r+v) - abs64(r)
 		}
-		var dOver int64
+		var cOver int64
 		if ev.cap > 0 {
 			ld := ev.load.Values(s, s+k)
 			for i, v := range ev.scratch[:k] {
-				dOver += over64(ld[i]+v, ev.cap) - over64(ld[i], ev.cap)
+				cOver += over64(ld[i]+v, ev.cap) - over64(ld[i], ev.cap)
 			}
 		}
 		// The deltas can be negative (placing may reduce the residual);
 		// betterCost only needs the ordering, which the constant base
 		// terms cannot change.
-		if !found || betterCost(dOver, dAbs, bestOver, bestAbs) {
-			found, bestStart, bestAbs, bestOver = true, s, dAbs, dOver
+		if !found || betterCost(cOver, cAbs, bestOver, bestAbs) {
+			found, bestStart, bestAbs, bestOver = true, s, cAbs, cOver
 			copy(ev.best[:k], ev.scratch[:k])
 		}
 	}
 	if !found {
-		return 0, false
+		return 0, 0, false
 	}
-	// Commit: fold the winning values into both running buffers.
-	res := ev.residual.Values(bestStart, bestStart+k)
-	ld := ev.load.Values(bestStart, bestStart+k)
-	for i, v := range ev.best[:k] {
+	return bestStart, bestAbs, true
+}
+
+// addValues folds vals into the running buffers starting at start,
+// growing the committed-load range, and returns the imbalance delta
+// Σ |r+v| − |r| the fold caused. It is both place's commit step and
+// Improve's restore step.
+func (ev *evaluator) addValues(start int, vals []int64) (dAbs int64) {
+	if len(vals) == 0 {
+		return 0
+	}
+	res := ev.residual.Values(start, start+len(vals))
+	ld := ev.load.Values(start, start+len(vals))
+	for i, v := range vals {
+		dAbs += abs64(res[i]+v) - abs64(res[i])
 		res[i] += v
 		ld[i] += v
 	}
-	if !ev.placedAny || bestStart < ev.loadLo {
-		ev.loadLo = bestStart
+	if !ev.placedAny || start < ev.loadLo {
+		ev.loadLo = start
 	}
-	if !ev.placedAny || bestStart+k > ev.loadHi {
-		ev.loadHi = bestStart + k
+	if !ev.placedAny || start+len(vals) > ev.loadHi {
+		ev.loadHi = start + len(vals)
 	}
 	ev.placedAny = true
-	return bestStart, true
+	return dAbs
+}
+
+// removeValues subtracts vals from the running buffers starting at
+// start — Improve's "lift one assignment out of the load" step — and
+// returns the imbalance delta Σ |r−v| − |r| of the removal. The
+// committed-load range never shrinks, matching the legacy path, whose
+// series domains only ever grow.
+func (ev *evaluator) removeValues(start int, vals []int64) (dAbs int64) {
+	if len(vals) == 0 {
+		return 0
+	}
+	res := ev.residual.Values(start, start+len(vals))
+	ld := ev.load.Values(start, start+len(vals))
+	for i, v := range vals {
+		dAbs += abs64(res[i]-v) - abs64(res[i])
+		res[i] -= v
+		ld[i] -= v
+	}
+	return dAbs
 }
 
 // placeOffer validates f, places it through the evaluator and

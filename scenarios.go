@@ -28,6 +28,11 @@ const (
 
 // Schedule greedily assigns all offers so the total load tracks the
 // target series; see the sched package for the heuristic's details.
+//
+// Deprecated: create a long-lived [Engine] with [New] and call
+// [Engine.Schedule]. This shim remains for callers that need the
+// non-default ScheduleOptions (placement orders, the legacy
+// full-recompute evaluator).
 func Schedule(offers []*FlexOffer, target Series, opts ScheduleOptions) (*ScheduleResult, error) {
 	return sched.Schedule(offers, target, opts)
 }
@@ -35,11 +40,17 @@ func Schedule(offers []*FlexOffer, target Series, opts ScheduleOptions) (*Schedu
 // Improve refines a schedule by local search (re-placing each offer
 // against the residual target) until convergence or maxRounds; the
 // imbalance never increases.
+//
+// Deprecated: create a long-lived [Engine] with [New] and call
+// [Engine.Improve].
 func Improve(offers []*FlexOffer, target Series, res *ScheduleResult, maxRounds int) (*ScheduleResult, error) {
 	return sched.Improve(offers, target, res, maxRounds)
 }
 
 // ScheduleAndImprove runs Schedule followed by Improve.
+//
+// Deprecated: create a long-lived [Engine] with [New] and call
+// [Engine.Schedule] followed by [Engine.Improve].
 func ScheduleAndImprove(offers []*FlexOffer, target Series, opts ScheduleOptions, maxRounds int) (*ScheduleResult, error) {
 	return sched.ScheduleAndImprove(offers, target, opts, maxRounds)
 }
