@@ -35,9 +35,17 @@
 //
 //	flexbench -engine 2000            # repeated batches, spin-up vs persistent pool
 //	flexbench -engine 2000 -workers 4 # pin the pool size
+//
+// -ingest measures the flexd service's sharded NDJSON decoder against
+// the serial line-by-line decoder on the same encoded population
+// (verifying identical offers):
+//
+//	flexbench -ingest 100000            # serial vs sharded decode
+//	flexbench -ingest 100000 -workers 4 # pin the decode shard count
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -52,6 +60,7 @@ import (
 	"flexmeasures/internal/aggregate"
 	"flexmeasures/internal/experiments"
 	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/ingest"
 	"flexmeasures/internal/sched"
 	"flexmeasures/internal/workload"
 )
@@ -71,7 +80,8 @@ func run(args []string) error {
 	aggN := fs.Int("agg", 0, "compare serial vs parallel aggregation over N synthetic offers and exit")
 	schedN := fs.Int("sched", 0, "compare legacy vs incremental scheduling and batch vs streaming pipeline over N synthetic offers and exit")
 	engineN := fs.Int("engine", 0, "compare per-call pool spin-up vs the persistent Engine pool over repeated batches of N synthetic offers and exit")
-	workers := fs.Int("workers", 0, "worker-pool size for -agg / -sched / -engine (0: one per CPU)")
+	ingestN := fs.Int("ingest", 0, "compare serial vs sharded NDJSON decoding over N synthetic offers and exit")
+	workers := fs.Int("workers", 0, "worker-pool size for -agg / -sched / -engine / -ingest (0: one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -83,6 +93,9 @@ func run(args []string) error {
 	}
 	if *engineN > 0 {
 		return runEngineCompare(os.Stdout, *engineN, *workers)
+	}
+	if *ingestN > 0 {
+		return runIngestCompare(os.Stdout, *ingestN, *workers)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -219,6 +232,58 @@ func runEngineCompare(out io.Writer, n, workers int) error {
 	fmt.Fprintf(out, "persistent engine: %v total, %v/call  (%.2fx speedup)\n",
 		engineDur, engineDur/rounds, float64(spinDur)/float64(engineDur))
 	fmt.Fprintln(out, "spin-up and engine outputs are identical")
+	return nil
+}
+
+// runIngestCompare times the serial NDJSON decoder against the sharded
+// one (flexd's ingest path) on a reproducible synthetic population
+// encoded in memory, and fails unless both decode identical offers.
+// The interesting number for a service is throughput: records/s and
+// MB/s of NDJSON swallowed.
+func runIngestCompare(out io.Writer, n, workers int) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	offers, err := workload.Population(rand.New(rand.NewSource(99)), n, 3, workload.DefaultMix())
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := flexoffer.EncodeNDJSON(&buf, offers); err != nil {
+		return err
+	}
+	data := buf.Bytes()
+	mb := float64(len(data)) / (1 << 20)
+
+	t0 := time.Now()
+	serial, err := ingest.DecodeNDJSONSerial(bytes.NewReader(data), ingest.FirstError)
+	if err != nil {
+		return err
+	}
+	serialDur := time.Since(t0)
+
+	t0 = time.Now()
+	sharded, err := ingest.DecodeNDJSON(context.Background(), bytes.NewReader(data),
+		ingest.Params{Workers: workers})
+	if err != nil {
+		return err
+	}
+	shardedDur := time.Since(t0)
+
+	if !reflect.DeepEqual(serial, sharded) {
+		return fmt.Errorf("sharded decode diverged from serial over %d records", n)
+	}
+	rate := func(d time.Duration) (float64, float64) {
+		secs := d.Seconds()
+		return float64(n) / secs, mb / secs
+	}
+	sr, sm := rate(serialDur)
+	pr, pm := rate(shardedDur)
+	fmt.Fprintf(out, "decoded %d NDJSON records (%.1f MiB)\n", n, mb)
+	fmt.Fprintf(out, "serial:  %v  (%.0f records/s, %.1f MB/s)\n", serialDur, sr, sm)
+	fmt.Fprintf(out, "sharded: %v  (%d workers, %.0f records/s, %.1f MB/s, %.2fx speedup)\n",
+		shardedDur, workers, pr, pm, float64(serialDur)/float64(shardedDur))
+	fmt.Fprintln(out, "serial and sharded decodes are identical")
 	return nil
 }
 

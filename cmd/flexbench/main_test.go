@@ -80,3 +80,23 @@ func TestRunSchedFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunIngestCompare(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runIngestCompare(&buf, 2000, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "decoded 2000 NDJSON records") ||
+		!strings.Contains(out, "serial and sharded decodes are identical") {
+		t.Errorf("comparison output wrong:\n%s", out)
+	}
+}
+
+// TestRunIngestFlag covers the flag wiring from run() to
+// runIngestCompare.
+func TestRunIngestFlag(t *testing.T) {
+	if err := run([]string{"-ingest", "200", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,8 @@
 //	flexctl schedule -horizon 72 offers.json # greedy schedule vs. flat target
 //	flexctl schedule -pipeline -workers 8 offers.json
 //	                                         # streaming group→aggregate→schedule→disaggregate
+//	flexctl schedule -pipeline -json offers.json
+//	                                         # emit the flexd wire format (bit-identical to POST /v1/schedule)
 package main
 
 import (
@@ -30,6 +32,7 @@ import (
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/render"
 	"flexmeasures/internal/sched"
+	"flexmeasures/internal/server"
 	"flexmeasures/internal/timeseries"
 )
 
@@ -260,20 +263,19 @@ func cmdAggregate(args []string, out io.Writer) error {
 	}
 	// CollectAll keeps the error output deterministic when several
 	// groups fail: every failure is reported, sorted by group index.
+	eng := flex.New(
+		flex.WithWorkers(*workers),
+		flex.WithGrouping(flex.GroupParams{ESTTolerance: *est, TFTolerance: *tft, MaxGroupSize: *size}),
+		flex.WithErrorMode(flex.CollectAll),
+	)
+	defer eng.Close()
 	var ags []*flex.Aggregated
 	if *balance {
-		// Balance-aware grouping has no engine option yet; aggregate the
-		// pre-computed groups on a per-call pool.
+		// Balance-aware grouping is a partitioning strategy, not an
+		// engine option: hand the pre-computed groups to the engine.
 		groups := aggregate.BalanceGroups(offers, aggregate.BalanceParams{ESTTolerance: *est, MaxGroupSize: *size})
-		ags, err = aggregate.AggregateGroupsParallel(context.Background(), groups,
-			aggregate.ParallelParams{Workers: *workers, ErrorMode: aggregate.CollectAll})
+		ags, err = eng.AggregateGroups(context.Background(), groups)
 	} else {
-		eng := flex.New(
-			flex.WithWorkers(*workers),
-			flex.WithGrouping(flex.GroupParams{ESTTolerance: *est, TFTolerance: *tft, MaxGroupSize: *size}),
-			flex.WithErrorMode(flex.CollectAll),
-		)
-		defer eng.Close()
 		ags, err = eng.Aggregate(context.Background(), offers)
 	}
 	if err != nil {
@@ -368,6 +370,7 @@ func cmdSchedule(args []string, out io.Writer) error {
 	cap := fs.Int64("cap", 0, "soft peak cap (0: uncapped)")
 	legacy := fs.Bool("legacy", false, "use the legacy full-recompute candidate evaluator")
 	pipeline := fs.Bool("pipeline", false, "stream group→aggregate→schedule→disaggregate instead of scheduling raw offers")
+	asJSON := fs.Bool("json", false, "emit the flexd wire format instead of the summary (with -pipeline)")
 	workers := fs.Int("workers", 0, "pipeline worker-pool size (with -pipeline; 0: one per CPU)")
 	est := fs.Int("est", 2, "earliest-start-time grouping tolerance (with -pipeline)")
 	tft := fs.Int("tft", -1, "time-flexibility grouping tolerance (with -pipeline; -1: unbounded)")
@@ -375,18 +378,16 @@ func cmdSchedule(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *asJSON && !*pipeline {
+		return fmt.Errorf("-json requires -pipeline: only the full chain has a wire format")
+	}
 	offers, err := loadOffers(fs)
 	if err != nil {
 		return err
 	}
-	lvl := *level
-	if lvl < 0 {
-		var expected int64
-		for _, f := range offers {
-			expected += (f.TotalMin + f.TotalMax) / 2
-		}
-		lvl = expected / int64(*horizon)
-	}
+	// The shared helper keeps the CLI's target semantics identical to
+	// the flexd /v1/schedule endpoint's.
+	lvl := server.FlatTargetLevel(offers, *horizon, *level)
 	target := timeseries.Constant(0, *horizon, lvl)
 	if *legacy {
 		if *pipeline {
@@ -416,6 +417,11 @@ func cmdSchedule(args []string, out io.Writer) error {
 		res, err := eng.Pipeline(context.Background(), offers, target)
 		if err != nil {
 			return err
+		}
+		if *asJSON {
+			// The same wire builder and encoder the flexd endpoint uses:
+			// these bytes are the acceptance criterion's reference.
+			return server.EncodeResponse(out, server.BuildScheduleResponse(len(offers), res, target, *horizon, lvl))
 		}
 		prosumers := 0
 		for _, parts := range res.Disaggregated {

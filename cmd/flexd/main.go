@@ -1,0 +1,107 @@
+// Command flexd serves the flex-offer engine over HTTP: a long-running
+// service that ingests NDJSON flex-offer streams with the decode work
+// sharded across the engine's persistent worker pool, and exposes the
+// paper's Scenario-1 chain — aggregate, schedule, disaggregate — plus
+// the eight flexibility measures as endpoints.
+//
+// Usage:
+//
+//	flexd                          # serve on :8080, one worker per CPU
+//	flexd -addr :9000 -workers 8   # pin address and pool size
+//	flexd -cap 500                 # default soft peak cap for /v1/schedule
+//
+// Endpoints:
+//
+//	POST   /v1/offers     ingest NDJSON offers (flexgen -format ndjson)
+//	GET    /v1/offers     stored offer count
+//	DELETE /v1/offers     reset the store
+//	POST   /v1/aggregate  aggregate stored offers (?est,tft,max-group,mode)
+//	POST   /v1/schedule   full pipeline (?horizon,target,cap,est,tft,max-group)
+//	GET    /v1/measures   the paper's measures (?norm=l1|l2|linf)
+//	GET    /healthz       liveness probe
+//	GET    /metrics       Prometheus text metrics
+//
+// A /v1/schedule response is byte-identical to `flexctl schedule
+// -pipeline -json` over the same offers and parameters — the service
+// and the CLI render through the same wire builder, and the e2e test
+// in cmd/flexctl pins the equality.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	flex "flexmeasures"
+	"flexmeasures/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "flexd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("flexd", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "engine worker-pool size (0: one per CPU, 1: serial)")
+	safe := fs.Bool("safe", true, "safe aggregation: tighten constituents so every schedule disaggregates")
+	cap := fs.Int64("cap", 0, "default soft peak cap for scheduling (0: uncapped; per-request ?cap overrides)")
+	inflight := fs.Int("max-inflight", 0, "concurrent expensive requests before 429 (0: 4x workers)")
+	maxBody := fs.Int64("max-body", 0, "ingest request body limit in bytes (0: 1 GiB)")
+	block := fs.Int("block", 0, "ingest decode block size in bytes (0: 1 MiB)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	eng := flex.New(
+		flex.WithWorkers(*workers),
+		flex.WithSafe(*safe),
+		flex.WithPeakCap(*cap),
+	)
+	defer eng.Close()
+	srv := server.New(eng, server.Options{
+		MaxInFlight:      *inflight,
+		MaxBodyBytes:     *maxBody,
+		IngestBlockBytes: *block,
+	})
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	poolWorkers, _ := eng.PoolStats()
+	log.Printf("flexd: serving on %s (%d pool workers)", *addr, poolWorkers)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("flexd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return err
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

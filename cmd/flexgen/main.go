@@ -36,7 +36,7 @@ func run(args []string, stdout io.Writer) error {
 	seed := fs.Int64("seed", 1, "random seed (generation is deterministic)")
 	mixName := fs.String("mix", "default", `population mix: "default" or "consumption"`)
 	device := fs.String("device", "", "generate a single device class instead of a mix (ev, heat-pump, dishwasher, refrigerator, solar-panel, wind-turbine, vehicle-to-grid)")
-	format := fs.String("format", "json", `output format: "json" or "binary"`)
+	format := fs.String("format", "json", `output format: "json", "ndjson" (flexd ingest) or "binary"`)
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,10 +67,12 @@ func run(args []string, stdout io.Writer) error {
 	switch *format {
 	case "json":
 		return flexoffer.Encode(w, offers)
+	case "ndjson":
+		return flexoffer.EncodeNDJSON(w, offers)
 	case "binary":
 		return flexoffer.EncodeBinary(w, offers)
 	default:
-		return fmt.Errorf("unknown format %q (want json or binary)", *format)
+		return fmt.Errorf("unknown format %q (want json, ndjson or binary)", *format)
 	}
 }
 

@@ -48,7 +48,15 @@ type engineOptions struct {
 	norm    Norm
 }
 
-// Option configures an Engine at construction (functional options).
+// Option configures an Engine at construction (functional options) —
+// and, passed to an Engine method, overrides the engine's option set
+// for that one call: eng.Aggregate(ctx, offers, WithGrouping(p)) runs
+// one aggregation under grouping p without touching the engine or its
+// pool. Per-call overrides are what let a tolerance sweep share one
+// engine instead of constructing one per tolerance. A per-call
+// WithWorkers caps the call's share of the persistent pool (on a
+// serial engine it spins up per-call goroutines instead, since there
+// is no pool to share).
 type Option func(*engineOptions)
 
 // WithWorkers sizes the engine's persistent worker pool: 0 (the
@@ -127,16 +135,58 @@ func (e *Engine) Workers() int {
 // goroutine. Close is idempotent.
 func (e *Engine) Close() { e.pool.Close() }
 
+// Executor exposes the engine's persistent worker pool as an Executor,
+// for subsystems that shard their own index-addressed work across it —
+// the flexd service's NDJSON decode shards submit here. It is nil for
+// a serial engine, which every Executor consumer treats as per-call
+// spin-up.
+func (e *Engine) Executor() Executor {
+	if e.pool == nil {
+		return nil
+	}
+	return e.pool
+}
+
+// PoolStats reports the pool's size and how many of its workers are
+// executing a task right now — the occupancy gauge flexd's /metrics
+// endpoint exports. A serial engine reports (1, 0).
+func (e *Engine) PoolStats() (workers, busy int) {
+	if e.pool == nil {
+		return 1, 0
+	}
+	return e.pool.Workers(), e.pool.Busy()
+}
+
+// resolve returns the engine's option set with per-call overrides
+// applied. The engine's own options are copied by value, so a call
+// never mutates the engine.
+func (e *Engine) resolve(opts []Option) engineOptions {
+	o := e.opts
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.norm == 0 {
+		o.norm = L1
+	}
+	return o
+}
+
 // config presents the engine's option set in the legacy Config shape —
 // the bridge the deprecated free-function shims and the engine methods
 // share, so the two cannot apply different option sets.
-func (e *Engine) config() Config {
+func (e *Engine) config() Config { return configOf(e.opts) }
+
+// callConfig is config with per-call overrides applied.
+func (e *Engine) callConfig(opts []Option) Config { return configOf(e.resolve(opts)) }
+
+// configOf renders any resolved option set in the legacy Config shape.
+func configOf(o engineOptions) Config {
 	return Config{
-		Group:     e.opts.group,
-		Workers:   e.opts.workers,
-		ErrorMode: e.opts.errMode,
-		Safe:      e.opts.safe,
-		PeakCap:   e.opts.peakCap,
+		Group:     o.group,
+		Workers:   o.workers,
+		ErrorMode: o.errMode,
+		Safe:      o.safe,
+		PeakCap:   o.peakCap,
 	}
 }
 
@@ -159,8 +209,29 @@ func (e *Engine) parallelParams(pp ParallelParams) ParallelParams {
 // aggregation stage). The result is identical to the serial
 // AggregateAll in the same group order for every engine configuration;
 // per-group failures are reported under the engine's error mode.
-func (e *Engine) Aggregate(ctx context.Context, offers []*FlexOffer) ([]*Aggregated, error) {
-	return e.aggregateWith(ctx, offers, e.config())
+// Options override the engine's option set for this call only — e.g.
+// Aggregate(ctx, offers, WithGrouping(p)) sweeps a tolerance without
+// constructing a second engine.
+func (e *Engine) Aggregate(ctx context.Context, offers []*FlexOffer, opts ...Option) ([]*Aggregated, error) {
+	return e.aggregateWith(ctx, offers, e.callConfig(opts))
+}
+
+// AggregateGroups aggregates pre-computed groups — the output of
+// GroupOffers, BalanceGroups or OptimizeGroups — on the worker pool,
+// preserving group order, for callers whose partitioning strategy is
+// not the engine's similarity grouping. WithSafe (engine-level or
+// per-call) selects safe aggregation; failures are reported under the
+// error mode exactly like Aggregate.
+func (e *Engine) AggregateGroups(ctx context.Context, groups [][]*FlexOffer, opts ...Option) ([]*Aggregated, error) {
+	o := e.resolve(opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	pp := e.parallelParams(ParallelParams{Workers: o.workers, ErrorMode: o.errMode})
+	if o.safe {
+		return aggregate.AggregateGroupsSafeParallel(ctx, groups, pp)
+	}
+	return aggregate.AggregateGroupsParallel(ctx, groups, pp)
 }
 
 // aggregateWith is Aggregate under an explicit legacy Config — the
@@ -190,14 +261,16 @@ func (e *Engine) aggregateWith(ctx context.Context, offers []*FlexOffer, cfg Con
 
 // Schedule greedily assigns every offer a start time and energy values
 // so the total load tracks the target series, using the incremental
-// candidate evaluator and the engine's peak cap. Offers are placed in
-// arrival order; for the flexibility-ranked and random orders keep
-// using the sched options through the deprecated Schedule function.
-func (e *Engine) Schedule(ctx context.Context, offers []*FlexOffer, target Series) (*ScheduleResult, error) {
+// candidate evaluator and the engine's peak cap (overridable per call
+// with WithPeakCap). Offers are placed in arrival order; for the
+// flexibility-ranked and random orders keep using the sched options
+// through the deprecated Schedule function.
+func (e *Engine) Schedule(ctx context.Context, offers []*FlexOffer, target Series, opts ...Option) (*ScheduleResult, error) {
+	o := e.resolve(opts)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return sched.Schedule(offers, target, sched.Options{PeakCap: e.opts.peakCap})
+	return sched.Schedule(offers, target, sched.Options{PeakCap: o.peakCap})
 }
 
 // Improve refines a schedule by local search: each round re-places one
@@ -221,9 +294,10 @@ func (e *Engine) Improve(ctx context.Context, offers []*FlexOffer, target Series
 // the scheduled aggregates are disaggregated by the same workers. The
 // result is identical to the materialized sequence Aggregate → Schedule
 // (arrival order) → Disaggregate for every engine configuration, and
-// the engine's peak cap applies exactly as in Schedule.
-func (e *Engine) Pipeline(ctx context.Context, offers []*FlexOffer, target Series) (*PipelineResult, error) {
-	return e.pipelineWith(ctx, offers, target, e.config())
+// the engine's peak cap applies exactly as in Schedule. Options
+// override the engine's option set for this call only.
+func (e *Engine) Pipeline(ctx context.Context, offers []*FlexOffer, target Series, opts ...Option) (*PipelineResult, error) {
+	return e.pipelineWith(ctx, offers, target, e.callConfig(opts))
 }
 
 // pipelineWith is Pipeline under an explicit legacy Config — the shared
@@ -264,9 +338,11 @@ func (e *Engine) pipelineWith(ctx context.Context, offers []*FlexOffer, target S
 // constituents on the worker pool: assignments[i] must be valid for
 // ags[i].Offer, and the result holds one assignment per constituent in
 // constituent order. Failures are reported under the engine's error
-// mode, keyed by aggregate index.
-func (e *Engine) Disaggregate(ctx context.Context, ags []*Aggregated, assignments []Assignment) ([][]Assignment, error) {
-	pp := e.parallelParams(ParallelParams{Workers: e.opts.workers, ErrorMode: e.opts.errMode})
+// mode (overridable per call with WithErrorMode), keyed by aggregate
+// index.
+func (e *Engine) Disaggregate(ctx context.Context, ags []*Aggregated, assignments []Assignment, opts ...Option) ([][]Assignment, error) {
+	o := e.resolve(opts)
+	pp := e.parallelParams(ParallelParams{Workers: o.workers, ErrorMode: o.errMode})
 	return aggregate.DisaggregateAllParallel(ctx, ags, assignments, pp)
 }
 
@@ -285,14 +361,16 @@ type MeasureTable struct {
 }
 
 // Measures evaluates the paper's eight flexibility measures on every
-// offer — the vector and series measures under the engine's norm — plus
-// the set-level values, fanning the offers across the worker pool.
-// Undefined values are reported as NaN rather than failing the batch.
-func (e *Engine) Measures(ctx context.Context, offers []*FlexOffer) (*MeasureTable, error) {
+// offer — the vector and series measures under the engine's norm,
+// overridable per call with WithNorm — plus the set-level values,
+// fanning the offers across the worker pool. Undefined values are
+// reported as NaN rather than failing the batch.
+func (e *Engine) Measures(ctx context.Context, offers []*FlexOffer, opts ...Option) (*MeasureTable, error) {
+	o := e.resolve(opts)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ms := e.measureSet()
+	ms := measureSet(o.norm)
 	t := &MeasureTable{
 		Names:  make([]string, len(ms)),
 		Values: make([][]float64, len(offers)),
@@ -331,16 +409,16 @@ func (e *Engine) Measures(ctx context.Context, offers []*FlexOffer) (*MeasureTab
 	return t, nil
 }
 
-// measureSet is AllMeasures with the engine's norm applied to the
-// vector and series measures (keeping the aligned series variant, whose
+// measureSet is AllMeasures with the given norm applied to the vector
+// and series measures (keeping the aligned series variant, whose
 // behaviour matches every Table 1 cell).
-func (e *Engine) measureSet() []Measure {
+func measureSet(n Norm) []Measure {
 	return []Measure{
 		core.TimeMeasure{},
 		core.EnergyMeasure{},
 		core.ProductMeasure{},
-		core.VectorMeasure{NormKind: timeseries.Norm(e.opts.norm)},
-		core.SeriesMeasure{NormKind: timeseries.Norm(e.opts.norm), Aligned: true},
+		core.VectorMeasure{NormKind: timeseries.Norm(n)},
+		core.SeriesMeasure{NormKind: timeseries.Norm(n), Aligned: true},
 		core.AssignmentsMeasure{},
 		core.AbsoluteAreaMeasure{},
 		core.RelativeAreaMeasure{},

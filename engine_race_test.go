@@ -39,7 +39,7 @@ func TestEngineConcurrentHammer(t *testing.T) {
 
 	eng := New(WithWorkers(4), WithGrouping(engineTestGroup), WithSafe(true), WithPeakCap(45))
 	defer eng.Close()
-	wantMeasures := expectedMeasureTable(t, eng.measureSet(), offers)
+	wantMeasures := expectedMeasureTable(t, measureSet(eng.opts.norm), offers)
 
 	const (
 		goroutines = 12

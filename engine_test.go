@@ -245,7 +245,7 @@ func TestEngineMeasures(t *testing.T) {
 	for _, norm := range []Norm{L1, L2} {
 		for _, workers := range []int{1, 4} {
 			eng := New(WithWorkers(workers), WithNorm(norm))
-			want := expectedMeasureTable(t, eng.measureSet(), offers)
+			want := expectedMeasureTable(t, measureSet(eng.opts.norm), offers)
 			got, err := eng.Measures(context.Background(), offers)
 			eng.Close()
 			if err != nil {
@@ -364,5 +364,135 @@ func TestEngineWorkers(t *testing.T) {
 	}
 	if Default() != Default() {
 		t.Error("Default() is not a singleton")
+	}
+}
+
+// TestEnginePerCallOverrides pins the satellite contract that options
+// passed to a method override the engine's option set for that one
+// call only: a tolerance sweep over one shared engine produces exactly
+// what a dedicated engine per tolerance produces, and the shared
+// engine's own options are untouched afterwards.
+func TestEnginePerCallOverrides(t *testing.T) {
+	offers, target := engineTestFleet(t, 200)
+	shared := New(WithWorkers(3), WithGrouping(engineTestGroup), WithSafe(true))
+	defer shared.Close()
+
+	for _, tol := range []int{0, 2, 5, 9} {
+		gp := GroupParams{ESTTolerance: tol, TFTolerance: -1, MaxGroupSize: 24}
+		dedicated := New(WithWorkers(3), WithGrouping(gp), WithSafe(true))
+		want, err := dedicated.Aggregate(context.Background(), offers)
+		dedicated.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := shared.Aggregate(context.Background(), offers, WithGrouping(gp))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("tol=%d: per-call WithGrouping diverged from dedicated engine", tol)
+		}
+	}
+
+	// The override must not stick: the next plain call uses the
+	// engine's own grouping again.
+	want, err := AggregateAllSafe(offers, engineTestGroup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := shared.Aggregate(context.Background(), offers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("per-call override leaked into the engine's option set")
+	}
+
+	// Per-call WithPeakCap governs Schedule and Pipeline alike.
+	capped := New(WithWorkers(1), WithGrouping(engineTestGroup), WithSafe(true), WithPeakCap(40))
+	wantSched, err := capped.Schedule(context.Background(), offers, target)
+	capped.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSched, err := shared.Schedule(context.Background(), offers, target, WithPeakCap(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantSched, gotSched) {
+		t.Fatal("per-call WithPeakCap diverged from dedicated engine on Schedule")
+	}
+
+	// Per-call WithNorm on Measures.
+	wantTab := expectedMeasureTable(t, measureSet(L2), offers)
+	gotTab, err := shared.Measures(context.Background(), offers, WithNorm(L2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !measureTablesEqual(wantTab, gotTab) {
+		t.Fatal("per-call WithNorm diverged from the L2 baseline")
+	}
+}
+
+// TestEngineAggregateGroups pins the pre-computed-groups entry point:
+// balance-aware groups aggregate to exactly what the parallel free
+// function produces, for serial and pooled engines, safe and not.
+func TestEngineAggregateGroups(t *testing.T) {
+	offers, _ := engineTestFleet(t, 200)
+	groups := BalanceGroups(offers, BalanceParams{ESTTolerance: 24, MaxGroupSize: 12})
+	wantAgs := make([]*Aggregated, 0, len(groups))
+	for _, g := range groups {
+		ag, err := Aggregate(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantAgs = append(wantAgs, ag)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		eng := New(WithWorkers(workers))
+		got, err := eng.AggregateGroups(context.Background(), groups)
+		if err != nil {
+			eng.Close()
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(wantAgs, got) {
+			eng.Close()
+			t.Fatalf("workers=%d: AggregateGroups diverged from per-group Aggregate", workers)
+		}
+		// Safe per-call override matches AggregateSafe per group.
+		gotSafe, err := eng.AggregateGroups(context.Background(), groups, WithSafe(true))
+		eng.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, g := range groups {
+			ag, err := AggregateSafe(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(ag, gotSafe[i]) {
+				t.Fatalf("workers=%d group=%d: safe AggregateGroups diverged", workers, i)
+			}
+		}
+	}
+}
+
+// TestEnginePoolStats sanity-checks the serving-layer gauges.
+func TestEnginePoolStats(t *testing.T) {
+	serial := New(WithWorkers(1))
+	defer serial.Close()
+	if w, b := serial.PoolStats(); w != 1 || b != 0 {
+		t.Errorf("serial PoolStats() = (%d,%d), want (1,0)", w, b)
+	}
+	if serial.Executor() != nil {
+		t.Error("serial engine must expose a nil Executor")
+	}
+	pooled := New(WithWorkers(3))
+	defer pooled.Close()
+	if w, _ := pooled.PoolStats(); w != 3 {
+		t.Errorf("pooled PoolStats() workers = %d, want 3", w)
+	}
+	if pooled.Executor() == nil {
+		t.Error("pooled engine must expose its pool as an Executor")
 	}
 }

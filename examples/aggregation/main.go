@@ -24,18 +24,19 @@ func main() {
 	}
 	fmt.Printf("neighbourhood: %d consumption flex-offers\n\n", len(offers))
 
+	// One engine serves the whole sweep: grouping is overridden per
+	// call, so the worker pool is built once and shared by every
+	// tolerance.
+	eng := flex.New(flex.WithGrouping(flex.GroupParams{ESTTolerance: 2, TFTolerance: -1, MaxGroupSize: 50}))
+	defer eng.Close()
+
 	measures := []flex.Measure{
 		flex.TimeMeasure{}, flex.ProductMeasure{}, flex.VectorMeasure{}, flex.AbsoluteAreaMeasure{},
 	}
 	fmt.Println("EST tol   groups   flexibility retained (% of the unaggregated set)")
 	for _, tol := range []int{0, 2, 4, 8} {
-		// One engine per tolerance: grouping is part of an engine's
-		// option set, fixed at construction.
-		eng := flex.New(flex.WithGrouping(flex.GroupParams{
-			ESTTolerance: tol, TFTolerance: -1, MaxGroupSize: 50,
-		}))
-		ags, err := eng.Aggregate(context.Background(), offers)
-		eng.Close()
+		ags, err := eng.Aggregate(context.Background(), offers,
+			flex.WithGrouping(flex.GroupParams{ESTTolerance: tol, TFTolerance: -1, MaxGroupSize: 50}))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -60,9 +61,8 @@ func main() {
 	fmt.Println()
 
 	// Disaggregation: schedule one aggregate and push the assignment
-	// back to its constituents.
-	eng := flex.New(flex.WithGrouping(flex.GroupParams{ESTTolerance: 2, TFTolerance: -1, MaxGroupSize: 50}))
-	defer eng.Close()
+	// back to its constituents (the engine's own grouping this time —
+	// no override needed).
 	ags, err := eng.Aggregate(context.Background(), offers)
 	if err != nil {
 		log.Fatal(err)
@@ -85,12 +85,14 @@ func main() {
 		balanced = append(balanced, offers[i+50].ScaleEnergy(-1)) // mirror as producers
 	}
 	groups := flex.BalanceGroups(balanced, flex.BalanceParams{ESTTolerance: 24, MaxGroupSize: 10})
+	// Pre-computed groups go straight to the engine: AggregateGroups
+	// fans them over the same pool as similarity-grouped aggregation.
+	balancedAgs, err := eng.AggregateGroups(context.Background(), groups)
+	if err != nil {
+		log.Fatal(err)
+	}
 	var mixed int
-	for _, g := range groups {
-		ag, err := flex.Aggregate(g)
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, ag := range balancedAgs {
 		if ag.Offer.Kind() == flex.Mixed {
 			mixed++
 		}

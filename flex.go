@@ -41,7 +41,12 @@
 // calls share the pool without sharing per-call state), and Close it on
 // shutdown. One option set governs every method — WithPeakCap, for
 // example, applies to Schedule and Pipeline alike — so the same setting
-// can never silently differ between paths.
+// can never silently differ between paths. Any method also accepts
+// per-call options that override the engine's set for that one call
+// (eng.Aggregate(ctx, offers, WithGrouping(p)) sweeps a grouping
+// tolerance without a second engine), and pre-computed groups — from
+// BalanceGroups or OptimizeGroups — go straight to
+// Engine.AggregateGroups.
 //
 // Aggregation across groups is embarrassingly parallel, so
 // Engine.Aggregate shards the grouping output across the pool and still
@@ -86,7 +91,10 @@
 // The examples/ directory contains runnable programs for the paper's EV
 // use case, aggregation (Scenario 1) and flexibility trading
 // (Scenario 2); cmd/flexbench regenerates every table and figure of the
-// paper, and cmd/flexctl drives the Engine from the command line.
+// paper, cmd/flexctl drives the Engine from the command line, and
+// cmd/flexd serves it over HTTP — NDJSON offer ingestion sharded
+// across the engine's pool (internal/ingest), the full Scenario-1
+// chain as POST /v1/schedule, and the measures as GET /v1/measures.
 package flex
 
 import (

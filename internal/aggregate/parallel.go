@@ -48,15 +48,10 @@ func (m ErrorMode) String() string {
 
 // Executor abstracts the execution substrate a parallel call submits
 // its index loop to. The pool package's persistent *Pool implements it;
-// a nil Executor means per-call goroutine spin-up.
-type Executor interface {
-	// ForEach runs fn(i) for every i in [0, n) across at most workers
-	// concurrent participants (0: the executor's full width; requests
-	// above the executor's own size are capped to it), claiming batch
-	// consecutive indices at a time (0: automatic batching). It returns
-	// when every index has been processed.
-	ForEach(n, workers, batch int, fn func(int))
-}
+// a nil Executor means per-call goroutine spin-up. It is an alias of
+// pool.Executor so the ingest package's decode shards and this
+// package's group fan-outs share one substrate type.
+type Executor = pool.Executor
 
 // ParallelParams controls the worker pool of the parallel aggregation
 // pipeline. The zero value spins up one goroutine per logical CPU for
@@ -184,6 +179,13 @@ func AggregateAllSafeParallel(ctx context.Context, offers []*flexoffer.FlexOffer
 // BalanceGroups or OptimizeGroups) concurrently, preserving group order.
 func AggregateGroupsParallel(ctx context.Context, groups [][]*flexoffer.FlexOffer, pp ParallelParams) ([]*Aggregated, error) {
 	return aggregateGroupsParallel(ctx, groups, Aggregate, pp)
+}
+
+// AggregateGroupsSafeParallel is AggregateGroupsParallel using
+// AggregateSafe per group (every valid aggregate assignment
+// disaggregates).
+func AggregateGroupsSafeParallel(ctx context.Context, groups [][]*flexoffer.FlexOffer, pp ParallelParams) ([]*Aggregated, error) {
+	return aggregateGroupsParallel(ctx, groups, AggregateSafe, pp)
 }
 
 // aggregateGroupsParallel shards the groups across the forEachIndex

@@ -1,6 +1,7 @@
 package flexoffer
 
 import (
+	"bufio"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -29,6 +30,27 @@ func Encode(w io.Writer, offers []*FlexOffer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(Document{Version: CurrentVersion, FlexOffers: offers})
+}
+
+// EncodeNDJSON writes the flex-offers to w as NDJSON: one compact JSON
+// object per line, no envelope. This is the streaming wire format of
+// the flexd ingest endpoint — records can be produced, concatenated and
+// decoded incrementally, which the document format's enclosing array
+// prevents. Every offer is validated first, exactly like Encode.
+func EncodeNDJSON(w io.Writer, offers []*FlexOffer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i, f := range offers {
+		if err := f.Validate(); err != nil {
+			return fmt.Errorf("flexoffer: encoding offer %d: %w", i, err)
+		}
+		// Encoder.Encode terminates each value with '\n', which is
+		// exactly the NDJSON record separator.
+		if err := enc.Encode(f); err != nil {
+			return fmt.Errorf("flexoffer: encoding offer %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
 }
 
 // Decode reads a JSON document from r and validates every offer.

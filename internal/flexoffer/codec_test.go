@@ -30,6 +30,34 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEncodeNDJSONOneRecordPerLine(t *testing.T) {
+	offers := []*FlexOffer{
+		paperF(t),
+		MustNew(0, 2, Slice{-1, 2}, Slice{-4, -1}, Slice{-3, 1}),
+	}
+	offers[0].ID = "figure-1"
+	var buf bytes.Buffer
+	if err := EncodeNDJSON(&buf, offers); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != len(offers) {
+		t.Fatalf("got %d lines, want %d", len(lines), len(offers))
+	}
+	for i, line := range lines {
+		if strings.ContainsAny(line, "\n") || strings.Contains(line, "  ") {
+			t.Errorf("line %d is not compact single-line JSON: %q", i, line)
+		}
+	}
+}
+
+func TestEncodeNDJSONRejectsInvalidOffer(t *testing.T) {
+	bad := &FlexOffer{EarliestStart: 2, LatestStart: 0, Slices: []Slice{{0, 1}}}
+	if err := EncodeNDJSON(&bytes.Buffer{}, []*FlexOffer{bad}); err == nil {
+		t.Fatal("EncodeNDJSON must validate offers")
+	}
+}
+
 func TestEncodeRejectsInvalidOffer(t *testing.T) {
 	bad := &FlexOffer{EarliestStart: 2, LatestStart: 0, Slices: []Slice{{0, 1}}}
 	if err := Encode(&bytes.Buffer{}, []*FlexOffer{bad}); err == nil {

@@ -30,6 +30,18 @@ import (
 	"sync/atomic"
 )
 
+// Executor is the index-addressed fan-out interface a *Pool provides:
+// run fn(i) for every i in [0, n) across at most workers concurrent
+// participants (0: the executor's full width), claiming batch
+// consecutive indices at a time (0: automatic batching). Packages that
+// shard work over an Engine's pool — aggregation, disaggregation,
+// ingest decoding — accept an Executor so a nil value can mean
+// "per-call goroutine spin-up" without depending on this package's
+// concrete pool.
+type Executor interface {
+	ForEach(n, workers, batch int, fn func(int))
+}
+
 // Pool is a fixed-size set of persistent worker goroutines. The zero
 // value is not usable; create pools with New. A nil *Pool is valid
 // everywhere and means "no shared workers": ForEach on a nil pool runs
@@ -38,6 +50,7 @@ import (
 type Pool struct {
 	workers int
 	tasks   chan func()
+	busy    atomic.Int64
 	closed  atomic.Bool
 	once    sync.Once
 }
@@ -62,11 +75,24 @@ func New(workers int) *Pool {
 	for i := 0; i < workers; i++ {
 		go func() {
 			for task := range p.tasks {
+				p.busy.Add(1)
 				task()
+				p.busy.Add(-1)
 			}
 		}()
 	}
 	return p
+}
+
+// Busy reports how many pool workers are executing a task right now
+// (0 for a nil pool) — the occupancy gauge a serving layer exports. It
+// is a racy snapshot by nature; the value is exact only while no call
+// is in flight.
+func (p *Pool) Busy() int {
+	if p == nil {
+		return 0
+	}
+	return int(p.busy.Load())
 }
 
 // Workers reports the pool size (0 for a nil pool).

@@ -1,0 +1,218 @@
+// Package server exposes a flex.Engine over HTTP: the flexd service.
+//
+// The wire contract lives in this file and is shared with cmd/flexctl's
+// -json output, which is what makes the acceptance criterion checkable
+// at the byte level: the same inputs produce bit-identical bytes
+// whether they flow through `flexctl schedule -pipeline -json` or
+// through `POST /v1/schedule` — both render their results with
+// BuildScheduleResponse + EncodeResponse.
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+
+	flex "flexmeasures"
+	"flexmeasures/internal/flexoffer"
+)
+
+// IngestResponse reports one POST /v1/offers call.
+type IngestResponse struct {
+	// Ingested is the number of records decoded by this request.
+	Ingested int `json:"ingested"`
+	// Stored is the store's total offer count after the request.
+	Stored int `json:"stored"`
+}
+
+// StoreResponse reports the offer store's size (GET/DELETE /v1/offers).
+type StoreResponse struct {
+	Stored int `json:"stored"`
+}
+
+// AggregateInfo summarizes one aggregate of an aggregation run.
+type AggregateInfo struct {
+	// Constituents is the number of offers aggregated into this group.
+	Constituents int `json:"constituents"`
+	// Kind is the aggregate offer's kind (positive/negative/mixed).
+	Kind string `json:"kind"`
+	// TimeFlexibility is tf of the aggregate offer.
+	TimeFlexibility int `json:"timeFlexibility"`
+	// EnergyFlexibility is ef of the aggregate offer.
+	EnergyFlexibility int64 `json:"energyFlexibility"`
+	// Offer is the aggregate flex-offer itself.
+	Offer *flexoffer.FlexOffer `json:"offer"`
+}
+
+// AggregateResponse is POST /v1/aggregate's result.
+type AggregateResponse struct {
+	// Offers is the number of input offers.
+	Offers int `json:"offers"`
+	// Groups is the number of aggregates produced.
+	Groups int `json:"groups"`
+	// Aggregates holds one entry per group, in group order.
+	Aggregates []AggregateInfo `json:"aggregates"`
+}
+
+// BuildAggregateResponse renders an aggregation run in the wire shape.
+func BuildAggregateResponse(nOffers int, ags []*flex.Aggregated) *AggregateResponse {
+	resp := &AggregateResponse{
+		Offers:     nOffers,
+		Groups:     len(ags),
+		Aggregates: make([]AggregateInfo, len(ags)),
+	}
+	for i, ag := range ags {
+		resp.Aggregates[i] = AggregateInfo{
+			Constituents:      len(ag.Constituents),
+			Kind:              ag.Offer.Kind().String(),
+			TimeFlexibility:   ag.Offer.TimeFlexibility(),
+			EnergyFlexibility: ag.Offer.EnergyFlexibility(),
+			Offer:             ag.Offer,
+		}
+	}
+	return resp
+}
+
+// SeriesJSON is the wire shape of a time series.
+type SeriesJSON struct {
+	Start  int     `json:"start"`
+	Values []int64 `json:"values"`
+}
+
+// ScheduleResponse is POST /v1/schedule's result: the paper's full
+// Scenario-1 chain from stored offers to per-prosumer assignments.
+type ScheduleResponse struct {
+	// Offers is the number of input offers.
+	Offers int `json:"offers"`
+	// Aggregates is the number of aggregated groups scheduled.
+	Aggregates int `json:"aggregates"`
+	// Prosumers is the total number of constituent assignments.
+	Prosumers int `json:"prosumers"`
+	// Horizon is the scheduling horizon in time units.
+	Horizon int `json:"horizon"`
+	// TargetLevel is the flat per-slot target the schedule tracked.
+	TargetLevel int64 `json:"targetLevel"`
+	// Imbalance is the L1 distance between load and target.
+	Imbalance float64 `json:"imbalance"`
+	// PeakLoad is the maximum absolute load of the schedule.
+	PeakLoad int64 `json:"peakLoad"`
+	// Load is the slot-wise total load.
+	Load SeriesJSON `json:"load"`
+	// AggregateAssignments[i] instantiates aggregate i's offer.
+	AggregateAssignments []flexoffer.Assignment `json:"aggregateAssignments"`
+	// Disaggregated[i][j] is the assignment of aggregate i's
+	// constituent j; slot-wise sums reproduce Load exactly.
+	Disaggregated [][]flexoffer.Assignment `json:"disaggregated"`
+}
+
+// BuildScheduleResponse renders a pipeline run in the wire shape. It is
+// the single rendering path for both the HTTP endpoint and flexctl's
+// -json output.
+func BuildScheduleResponse(nOffers int, res *flex.PipelineResult, target flex.Series, horizon int, level int64) *ScheduleResponse {
+	prosumers := 0
+	for _, parts := range res.Disaggregated {
+		prosumers += len(parts)
+	}
+	return &ScheduleResponse{
+		Offers:               nOffers,
+		Aggregates:           len(res.Aggregates),
+		Prosumers:            prosumers,
+		Horizon:              horizon,
+		TargetLevel:          level,
+		Imbalance:            res.AggregateSchedule.Imbalance(target),
+		PeakLoad:             res.AggregateSchedule.PeakLoad(),
+		Load:                 SeriesJSON{Start: res.Load.Start, Values: res.Load.Values},
+		AggregateAssignments: res.AggregateSchedule.Assignments,
+		Disaggregated:        res.Disaggregated,
+	}
+}
+
+// FlatTargetLevel resolves the flat per-slot target level the schedule
+// endpoints and flexctl share: a non-negative level is used as-is, a
+// negative one means "the fleet's expected energy averaged over the
+// horizon".
+func FlatTargetLevel(offers []*flexoffer.FlexOffer, horizon int, level int64) int64 {
+	if level >= 0 {
+		return level
+	}
+	var expected int64
+	for _, f := range offers {
+		expected += (f.TotalMin + f.TotalMax) / 2
+	}
+	return expected / int64(horizon)
+}
+
+// JSONFloat is a float64 that marshals NaN and infinities as null —
+// the measure table contains NaN for undefined cells, which plain
+// encoding/json refuses to encode.
+type JSONFloat float64
+
+// MarshalJSON encodes non-finite values as null.
+func (f JSONFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// MeasuresResponse is GET /v1/measures' result: the paper's eight
+// measures over the stored offers, Table 1 column order, null where a
+// measure is undefined for an offer.
+type MeasuresResponse struct {
+	// Names holds the measure names.
+	Names []string `json:"names"`
+	// Values[i][j] is measure j on offer i (null where undefined).
+	Values [][]JSONFloat `json:"values"`
+	// Set[j] is measure j's set-level value (null where undefined).
+	Set []JSONFloat `json:"set"`
+}
+
+// BuildMeasuresResponse renders a measure table in the wire shape.
+func BuildMeasuresResponse(t *flex.MeasureTable) *MeasuresResponse {
+	resp := &MeasuresResponse{
+		Names:  t.Names,
+		Values: make([][]JSONFloat, len(t.Values)),
+		Set:    make([]JSONFloat, len(t.Set)),
+	}
+	for i, row := range t.Values {
+		out := make([]JSONFloat, len(row))
+		for j, v := range row {
+			out[j] = JSONFloat(v)
+		}
+		resp.Values[i] = out
+	}
+	for j, v := range t.Set {
+		resp.Set[j] = JSONFloat(v)
+	}
+	return resp
+}
+
+// RecordErrorInfo is the wire shape of one failed ingest record.
+type RecordErrorInfo struct {
+	Record int    `json:"record"`
+	Line   int    `json:"line"`
+	Error  string `json:"error"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	// Error is the human-readable failure summary.
+	Error string `json:"error"`
+	// Records identifies the failing ingest records, when the failure
+	// was per-record (absent otherwise).
+	Records []RecordErrorInfo `json:"records,omitempty"`
+}
+
+// EncodeResponse writes v as one line of compact JSON — the single
+// serialization path of every wire type, shared by the HTTP handlers
+// and flexctl -json so their bytes can be compared directly.
+func EncodeResponse(w io.Writer, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}

@@ -1,0 +1,79 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// Route indices for the request counters. Fixed at compile time so the
+// hot path is an atomic add, not a map lookup under a lock.
+const (
+	routeOffers = iota
+	routeAggregate
+	routeSchedule
+	routeMeasures
+	routeHealthz
+	routeMetrics
+	numRoutes
+)
+
+// routeNames label the counters in /metrics output, indexed by the
+// route constants.
+var routeNames = [numRoutes]string{
+	routeOffers:    "/v1/offers",
+	routeAggregate: "/v1/aggregate",
+	routeSchedule:  "/v1/schedule",
+	routeMeasures:  "/v1/measures",
+	routeHealthz:   "/healthz",
+	routeMetrics:   "/metrics",
+}
+
+// metrics holds the server's counters and gauges. Everything is an
+// atomic so handlers never serialize on instrumentation.
+type metrics struct {
+	requests      [numRoutes]atomic.Int64
+	rejected      atomic.Int64
+	inFlight      atomic.Int64
+	ingestRecords atomic.Int64
+	ingestBytes   atomic.Int64
+}
+
+// handleMetrics renders the counters in the Prometheus text exposition
+// format (hand-rolled: the format is three line shapes, not worth a
+// dependency).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	write := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	write("# HELP flexd_requests_total Requests served, by route.\n")
+	write("# TYPE flexd_requests_total counter\n")
+	for i, name := range routeNames {
+		write("flexd_requests_total{path=%q} %d\n", name, s.m.requests[i].Load())
+	}
+	write("# HELP flexd_requests_rejected_total Requests rejected by the max-in-flight gate.\n")
+	write("# TYPE flexd_requests_rejected_total counter\n")
+	write("flexd_requests_rejected_total %d\n", s.m.rejected.Load())
+	write("# HELP flexd_requests_in_flight Requests currently being served.\n")
+	write("# TYPE flexd_requests_in_flight gauge\n")
+	write("flexd_requests_in_flight %d\n", s.m.inFlight.Load())
+
+	write("# HELP flexd_ingest_records_total Flex-offers ingested.\n")
+	write("# TYPE flexd_ingest_records_total counter\n")
+	write("flexd_ingest_records_total %d\n", s.m.ingestRecords.Load())
+	write("# HELP flexd_ingest_bytes_total NDJSON bytes read by the ingest endpoint.\n")
+	write("# TYPE flexd_ingest_bytes_total counter\n")
+	write("flexd_ingest_bytes_total %d\n", s.m.ingestBytes.Load())
+
+	workers, busy := s.eng.PoolStats()
+	write("# HELP flexd_pool_workers Size of the engine's persistent worker pool.\n")
+	write("# TYPE flexd_pool_workers gauge\n")
+	write("flexd_pool_workers %d\n", workers)
+	write("# HELP flexd_pool_busy Pool workers currently executing a task.\n")
+	write("# TYPE flexd_pool_busy gauge\n")
+	write("flexd_pool_busy %d\n", busy)
+
+	write("# HELP flexd_offers_stored Flex-offers in the store.\n")
+	write("# TYPE flexd_offers_stored gauge\n")
+	write("flexd_offers_stored %d\n", len(s.snapshot()))
+}

@@ -1,0 +1,383 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+
+	flex "flexmeasures"
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/ingest"
+	"flexmeasures/internal/timeseries"
+)
+
+// Options configures a Server.
+type Options struct {
+	// MaxInFlight gates the expensive endpoints (ingest, aggregate,
+	// schedule, measures): at most this many such requests run
+	// concurrently, and excess requests are rejected immediately with
+	// 429 so a traffic spike degrades into fast rejections instead of
+	// an unbounded pile-up on the pool. Values below 1 pick 4× the
+	// engine's worker count.
+	MaxInFlight int
+	// MaxBodyBytes caps an ingest request's body. Values below 1 pick
+	// 1 GiB.
+	MaxBodyBytes int64
+	// IngestBlockBytes is the sharded decoder's block size (see
+	// ingest.Params.BlockBytes). Values below 1 pick the decoder's
+	// default. Blocks are also the ingest backpressure unit: a request
+	// body is read only as fast as blocks are decoded.
+	IngestBlockBytes int
+}
+
+// Server is the flexd HTTP service: a long-lived flex.Engine, an
+// in-memory offer store fed by sharded NDJSON ingest, and the paper's
+// aggregate/schedule/measure operations as endpoints. It implements
+// http.Handler; create one with New.
+//
+// Routes:
+//
+//	POST   /v1/offers     NDJSON ingest (sharded decode, ?mode=collect)
+//	GET    /v1/offers     store size
+//	DELETE /v1/offers     reset the store
+//	POST   /v1/aggregate  aggregate stored offers (?est,tft,max-group,mode)
+//	POST   /v1/schedule   full pipeline (?horizon,target,cap,est,tft,max-group)
+//	GET    /v1/measures   the paper's eight measures (?norm=l1|l2|linf)
+//	GET    /healthz       liveness
+//	GET    /metrics       Prometheus text metrics
+type Server struct {
+	eng  *flex.Engine
+	opts Options
+	gate chan struct{}
+	m    metrics
+
+	mu     sync.RWMutex
+	offers []*flexoffer.FlexOffer
+
+	mux *http.ServeMux
+}
+
+// New returns a Server serving eng. The engine is borrowed, not owned:
+// Close it yourself after the HTTP server shuts down.
+func New(eng *flex.Engine, opts Options) *Server {
+	if opts.MaxInFlight < 1 {
+		workers, _ := eng.PoolStats()
+		opts.MaxInFlight = 4 * workers
+	}
+	if opts.MaxBodyBytes < 1 {
+		opts.MaxBodyBytes = 1 << 30
+	}
+	s := &Server{
+		eng:  eng,
+		opts: opts,
+		gate: make(chan struct{}, opts.MaxInFlight),
+		mux:  http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/offers", s.route(routeOffers, s.gated(s.handleIngest)))
+	s.mux.HandleFunc("GET /v1/offers", s.route(routeOffers, s.handleStoreSize))
+	s.mux.HandleFunc("DELETE /v1/offers", s.route(routeOffers, s.handleReset))
+	s.mux.HandleFunc("POST /v1/aggregate", s.route(routeAggregate, s.gated(s.handleAggregate)))
+	s.mux.HandleFunc("POST /v1/schedule", s.route(routeSchedule, s.gated(s.handleSchedule)))
+	s.mux.HandleFunc("GET /v1/measures", s.route(routeMeasures, s.gated(s.handleMeasures)))
+	s.mux.HandleFunc("GET /healthz", s.route(routeHealthz, s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.route(routeMetrics, s.handleMetrics))
+	return s
+}
+
+// ServeHTTP dispatches to the route table.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.m.inFlight.Add(1)
+	defer s.m.inFlight.Add(-1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// route wraps a handler with its request counter.
+func (s *Server) route(idx int, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.m.requests[idx].Add(1)
+		h(w, r)
+	}
+}
+
+// gated wraps a handler with the max-in-flight gate: acquisition never
+// blocks, so under overload the server answers 429 immediately instead
+// of queueing work it cannot start.
+func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.gate <- struct{}{}:
+			defer func() { <-s.gate }()
+			h(w, r)
+		default:
+			s.m.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Sprintf("server busy: %d requests in flight", s.opts.MaxInFlight), nil)
+		}
+	}
+}
+
+// snapshot returns the stored offers. The slice is append-only, so the
+// shared backing array is safe to read concurrently.
+func (s *Server) snapshot() []*flexoffer.FlexOffer {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.offers
+}
+
+// handleIngest streams NDJSON offers from the request body through the
+// sharded decoder into the store. The body is consumed block by block —
+// decode speed is the read speed, which is the backpressure a slow
+// pool exerts on the client's connection. ?mode=collect switches to
+// collect-all error reporting; any record failure rejects the whole
+// request, so a 2xx means every record was stored.
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	mode, err := modeFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)}
+	offers, err := ingest.DecodeNDJSON(r.Context(), body, ingest.Params{
+		ErrorMode:  mode,
+		Pool:       s.eng.Executor(),
+		BlockBytes: s.opts.IngestBlockBytes,
+	})
+	s.m.ingestBytes.Add(body.n)
+	if err != nil {
+		var (
+			re  *ingest.RecordError
+			res ingest.RecordErrors
+			mbe *http.MaxBytesError
+		)
+		switch {
+		case errors.As(err, &mbe):
+			writeError(w, http.StatusRequestEntityTooLarge, err.Error(), nil)
+		case errors.As(err, &res):
+			writeError(w, http.StatusBadRequest, err.Error(), recordInfos(res))
+		case errors.As(err, &re):
+			writeError(w, http.StatusBadRequest, err.Error(), recordInfos(ingest.RecordErrors{re}))
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// Client went away; nothing useful to write.
+		default:
+			writeError(w, http.StatusBadRequest, err.Error(), nil)
+		}
+		return
+	}
+	s.mu.Lock()
+	s.offers = append(s.offers, offers...)
+	stored := len(s.offers)
+	s.mu.Unlock()
+	s.m.ingestRecords.Add(int64(len(offers)))
+	writeJSON(w, http.StatusOK, &IngestResponse{Ingested: len(offers), Stored: stored})
+}
+
+func recordInfos(res ingest.RecordErrors) []RecordErrorInfo {
+	out := make([]RecordErrorInfo, len(res))
+	for i, e := range res {
+		out[i] = RecordErrorInfo{Record: e.Record, Line: e.Line, Error: e.Err.Error()}
+	}
+	return out
+}
+
+func (s *Server) handleStoreSize(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &StoreResponse{Stored: len(s.snapshot())})
+}
+
+func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.offers = nil
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, &StoreResponse{Stored: 0})
+}
+
+// modeFromQuery parses the ?mode parameter the ingest and aggregate
+// endpoints share (one helper, so the two cannot validate it
+// differently).
+func modeFromQuery(r *http.Request) (flex.ErrorMode, error) {
+	switch r.URL.Query().Get("mode") {
+	case "", "first":
+		return flex.FirstError, nil
+	case "collect":
+		return flex.CollectAll, nil
+	default:
+		return 0, errors.New(`mode must be "first" or "collect"`)
+	}
+}
+
+// groupingFromQuery builds per-call grouping options from the request,
+// with the same defaults as flexctl (est=2, tft=-1, max-group=0) so the
+// two fronts cannot drift apart.
+func groupingFromQuery(r *http.Request) (flex.GroupParams, error) {
+	est, err := qInt(r, "est", 2)
+	if err != nil {
+		return flex.GroupParams{}, err
+	}
+	tft, err := qInt(r, "tft", -1)
+	if err != nil {
+		return flex.GroupParams{}, err
+	}
+	size, err := qInt(r, "max-group", 0)
+	if err != nil {
+		return flex.GroupParams{}, err
+	}
+	return flex.GroupParams{ESTTolerance: est, TFTolerance: tft, MaxGroupSize: size}, nil
+}
+
+func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
+	gp, err := groupingFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	mode, err := modeFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	opts := []flex.Option{flex.WithGrouping(gp), flex.WithErrorMode(mode)}
+	offers := s.snapshot()
+	if len(offers) == 0 {
+		writeError(w, http.StatusBadRequest, "no offers ingested", nil)
+		return
+	}
+	ags, err := s.eng.Aggregate(r.Context(), offers, opts...)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error(), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, BuildAggregateResponse(len(offers), ags))
+}
+
+// handleSchedule runs the full Scenario-1 chain — aggregate → schedule
+// → disaggregate — over the stored offers, streaming on the engine's
+// pool, and returns the schedule plus the per-prosumer assignments.
+// The response is byte-identical to `flexctl schedule -pipeline -json`
+// on the same offers and parameters.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	horizon, err := qInt(r, "horizon", 48)
+	if err == nil && horizon < 1 {
+		err = fmt.Errorf("horizon must be positive, got %d", horizon)
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	level, err := qInt64(r, "target", -1)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	gp, err := groupingFromQuery(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	opts := []flex.Option{flex.WithGrouping(gp)}
+	if r.URL.Query().Has("cap") {
+		cap, err := qInt64(r, "cap", 0)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error(), nil)
+			return
+		}
+		opts = append(opts, flex.WithPeakCap(cap))
+	}
+	offers := s.snapshot()
+	if len(offers) == 0 {
+		writeError(w, http.StatusBadRequest, "no offers ingested", nil)
+		return
+	}
+	level = FlatTargetLevel(offers, horizon, level)
+	target := timeseries.Constant(0, horizon, level)
+	res, err := s.eng.Pipeline(r.Context(), offers, target, opts...)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error(), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, BuildScheduleResponse(len(offers), res, target, horizon, level))
+}
+
+func (s *Server) handleMeasures(w http.ResponseWriter, r *http.Request) {
+	var opts []flex.Option
+	switch r.URL.Query().Get("norm") {
+	case "", "l1":
+	case "l2":
+		opts = append(opts, flex.WithNorm(flex.L2))
+	case "linf":
+		opts = append(opts, flex.WithNorm(flex.LInf))
+	default:
+		writeError(w, http.StatusBadRequest, `norm must be "l1", "l2" or "linf"`, nil)
+		return
+	}
+	offers := s.snapshot()
+	if len(offers) == 0 {
+		writeError(w, http.StatusBadRequest, "no offers ingested", nil)
+		return
+	}
+	tab, err := s.eng.Measures(r.Context(), offers, opts...)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error(), nil)
+		return
+	}
+	writeJSON(w, http.StatusOK, BuildMeasuresResponse(tab))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "stored": len(s.snapshot())})
+}
+
+// qInt parses an optional integer query parameter.
+func qInt(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %w", key, err)
+	}
+	return n, nil
+}
+
+// qInt64 parses an optional 64-bit integer query parameter.
+func qInt64(r *http.Request, key string, def int64) (int64, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("parameter %q: %w", key, err)
+	}
+	return n, nil
+}
+
+// writeJSON writes a 2xx wire value through the shared encoder.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = EncodeResponse(w, v)
+}
+
+// writeError writes the uniform error body.
+func writeError(w http.ResponseWriter, code int, msg string, records []RecordErrorInfo) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = EncodeResponse(w, &ErrorResponse{Error: msg, Records: records})
+}
+
+// countingReader counts bytes for the ingest throughput metrics.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
