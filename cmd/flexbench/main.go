@@ -42,6 +42,13 @@
 //
 //	flexbench -ingest 100000            # serial vs sharded decode
 //	flexbench -ingest 100000 -workers 4 # pin the decode shard count
+//
+// -group measures the pipeline's entry stage: the serial threshold
+// grouper (sort + greedy pack) against the parallel sharded grouper
+// (internal/grouping), verifying bit-identical groups:
+//
+//	flexbench -group 100000             # serial vs sharded grouping
+//	flexbench -group 100000 -workers 4  # pin the grouping worker count
 package main
 
 import (
@@ -54,12 +61,14 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"sort"
 	"time"
 
 	flex "flexmeasures"
 	"flexmeasures/internal/aggregate"
 	"flexmeasures/internal/experiments"
 	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/grouping"
 	"flexmeasures/internal/ingest"
 	"flexmeasures/internal/sched"
 	"flexmeasures/internal/workload"
@@ -81,7 +90,8 @@ func run(args []string) error {
 	schedN := fs.Int("sched", 0, "compare legacy vs incremental scheduling and batch vs streaming pipeline over N synthetic offers and exit")
 	engineN := fs.Int("engine", 0, "compare per-call pool spin-up vs the persistent Engine pool over repeated batches of N synthetic offers and exit")
 	ingestN := fs.Int("ingest", 0, "compare serial vs sharded NDJSON decoding over N synthetic offers and exit")
-	workers := fs.Int("workers", 0, "worker-pool size for -agg / -sched / -engine / -ingest (0: one per CPU)")
+	groupN := fs.Int("group", 0, "compare serial vs sharded grouping over N synthetic offers and exit")
+	workers := fs.Int("workers", 0, "worker-pool size for -agg / -sched / -engine / -ingest / -group (0: one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -96,6 +106,9 @@ func run(args []string) error {
 	}
 	if *ingestN > 0 {
 		return runIngestCompare(os.Stdout, *ingestN, *workers)
+	}
+	if *groupN > 0 {
+		return runGroupCompare(os.Stdout, *groupN, *workers)
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -284,6 +297,63 @@ func runIngestCompare(out io.Writer, n, workers int) error {
 	fmt.Fprintf(out, "sharded: %v  (%d workers, %.0f records/s, %.1f MB/s, %.2fx speedup)\n",
 		shardedDur, workers, pr, pm, float64(serialDur)/float64(shardedDur))
 	fmt.Fprintln(out, "serial and sharded decodes are identical")
+	return nil
+}
+
+// runGroupCompare times the serial threshold grouper against the
+// parallel sharded grouper (the pipeline's entry stage) on a
+// reproducible synthetic population and fails unless the two produce
+// identical groups — the sharded grouper's bit-identity contract. The
+// shard structure (EST gaps wider than the tolerance) is data-driven,
+// so the shard count is reported alongside the timings; the comparison
+// uses strict EST similarity (tolerance 0), because a dense population
+// occupies every start slot and any looser tolerance forms one
+// EST-connected run, where the grouper documents its fallback to a
+// serial pack (only the sort and key phases stay parallel).
+func runGroupCompare(out io.Writer, n, workers int) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	offers, err := workload.Population(rand.New(rand.NewSource(99)), n, 3, workload.DefaultMix())
+	if err != nil {
+		return err
+	}
+	gp := grouping.Params{ESTTolerance: 0, TFTolerance: -1, MaxGroupSize: 64}
+
+	t0 := time.Now()
+	serial := grouping.Group(offers, gp)
+	serialDur := time.Since(t0)
+
+	sharded := &grouping.Sharded{Params: gp, Workers: workers, MinOffers: -1}
+	t0 = time.Now()
+	parallel, err := sharded.Group(context.Background(), offers)
+	if err != nil {
+		return err
+	}
+	parallelDur := time.Since(t0)
+
+	if !reflect.DeepEqual(serial, parallel) {
+		return fmt.Errorf("sharded grouping diverged from serial over %d offers", n)
+	}
+	// The shard count is the number of EST gaps wider than the
+	// tolerance plus one — derivable from the sorted starts without
+	// re-running the grouper.
+	ests := make([]int, len(offers))
+	for i, f := range offers {
+		ests[i] = f.EarliestStart
+	}
+	sort.Ints(ests)
+	shards := 1
+	for i := 1; i < len(ests); i++ {
+		if ests[i]-ests[i-1] > gp.ESTTolerance {
+			shards++
+		}
+	}
+	speedup := float64(serialDur) / float64(parallelDur)
+	fmt.Fprintf(out, "grouped %d offers into %d groups (%d shards)\n", len(offers), len(serial), shards)
+	fmt.Fprintf(out, "serial:  %v\n", serialDur)
+	fmt.Fprintf(out, "sharded: %v  (%d workers, %.2fx speedup)\n", parallelDur, workers, speedup)
+	fmt.Fprintln(out, "serial and sharded groupings are identical")
 	return nil
 }
 

@@ -100,3 +100,23 @@ func TestRunIngestFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestRunGroupCompare(t *testing.T) {
+	var buf bytes.Buffer
+	if err := runGroupCompare(&buf, 2000, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "grouped 2000 offers") ||
+		!strings.Contains(out, "serial and sharded groupings are identical") {
+		t.Errorf("comparison output wrong:\n%s", out)
+	}
+}
+
+// TestRunGroupFlag covers the flag wiring from run() to
+// runGroupCompare.
+func TestRunGroupFlag(t *testing.T) {
+	if err := run([]string{"-group", "200", "-workers", "2"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -2,11 +2,13 @@ package flex
 
 import (
 	"context"
+	"errors"
 	"math"
 	"sync"
 
 	"flexmeasures/internal/aggregate"
 	"flexmeasures/internal/core"
+	"flexmeasures/internal/grouping"
 	"flexmeasures/internal/pool"
 	"flexmeasures/internal/sched"
 	"flexmeasures/internal/timeseries"
@@ -42,10 +44,18 @@ type Engine struct {
 type engineOptions struct {
 	workers int
 	group   GroupParams
-	safe    bool
-	peakCap int64
-	errMode ErrorMode
-	norm    Norm
+	// grouper, when non-nil, replaces the built-in sharded threshold
+	// grouper as the pipeline's entry stage (WithGrouper).
+	grouper Grouper
+	// placement is the greedy scheduler's placement order
+	// (WithPlacement); placeMeasure ranks offers for the
+	// flexibility-aware orders (WithPlacementMeasure).
+	placement    ScheduleOrder
+	placeMeasure Measure
+	safe         bool
+	peakCap      int64
+	errMode      ErrorMode
+	norm         Norm
 }
 
 // Option configures an Engine at construction (functional options) —
@@ -67,12 +77,53 @@ func WithWorkers(n int) Option {
 	return func(o *engineOptions) { o.workers = n }
 }
 
-// WithGrouping sets the similarity-based grouping parameters Aggregate
-// and Pipeline partition offers with. The default is the zero
-// GroupParams (identical earliest starts and time flexibilities per
-// group, unbounded group size).
+// WithGrouping sets the similarity tolerances of the engine's built-in
+// grouper — the parallel sharded threshold strategy Aggregate and
+// Pipeline partition offers with, whose output is bit-identical to the
+// serial aggregate.Group for every worker count. The default is the
+// zero GroupParams (identical earliest starts and time flexibilities
+// per group, unbounded group size). WithGrouping maps onto WithGrouper:
+// it (re)selects the built-in grouper under p, replacing any custom
+// Grouper installed earlier in the option list.
 func WithGrouping(p GroupParams) Option {
-	return func(o *engineOptions) { o.group = p }
+	return func(o *engineOptions) {
+		o.group = p
+		o.grouper = nil
+	}
+}
+
+// WithGrouper installs a custom grouping strategy as the pipeline's
+// entry stage: Aggregate and Pipeline hand the offers to g and
+// aggregate whatever partition it returns. The grouping package ships
+// the strategies — grouping.Sharded (the default, attach the engine's
+// Executor for pool-backed packing), grouping.Threshold,
+// grouping.Balance — and aggregate.Optimizer adapts the loss-bounded
+// optimizing strategy. A grouper that also implements grouping.Streamer
+// (as Sharded does) lets Pipeline start aggregating the first shard's
+// groups while later shards are still being packed. The Grouper must be
+// safe for concurrent use; the engine shares it across calls.
+func WithGrouper(g Grouper) Option {
+	return func(o *engineOptions) { o.grouper = g }
+}
+
+// WithPlacement selects the greedy scheduler's placement order for
+// Schedule and Pipeline — the option that retires the deprecated
+// options-taking Schedule free function for every order except
+// OrderRandom (which needs a caller-owned rand source and stays with
+// the sched options). Pipeline streams placements and therefore
+// supports OrderArrival only; other orders make it fail with
+// sched.ErrStreamOrder. The default is OrderArrival.
+func WithPlacement(order ScheduleOrder) Option {
+	return func(o *engineOptions) { o.placement = order }
+}
+
+// WithPlacementMeasure sets the flexibility measure ranking offers for
+// the flexibility-aware placement orders (OrderLeastFlexibleFirst,
+// OrderMostFlexibleFirst). The default is the paper's vector measure.
+// The measure must be safe for concurrent use — every measure in this
+// library is.
+func WithPlacementMeasure(m Measure) Option {
+	return func(o *engineOptions) { o.placeMeasure = m }
 }
 
 // WithSafe makes Aggregate and Pipeline tighten every constituent's
@@ -171,22 +222,19 @@ func (e *Engine) resolve(opts []Option) engineOptions {
 	return o
 }
 
-// config presents the engine's option set in the legacy Config shape —
-// the bridge the deprecated free-function shims and the engine methods
-// share, so the two cannot apply different option sets.
-func (e *Engine) config() Config { return configOf(e.opts) }
-
-// callConfig is config with per-call overrides applied.
-func (e *Engine) callConfig(opts []Option) Config { return configOf(e.resolve(opts)) }
-
-// configOf renders any resolved option set in the legacy Config shape.
-func configOf(o engineOptions) Config {
-	return Config{
-		Group:     o.group,
-		Workers:   o.workers,
-		ErrorMode: o.errMode,
-		Safe:      o.safe,
-		PeakCap:   o.peakCap,
+// optionsOf lifts a legacy Config into the engine's option shape — the
+// inverse bridge the deprecated shims enter the shared pipeline
+// through. A Config carries no grouper or placement, so the lifted set
+// uses the built-in grouper and arrival order, exactly what the legacy
+// entry points always did.
+func optionsOf(cfg Config) engineOptions {
+	return engineOptions{
+		workers: cfg.Workers,
+		group:   cfg.Group,
+		safe:    cfg.Safe,
+		peakCap: cfg.PeakCap,
+		errMode: cfg.ErrorMode,
+		norm:    L1,
 	}
 }
 
@@ -204,8 +252,22 @@ func (e *Engine) parallelParams(pp ParallelParams) ParallelParams {
 	return pp
 }
 
-// Aggregate groups the offers under the engine's grouping parameters
-// and aggregates every group on the worker pool (Scenario 1's
+// grouper resolves the option set's grouping strategy: the custom
+// Grouper when one is installed, otherwise the built-in parallel
+// sharded threshold grouper over the engine's pool — whose output is
+// bit-identical to the serial aggregate.Group, so switching an engine
+// between worker counts (or to a serial engine) never changes the
+// partition.
+func (e *Engine) grouper(o engineOptions) Grouper {
+	if o.grouper != nil {
+		return o.grouper
+	}
+	return &grouping.Sharded{Params: o.group, Pool: e.Executor(), Workers: o.workers}
+}
+
+// Aggregate partitions the offers with the engine's grouper — the
+// parallel sharded threshold strategy unless WithGrouper installed
+// another — and aggregates every group on the worker pool (Scenario 1's
 // aggregation stage). The result is identical to the serial
 // AggregateAll in the same group order for every engine configuration;
 // per-group failures are reported under the engine's error mode.
@@ -213,20 +275,34 @@ func (e *Engine) parallelParams(pp ParallelParams) ParallelParams {
 // Aggregate(ctx, offers, WithGrouping(p)) sweeps a tolerance without
 // constructing a second engine.
 func (e *Engine) Aggregate(ctx context.Context, offers []*FlexOffer, opts ...Option) ([]*Aggregated, error) {
-	return e.aggregateWith(ctx, offers, e.callConfig(opts))
+	o := e.resolve(opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	groups, err := e.grouper(o).Group(ctx, offers)
+	if err != nil {
+		return nil, err
+	}
+	return e.aggregateGroups(ctx, groups, o)
 }
 
 // AggregateGroups aggregates pre-computed groups — the output of
 // GroupOffers, BalanceGroups or OptimizeGroups — on the worker pool,
 // preserving group order, for callers whose partitioning strategy is
-// not the engine's similarity grouping. WithSafe (engine-level or
-// per-call) selects safe aggregation; failures are reported under the
-// error mode exactly like Aggregate.
+// not the engine's grouper. WithSafe (engine-level or per-call) selects
+// safe aggregation; failures are reported under the error mode exactly
+// like Aggregate.
 func (e *Engine) AggregateGroups(ctx context.Context, groups [][]*FlexOffer, opts ...Option) ([]*Aggregated, error) {
 	o := e.resolve(opts)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	return e.aggregateGroups(ctx, groups, o)
+}
+
+// aggregateGroups fans the aggregation of a materialized partition out
+// across the pool under the resolved option set.
+func (e *Engine) aggregateGroups(ctx context.Context, groups [][]*FlexOffer, o engineOptions) ([]*Aggregated, error) {
 	pp := e.parallelParams(ParallelParams{Workers: o.workers, ErrorMode: o.errMode})
 	if o.safe {
 		return aggregate.AggregateGroupsSafeParallel(ctx, groups, pp)
@@ -234,9 +310,12 @@ func (e *Engine) AggregateGroups(ctx context.Context, groups [][]*FlexOffer, opt
 	return aggregate.AggregateGroupsParallel(ctx, groups, pp)
 }
 
-// aggregateWith is Aggregate under an explicit legacy Config — the
-// shared implementation of the engine method and the deprecated
-// AggregateWithConfig shim.
+// aggregateWith is aggregation under an explicit legacy Config — the
+// implementation behind the deprecated AggregateWithConfig shim, kept
+// on the exact legacy code path (serial grouping, serial fast path for
+// one first-error worker); Engine.Aggregate itself enters through the
+// grouper. Both produce bit-identical output — the equivalence tests
+// pin it.
 func (e *Engine) aggregateWith(ctx context.Context, offers []*FlexOffer, cfg Config) ([]*Aggregated, error) {
 	// The Workers == 1 fast path skips the per-group error slots, which
 	// is only legal in first-error mode: collect-all must keep
@@ -261,16 +340,21 @@ func (e *Engine) aggregateWith(ctx context.Context, offers []*FlexOffer, cfg Con
 
 // Schedule greedily assigns every offer a start time and energy values
 // so the total load tracks the target series, using the incremental
-// candidate evaluator and the engine's peak cap (overridable per call
-// with WithPeakCap). Offers are placed in arrival order; for the
-// flexibility-ranked and random orders keep using the sched options
-// through the deprecated Schedule function.
+// candidate evaluator, the engine's peak cap (overridable per call with
+// WithPeakCap), and the engine's placement order (WithPlacement, with
+// WithPlacementMeasure ranking offers for the flexibility-aware
+// orders). OrderRandom needs a caller-owned rand source and therefore
+// stays with the deprecated options-taking Schedule function.
 func (e *Engine) Schedule(ctx context.Context, offers []*FlexOffer, target Series, opts ...Option) (*ScheduleResult, error) {
 	o := e.resolve(opts)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return sched.Schedule(offers, target, sched.Options{PeakCap: o.peakCap})
+	return sched.Schedule(offers, target, sched.Options{
+		PeakCap: o.peakCap,
+		Order:   o.placement,
+		Measure: o.placeMeasure,
+	})
 }
 
 // Improve refines a schedule by local search: each round re-places one
@@ -289,37 +373,86 @@ func (e *Engine) Improve(ctx context.Context, offers []*FlexOffer, target Series
 
 // Pipeline runs the paper's full Scenario-1 chain — group → aggregate →
 // schedule → disaggregate — as one streaming pipeline on the engine's
-// worker pool: each finished aggregate is handed straight to the
-// scheduler, which places it as soon as its group index is next, and
-// the scheduled aggregates are disaggregated by the same workers. The
-// result is identical to the materialized sequence Aggregate → Schedule
-// (arrival order) → Disaggregate for every engine configuration, and
-// the engine's peak cap applies exactly as in Schedule. Options
-// override the engine's option set for this call only.
+// worker pool, entered through the engine's grouper: the sharded
+// grouper streams each shard's groups to the aggregation workers as
+// soon as the shard is packed, each finished aggregate is handed
+// straight to the scheduler, which places it as soon as its group index
+// is next, and the scheduled aggregates are disaggregated by the same
+// workers. No stage waits for the previous one to finish its whole
+// batch. The result is identical to the materialized sequence Aggregate
+// → Schedule (arrival order) → Disaggregate for every engine
+// configuration, and the engine's peak cap applies exactly as in
+// Schedule. Options override the engine's option set for this call
+// only.
 func (e *Engine) Pipeline(ctx context.Context, offers []*FlexOffer, target Series, opts ...Option) (*PipelineResult, error) {
-	return e.pipelineWith(ctx, offers, target, e.callConfig(opts))
+	return e.pipeline(ctx, offers, target, e.resolve(opts))
 }
 
-// pipelineWith is Pipeline under an explicit legacy Config — the shared
-// implementation of the engine method and the deprecated
-// SchedulePipeline shim.
+// pipelineWith is Pipeline under an explicit legacy Config — the bridge
+// the deprecated SchedulePipeline shim enters through.
 func (e *Engine) pipelineWith(ctx context.Context, offers []*FlexOffer, target Series, cfg Config) (*PipelineResult, error) {
-	// Cancelling on return releases the aggregation workers if
-	// scheduling or disaggregation aborts early.
+	return e.pipeline(ctx, offers, target, optionsOf(cfg))
+}
+
+// pipeline is the streaming chain under a resolved option set.
+func (e *Engine) pipeline(ctx context.Context, offers []*FlexOffer, target Series, o engineOptions) (*PipelineResult, error) {
+	// The streaming scheduler supports arrival order only; fail before
+	// grouping and aggregating a whole fleet whose schedule can never
+	// start. ScheduleStream re-checks, so the two cannot drift.
+	if o.placement != OrderArrival {
+		return nil, sched.ErrStreamOrder
+	}
+	// Cancelling on return releases the grouping and aggregation workers
+	// if scheduling or disaggregation aborts early.
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	pp := e.parallelParams(ParallelParams{Workers: cfg.Workers, ErrorMode: cfg.ErrorMode})
+	pp := e.parallelParams(ParallelParams{Workers: o.workers, ErrorMode: o.errMode})
+	g := e.grouper(o)
 	var (
 		items <-chan AggregateStreamItem
 		n     int
 	)
-	if cfg.Safe {
-		items, n = aggregate.AggregateAllSafeStream(ctx, offers, cfg.Group, pp)
+	if sg, ok := g.(grouping.Streamer); ok {
+		// Streaming entry: aggregation of the first shard's groups
+		// overlaps the packing of later shards; the group count arrives
+		// once the grouper has seen the whole input.
+		var nch <-chan int
+		if o.safe {
+			items, nch = aggregate.AggregateGrouperSafeStream(ctx, offers, sg, pp)
+		} else {
+			items, nch = aggregate.AggregateGrouperStream(ctx, offers, sg, pp)
+		}
+		got, ok := <-nch
+		if !ok {
+			// The grouper stopped before the count was known; only a
+			// cancelled ctx does that.
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			return nil, errors.New("flex: grouping stream ended before the group count was known")
+		}
+		n = got
 	} else {
-		items, n = aggregate.AggregateAllStream(ctx, offers, cfg.Group, pp)
+		// A grouper without a streaming side (custom strategies,
+		// fallible ones) materializes its partition first.
+		groups, err := g.Group(ctx, offers)
+		if err != nil {
+			return nil, err
+		}
+		if o.safe {
+			items, n = aggregate.AggregateGroupsSafeStream(ctx, groups, pp)
+		} else {
+			items, n = aggregate.AggregateGroupsStream(ctx, groups, pp)
+		}
 	}
-	sr, err := sched.ScheduleStream(ctx, items, n, target, sched.Options{PeakCap: cfg.PeakCap})
+	sr, err := sched.ScheduleStream(ctx, items, n, target, sched.Options{PeakCap: o.peakCap, Order: o.placement})
 	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		// A cancellation racing the end of the group stream could
+		// deliver a truncated-but-consistent prefix; never present one
+		// as a complete schedule.
 		return nil, err
 	}
 	parts, err := aggregate.DisaggregateAllParallel(ctx, sr.Aggregates, sr.Assignments, pp)

@@ -48,18 +48,28 @@
 // BalanceGroups or OptimizeGroups — go straight to
 // Engine.AggregateGroups.
 //
-// Aggregation across groups is embarrassingly parallel, so
+// Every stage of the chain is parallel, grouping included: the
+// pipeline's entry stage is a pluggable Grouper (internal/grouping),
+// and the engine's default — the sharded threshold grouper — sorts the
+// offers with a parallel merge sort, cuts the sorted order into
+// independent shards at every earliest-start gap wider than the
+// tolerance, and packs the shards concurrently on the pool,
+// bit-identical to the serial GroupOffers for every worker count.
+// WithGrouper installs another strategy (BalanceGrouper,
+// OptimizeGrouper, or your own); WithGrouping tunes the default's
+// tolerances. Aggregation across groups is embarrassingly parallel, so
 // Engine.Aggregate shards the grouping output across the pool and still
 // yields results identical to the serial path in the same group order
 // for every worker count; per-group failures are reported as GroupError
 // (first-error mode) or GroupErrors (collect-all mode), each
 // identifying the failing group by index, size and first constituent
 // ID. Engine.Pipeline chains the paper's entire Scenario 1 — group →
-// aggregate → schedule → disaggregate — without materializing the
-// aggregate batch: each finished aggregate is handed straight to the
-// scheduler, which places it the moment its group index is next, and
-// the scheduled aggregates fan back out to per-prosumer assignments on
-// the same pool. The scheduler scores every candidate start in
+// aggregate → schedule → disaggregate — without materializing any
+// stage's batch: each packed shard's groups go straight to the
+// aggregation workers, each finished aggregate is handed straight to
+// the scheduler, which places it the moment its group index is next,
+// and the scheduled aggregates fan back out to per-prosumer assignments
+// on the same pool. The scheduler scores every candidate start in
 // O(profile) with zero allocations via an incremental load−target
 // residual (timeseries.Accumulator); ScheduleOptions.FullRecompute
 // retains the legacy full-recompute evaluator as an equivalence oracle,
@@ -105,6 +115,7 @@ import (
 	"flexmeasures/internal/core"
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/grid"
+	"flexmeasures/internal/grouping"
 	"flexmeasures/internal/timeseries"
 )
 
@@ -261,7 +272,8 @@ func Table1(measures []Measure) (cols []string, rows []string, cells [][]bool) {
 func VerifyCharacteristics(m Measure) error { return core.VerifyCharacteristics(m) }
 
 // Aggregation (Scenario 1). See the aggregate package for the start-
-// alignment semantics and the balance-aware variant.
+// alignment semantics and the grouping package for the partitioning
+// strategies.
 type (
 	// Aggregated couples an aggregate flex-offer with its constituents.
 	Aggregated = aggregate.Aggregated
@@ -269,7 +281,31 @@ type (
 	GroupParams = aggregate.GroupParams
 	// BalanceParams controls balance-aware grouping.
 	BalanceParams = aggregate.BalanceParams
+	// Grouper is a pluggable partitioning strategy — the entry stage of
+	// the pipeline. Install one on an Engine with WithGrouper; the
+	// grouping package ships the implementations.
+	Grouper = grouping.Grouper
+	// ShardedGrouper is the parallel threshold strategy: offers are
+	// stably sorted by (earliest start, time flexibility) with a
+	// parallel merge sort, cut into independent shards at every
+	// earliest-start gap wider than the tolerance, and greedily packed
+	// per shard — bit-identical to GroupOffers for every worker count.
+	// Engines run it by default; construct one directly (optionally
+	// with Pool set to an Engine's Executor) to tune its thresholds.
+	ShardedGrouper = grouping.Sharded
+	// ThresholdGrouper is the serial threshold strategy (the
+	// ShardedGrouper's oracle).
+	ThresholdGrouper = grouping.Threshold
+	// BalanceGrouper is the balance-aware strategy of BalanceGroups as
+	// a Grouper.
+	BalanceGrouper = grouping.Balance
 )
+
+// OptimizeGrouper adapts the loss-bounded optimizing strategy of
+// OptimizeGroups into a Grouper for WithGrouper.
+func OptimizeGrouper(p OptimizeParams) Grouper {
+	return aggregate.Optimizer(p)
+}
 
 // Aggregate combines a group of flex-offers into one by start alignment.
 func Aggregate(group []*FlexOffer) (*Aggregated, error) { return aggregate.Aggregate(group) }

@@ -83,13 +83,11 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 	horizon := 3 * flex.SlotsPerDay
 	target := flex.WindProfile(rng, horizon, expected/int64(horizon))
-	// The flexibility-ranked placement order has no Engine method; the
-	// options-taking function remains the supported route for it.
-	//lint:ignore SA1019 exercising the deprecated options-taking shim deliberately
-	res, err := flex.Schedule(aggOffers, target, flex.ScheduleOptions{
-		Order:   flex.OrderLeastFlexibleFirst,
-		Measure: flex.VectorMeasure{},
-	})
+	// Least-flexible-first placement through the engine's placement
+	// options (the route that retired the options-taking Schedule).
+	res, err := eng.Schedule(context.Background(), aggOffers, target,
+		flex.WithPlacement(flex.OrderLeastFlexibleFirst),
+		flex.WithPlacementMeasure(flex.VectorMeasure{}))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,10 +23,10 @@ package aggregate
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"flexmeasures/internal/core"
 	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/grouping"
 )
 
 // Sentinel errors.
@@ -368,92 +368,20 @@ func (ag *Aggregated) Loss(m core.Measure) (float64, error) {
 }
 
 // GroupParams controls Group's similarity thresholds, mirroring the
-// grouping parameters of reference [15].
-type GroupParams struct {
-	// ESTTolerance is the maximum spread of earliest start times within
-	// one group (the "EST tolerance" of [15]). 0 groups only offers
-	// with identical earliest starts.
-	ESTTolerance int
-	// TFTolerance is the maximum spread of time flexibilities within
-	// one group. Grouping offers of similar tf bounds the time
-	// flexibility lost to the min-rule. Negative means unbounded.
-	TFTolerance int
-	// MaxGroupSize caps the constituents per group; 0 means unbounded.
-	MaxGroupSize int
-}
+// grouping parameters of reference [15]. It is the grouping package's
+// threshold Params; this alias keeps existing callers compiling.
+type GroupParams = grouping.Params
 
 // Group partitions the offers into aggregation-compatible groups: the
 // offers are ordered by earliest start time and greedily packed while
 // the group stays within the tolerances. The input slice is not
 // modified; constituent order inside each group follows the sort.
+//
+// The implementation lives in the grouping package, which also provides
+// the parallel sharded variant (grouping.Sharded) the Engine runs on;
+// this shim is the serial oracle both are equivalent to.
 func Group(offers []*flexoffer.FlexOffer, p GroupParams) [][]*flexoffer.FlexOffer {
-	if len(offers) == 0 {
-		return nil
-	}
-	// Precompute the sort keys once: with a comparator that recomputes
-	// them, a sort of n offers pays the key derivation O(n log n) times
-	// and chases the offer pointers on every comparison. Sorting a
-	// permutation over flat key slices keeps the comparator to two
-	// integer loads. The stable sort over identical keys yields exactly
-	// the permutation the previous offer-slice sort produced.
-	perm := make([]int, len(offers))
-	ests := make([]int, len(offers))
-	tfs := make([]int, len(offers))
-	for i, f := range offers {
-		perm[i] = i
-		ests[i] = f.EarliestStart
-		tfs[i] = f.TimeFlexibility()
-	}
-	sort.SliceStable(perm, func(i, j int) bool {
-		a, b := perm[i], perm[j]
-		if ests[a] != ests[b] {
-			return ests[a] < ests[b]
-		}
-		return tfs[a] < tfs[b]
-	})
-	sorted := make([]*flexoffer.FlexOffer, len(offers))
-	for i, p := range perm {
-		sorted[i] = offers[p]
-	}
-	var groups [][]*flexoffer.FlexOffer
-	var cur []*flexoffer.FlexOffer
-	var baseEST, minTF, maxTF int
-	flush := func() {
-		if len(cur) > 0 {
-			groups = append(groups, cur)
-			cur = nil
-		}
-	}
-	for _, f := range sorted {
-		if len(cur) == 0 {
-			cur = []*flexoffer.FlexOffer{f}
-			baseEST = f.EarliestStart
-			minTF, maxTF = f.TimeFlexibility(), f.TimeFlexibility()
-			continue
-		}
-		tf := f.TimeFlexibility()
-		lo, hi := minTF, maxTF
-		if tf < lo {
-			lo = tf
-		}
-		if tf > hi {
-			hi = tf
-		}
-		fits := f.EarliestStart-baseEST <= p.ESTTolerance &&
-			(p.TFTolerance < 0 || hi-lo <= p.TFTolerance) &&
-			(p.MaxGroupSize <= 0 || len(cur) < p.MaxGroupSize)
-		if !fits {
-			flush()
-			cur = []*flexoffer.FlexOffer{f}
-			baseEST = f.EarliestStart
-			minTF, maxTF = tf, tf
-			continue
-		}
-		cur = append(cur, f)
-		minTF, maxTF = lo, hi
-	}
-	flush()
-	return groups
+	return grouping.Group(offers, p)
 }
 
 // AggregateSafe aggregates the group after tightening every

@@ -4,9 +4,11 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/grouping"
 	"flexmeasures/internal/pool"
 )
 
@@ -188,10 +190,9 @@ func AggregateGroupsSafeParallel(ctx context.Context, groups [][]*flexoffer.Flex
 	return aggregateGroupsParallel(ctx, groups, AggregateSafe, pp)
 }
 
-// aggregateGroupsParallel shards the groups across the forEachIndex
-// worker pool: each aggregate and each failure lands in its group's
-// slot, so neither output order nor error reporting depends on
-// scheduling. Failures are wrapped with newGroupError exactly like the
+// aggregateGroupsParallel shards the groups across the worker pool:
+// each aggregate and each failure lands in its group's slot, so
+// neither output order nor error reporting depends on scheduling. Failures are wrapped with newGroupError exactly like the
 // serial path. After cancellation (or, in FirstError mode, a failure)
 // the remaining groups are skipped, not aggregated.
 func aggregateGroupsParallel(ctx context.Context, groups [][]*flexoffer.FlexOffer, agg func([]*flexoffer.FlexOffer) (*Aggregated, error), pp ParallelParams) ([]*Aggregated, error) {
@@ -295,6 +296,12 @@ func AggregateGroupsStream(ctx context.Context, groups [][]*flexoffer.FlexOffer,
 	return streamGroups(ctx, groups, Aggregate, pp)
 }
 
+// AggregateGroupsSafeStream is AggregateGroupsStream using AggregateSafe
+// per group — the streaming path of a custom Grouper on a safe Engine.
+func AggregateGroupsSafeStream(ctx context.Context, groups [][]*flexoffer.FlexOffer, pp ParallelParams) (<-chan StreamItem, int) {
+	return streamGroups(ctx, groups, AggregateSafe, pp)
+}
+
 // streamGroups fans the groups out across the worker pool and emits
 // each result as it completes.
 func streamGroups(ctx context.Context, groups [][]*flexoffer.FlexOffer, agg func([]*flexoffer.FlexOffer) (*Aggregated, error), pp ParallelParams) (<-chan StreamItem, int) {
@@ -378,10 +385,141 @@ func DisaggregateAllParallel(ctx context.Context, ags []*Aggregated, assignments
 	return out, nil
 }
 
-// forEachIndex runs fn(i) for every i in [0, n) across up to workers
-// freshly spawned goroutines with automatic batching; retained for
-// callers without per-call params (OptimizeGroups). The index-sharded
-// fan-out itself lives in the pool package.
-func forEachIndex(n, workers int, fn func(int)) {
-	pool.Run(n, workers, 0, fn)
+// AggregateGrouperStream partitions the offers with the streaming
+// grouper g — batch by batch, as its shards complete — and aggregates
+// each batch's groups on the worker pool, emitting every aggregate on
+// the item channel with its global grouping-order index. Aggregation of
+// the first shard's groups therefore overlaps the packing of later
+// shards, where AggregateAllStream runs one full grouping pass before
+// the first aggregate exists.
+//
+// The total group count — what a placement consumer like
+// sched.ScheduleStream needs up front — is delivered on the second
+// channel once grouping completes; the channel is closed without a
+// value when ctx was cancelled before the count was known. The item
+// channel is buffered to len(offers), an upper bound on the group
+// count, so producers never block and abandoning the stream leaks no
+// goroutines. Error semantics match AggregateAllStream: in FirstError
+// mode workers stop claiming groups after the first failure (which is
+// still delivered); in CollectAll mode every group is attempted.
+func AggregateGrouperStream(ctx context.Context, offers []*flexoffer.FlexOffer, g grouping.Streamer, pp ParallelParams) (<-chan StreamItem, <-chan int) {
+	return streamGrouper(ctx, offers, g, Aggregate, pp)
+}
+
+// AggregateGrouperSafeStream is AggregateGrouperStream using
+// AggregateSafe per group (every valid aggregate assignment
+// disaggregates).
+func AggregateGrouperSafeStream(ctx context.Context, offers []*flexoffer.FlexOffer, g grouping.Streamer, pp ParallelParams) (<-chan StreamItem, <-chan int) {
+	return streamGrouper(ctx, offers, g, AggregateSafe, pp)
+}
+
+// streamGrouper consumes grouping batches as the grouper delivers them
+// and fans each batch's aggregation out across the worker pool. The
+// forwarding of batches and the aggregation of their groups run in
+// separate goroutines: the group count is therefore delivered the
+// moment the grouper finishes — while groups are still aggregating —
+// so a placement consumer blocked on the count starts scheduling
+// without waiting for aggregation to drain.
+func streamGrouper(ctx context.Context, offers []*flexoffer.FlexOffer, g grouping.Streamer, agg func([]*flexoffer.FlexOffer) (*Aggregated, error), pp ParallelParams) (<-chan StreamItem, <-chan int) {
+	// The item buffer must hold everything the producers might emit, or
+	// an abandoned stream would block them forever; the exact group
+	// count is only known once grouping ends, so the buffer is sized to
+	// its upper bound, the offer count (every group holds ≥ 1 offer).
+	ch := make(chan StreamItem, len(offers))
+	nch := make(chan int, 1)
+	batches := g.GroupStream(ctx, offers)
+	// Batches queue between the forwarder and the aggregator through a
+	// grown slice (a few header words per shard) rather than a second
+	// offer-count-sized channel; the forwarder only appends and pokes
+	// wake, so it can never block behind slow aggregation.
+	var (
+		mu       sync.Mutex
+		queue    []groupRun
+		complete bool
+	)
+	wake := make(chan struct{}, 1)
+	poke := func() {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}
+	go func() {
+		defer close(nch)
+		total := 0
+		for batch := range batches {
+			mu.Lock()
+			queue = append(queue, groupRun{base: total, groups: batch.Groups})
+			mu.Unlock()
+			poke()
+			total += len(batch.Groups)
+		}
+		// The batch stream closes on completion and on cancellation
+		// alike; deliver the count only when grouping actually finished,
+		// so a consumer can tell a complete stream from a cut-short one.
+		// The count is ready the moment grouping ends — groups are still
+		// aggregating — which is what lets a placement consumer blocked
+		// on it start scheduling without waiting for aggregation.
+		if ctx.Err() == nil {
+			nch <- total
+		}
+		mu.Lock()
+		complete = true
+		mu.Unlock()
+		poke()
+	}()
+	done := ctx.Done()
+	go func() {
+		defer close(ch)
+		var failed atomic.Bool
+		for {
+			mu.Lock()
+			runs := queue
+			queue = nil
+			closed := complete
+			mu.Unlock()
+			if len(runs) == 0 {
+				if closed {
+					return
+				}
+				<-wake
+				continue
+			}
+			// Taking the whole queue coalesces every run ready right
+			// now, so one fan-out covers them all instead of paying a
+			// barrier per tiny shard. Runs are contiguous, so the first
+			// base indexes the combined slice.
+			base := runs[0].base
+			groups := runs[0].groups
+			for _, r := range runs[1:] {
+				groups = append(groups, r.groups...)
+			}
+			pp.forEach(len(groups), func(j int) {
+				if pp.ErrorMode == FirstError && failed.Load() {
+					return
+				}
+				select {
+				case <-done:
+					return
+				default:
+				}
+				ag, err := agg(groups[j])
+				if err != nil {
+					failed.Store(true)
+					ch <- StreamItem{Index: base + j, Err: newGroupError(base+j, groups[j], err)}
+					return
+				}
+				ch <- StreamItem{Index: base + j, Agg: ag}
+			})
+		}
+	}()
+	return ch, nch
+}
+
+// groupRun is one contiguous run of groups queued between the grouper
+// forwarder and the aggregation fan-out: groups[j] is global group
+// base+j.
+type groupRun struct {
+	base   int
+	groups [][]*flexoffer.FlexOffer
 }

@@ -1,0 +1,139 @@
+package grouping
+
+import (
+	"context"
+	"sort"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+// BalanceParams controls balance-aware grouping.
+type BalanceParams struct {
+	// MaxGroupSize caps the constituents per group; 0 means unbounded.
+	MaxGroupSize int
+	// ESTTolerance is the maximum spread of earliest start times within
+	// a group, as in Params.
+	ESTTolerance int
+}
+
+// expectedEnergy is the midpoint of an offer's total energy band, used
+// as its balancing contribution.
+func expectedEnergy(f *flexoffer.FlexOffer) int64 {
+	return (f.TotalMin + f.TotalMax) / 2
+}
+
+// BalanceGroups partitions the offers into groups that mix energy
+// consumption and production so each aggregate's expected total energy is
+// close to zero, following the balance-aware aggregation of the paper's
+// reference [14] ("Balancing energy flexibilities through aggregation"):
+// aggregation is used "not only to reduce the number of the flex-offers,
+// but also to partially handle the balancing task as well" (Scenario 1).
+//
+// The heuristic pairs the most positive remaining offer with the most
+// negative remaining offers (and vice versa) until the group's running
+// expected energy crosses zero or the size cap is hit, subject to the
+// earliest-start tolerance. Offers that cannot balance (everything left
+// has the same sign) are grouped by Group's rules instead.
+//
+// Note that aggregates produced from such groups are typically *mixed*
+// flex-offers, which is why Scenario 1 needs measures that capture mixed
+// offers (vector, assignments) rather than the area-based ones.
+func BalanceGroups(offers []*flexoffer.FlexOffer, p BalanceParams) [][]*flexoffer.FlexOffer {
+	if len(offers) == 0 {
+		return nil
+	}
+	rest := append([]*flexoffer.FlexOffer(nil), offers...)
+	// Most positive first; most negative last.
+	sort.SliceStable(rest, func(i, j int) bool {
+		return expectedEnergy(rest[i]) > expectedEnergy(rest[j])
+	})
+	var groups [][]*flexoffer.FlexOffer
+	for len(rest) > 0 {
+		// Seed with the largest-magnitude offer remaining.
+		seedIdx := 0
+		if -expectedEnergy(rest[len(rest)-1]) > expectedEnergy(rest[0]) {
+			seedIdx = len(rest) - 1
+		}
+		seed := rest[seedIdx]
+		rest = append(rest[:seedIdx], rest[seedIdx+1:]...)
+		group := []*flexoffer.FlexOffer{seed}
+		net := expectedEnergy(seed)
+		for net != 0 && (p.MaxGroupSize <= 0 || len(group) < p.MaxGroupSize) {
+			best := -1
+			bestAbs := abs64(net)
+			for i, f := range rest {
+				if spread(group, f) > p.ESTTolerance {
+					continue
+				}
+				if a := abs64(net + expectedEnergy(f)); a < bestAbs {
+					best, bestAbs = i, a
+				}
+			}
+			if best < 0 {
+				break // no offer improves the balance
+			}
+			net += expectedEnergy(rest[best])
+			group = append(group, rest[best])
+			rest = append(rest[:best], rest[best+1:]...)
+		}
+		groups = append(groups, group)
+	}
+	return groups
+}
+
+// Balance is the Grouper adapter of the balance-aware strategy. It
+// never fails and ignores the context.
+type Balance struct {
+	Params BalanceParams
+}
+
+// Group implements Grouper.
+func (b Balance) Group(_ context.Context, offers []*flexoffer.FlexOffer) ([][]*flexoffer.FlexOffer, error) {
+	return BalanceGroups(offers, b.Params), nil
+}
+
+// spread returns the earliest-start spread the group would have after
+// adding f.
+func spread(group []*flexoffer.FlexOffer, f *flexoffer.FlexOffer) int {
+	lo, hi := estBounds(group)
+	if f.EarliestStart < lo {
+		lo = f.EarliestStart
+	}
+	if f.EarliestStart > hi {
+		hi = f.EarliestStart
+	}
+	return hi - lo
+}
+
+// estBounds returns the lowest and highest earliest start in the
+// (non-empty) group — the shared invariant behind the balance and
+// optimize strategies' EST-spread checks.
+func estBounds(group []*flexoffer.FlexOffer) (lo, hi int) {
+	lo, hi = group[0].EarliestStart, group[0].EarliestStart
+	for _, g := range group[1:] {
+		if g.EarliestStart < lo {
+			lo = g.EarliestStart
+		}
+		if g.EarliestStart > hi {
+			hi = g.EarliestStart
+		}
+	}
+	return lo, hi
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// NetExpectedEnergy returns the sum of the group's expected energies;
+// balance-aware grouping drives this towards zero.
+func NetExpectedEnergy(group []*flexoffer.FlexOffer) int64 {
+	var net int64
+	for _, f := range group {
+		net += expectedEnergy(f)
+	}
+	return net
+}

@@ -1,0 +1,181 @@
+// Package grouping partitions flex-offers into aggregation-compatible
+// groups — the entry stage of the paper's Scenario-1 pipeline (refs [14]
+// Valsomatzis et al., DARE 2014; [15] Šikšnys et al., SSDBM 2012).
+// Every downstream stage (aggregate, schedule, disaggregate) consumes
+// grouping output, so this package owns the three partitioning
+// strategies the system ships — threshold similarity grouping,
+// balance-aware grouping, and loss-bounded optimizing grouping — behind
+// one pluggable Grouper interface, plus a parallel sharded
+// implementation of the threshold strategy (parallel.go) whose output
+// is bit-identical to the serial one for every worker count.
+//
+// The aggregate package re-exports thin shims (Group, GroupParams,
+// BalanceGroups, OptimizeGroups) for compatibility; new code selects a
+// strategy here and hands the groups to aggregation, or installs a
+// Grouper on an Engine via flex.WithGrouper.
+package grouping
+
+import (
+	"context"
+	"sort"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+// Grouper partitions offers into aggregation-compatible groups. The
+// input slice is never modified; constituent order inside each group is
+// strategy-defined but deterministic. Implementations must be safe for
+// concurrent use — an Engine shares one Grouper across requests.
+type Grouper interface {
+	Group(ctx context.Context, offers []*flexoffer.FlexOffer) ([][]*flexoffer.FlexOffer, error)
+}
+
+// Params controls the threshold strategy's similarity tolerances,
+// mirroring the grouping parameters of reference [15].
+type Params struct {
+	// ESTTolerance is the maximum spread of earliest start times within
+	// one group (the "EST tolerance" of [15]). 0 groups only offers
+	// with identical earliest starts.
+	ESTTolerance int
+	// TFTolerance is the maximum spread of time flexibilities within
+	// one group. Grouping offers of similar tf bounds the time
+	// flexibility lost to the min-rule. Negative means unbounded.
+	TFTolerance int
+	// MaxGroupSize caps the constituents per group; 0 means unbounded.
+	MaxGroupSize int
+}
+
+// Group partitions the offers with the serial threshold strategy: the
+// offers are ordered by earliest start time (time flexibility breaking
+// ties, input order breaking those) and greedily packed while the group
+// stays within the tolerances. The input slice is not modified;
+// constituent order inside each group follows the sort. This is the
+// oracle the Sharded grouper is property-tested against.
+func Group(offers []*flexoffer.FlexOffer, p Params) [][]*flexoffer.FlexOffer {
+	if len(offers) == 0 {
+		return nil
+	}
+	ests, tfs := keysOf(offers)
+	perm := sortedPerm(ests, tfs)
+	sorted := make([]*flexoffer.FlexOffer, len(offers))
+	for i, pi := range perm {
+		sorted[i] = offers[pi]
+	}
+	return pack(sorted, tfsOf(tfs, perm), p)
+}
+
+// Threshold is the Grouper adapter of the serial threshold strategy.
+// It never fails and ignores the context; use Sharded for the parallel
+// implementation.
+type Threshold struct {
+	Params Params
+}
+
+// Group implements Grouper.
+func (t Threshold) Group(_ context.Context, offers []*flexoffer.FlexOffer) ([][]*flexoffer.FlexOffer, error) {
+	return Group(offers, t.Params), nil
+}
+
+// keysOf derives the sort keys — earliest start and time flexibility —
+// for every offer. With a comparator that recomputes them, a sort of n
+// offers pays the key derivation O(n log n) times and chases the offer
+// pointers on every comparison; flat key slices keep the comparator to
+// two integer loads. The Sharded grouper fans the same derivation out
+// across its executor instead.
+func keysOf(offers []*flexoffer.FlexOffer) (ests, tfs []int) {
+	ests = make([]int, len(offers))
+	tfs = make([]int, len(offers))
+	for i, f := range offers {
+		ests[i] = f.EarliestStart
+		tfs[i] = f.TimeFlexibility()
+	}
+	return ests, tfs
+}
+
+// sortedPerm returns the stable (est, tf)-sorted permutation of the
+// offer indices. The stable sort over identical keys yields exactly the
+// permutation a stable offer-slice sort would produce.
+func sortedPerm(ests, tfs []int) []int {
+	perm := make([]int, len(ests))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.SliceStable(perm, func(i, j int) bool {
+		return keyLess(ests, tfs, perm[i], perm[j])
+	})
+	return perm
+}
+
+// keyLess orders offer indices by (earliest start, time flexibility).
+func keyLess(ests, tfs []int, a, b int) bool {
+	if ests[a] != ests[b] {
+		return ests[a] < ests[b]
+	}
+	return tfs[a] < tfs[b]
+}
+
+// tfsOf rearranges the time-flexibility keys into sorted order, so pack
+// never recomputes them.
+func tfsOf(tfs []int, perm []int) []int {
+	out := make([]int, len(perm))
+	for i, pi := range perm {
+		out[i] = tfs[pi]
+	}
+	return out
+}
+
+// pack greedily packs a run of (est, tf)-sorted offers into groups
+// within the tolerances: a group accepts the next offer while the
+// earliest-start spread stays within ESTTolerance, the time-flexibility
+// spread within TFTolerance, and the size within MaxGroupSize. sortedTF
+// holds each offer's time flexibility in run order (nil recomputes
+// them). Both the serial grouper and each of the Sharded grouper's
+// shards run exactly this loop, which is what makes the two
+// bit-identical.
+func pack(sorted []*flexoffer.FlexOffer, sortedTF []int, p Params) [][]*flexoffer.FlexOffer {
+	tfAt := func(i int) int {
+		if sortedTF != nil {
+			return sortedTF[i]
+		}
+		return sorted[i].TimeFlexibility()
+	}
+	var groups [][]*flexoffer.FlexOffer
+	var cur []*flexoffer.FlexOffer
+	var baseEST, minTF, maxTF int
+	flush := func() {
+		if len(cur) > 0 {
+			groups = append(groups, cur)
+			cur = nil
+		}
+	}
+	for i, f := range sorted {
+		if len(cur) == 0 {
+			cur = []*flexoffer.FlexOffer{f}
+			baseEST = f.EarliestStart
+			minTF, maxTF = tfAt(i), tfAt(i)
+			continue
+		}
+		tf := tfAt(i)
+		lo, hi := minTF, maxTF
+		if tf < lo {
+			lo = tf
+		}
+		if tf > hi {
+			hi = tf
+		}
+		fits := f.EarliestStart-baseEST <= p.ESTTolerance &&
+			(p.TFTolerance < 0 || hi-lo <= p.TFTolerance) &&
+			(p.MaxGroupSize <= 0 || len(cur) < p.MaxGroupSize)
+		if !fits {
+			flush()
+			cur = []*flexoffer.FlexOffer{f}
+			baseEST = f.EarliestStart
+			minTF, maxTF = tf, tf
+			continue
+		}
+		cur = append(cur, f)
+		minTF, maxTF = lo, hi
+	}
+	flush()
+	return groups
+}

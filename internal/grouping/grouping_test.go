@@ -1,0 +1,125 @@
+package grouping
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"flexmeasures/internal/core"
+	"flexmeasures/internal/flexoffer"
+)
+
+// mkOffer builds a minimal valid offer with the given window.
+func mkOffer(t testing.TB, est, tf int, slices ...flexoffer.Slice) *flexoffer.FlexOffer {
+	t.Helper()
+	if len(slices) == 0 {
+		slices = []flexoffer.Slice{{Min: 1, Max: 3}}
+	}
+	f, err := flexoffer.New(est, est+tf, slices...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// randomOffers generates n offers with earliest starts in [0, estRange)
+// and time flexibilities in [0, tfMax], profiles 1–4 slices long.
+func randomOffers(t testing.TB, rng *rand.Rand, n, estRange, tfMax int) []*flexoffer.FlexOffer {
+	t.Helper()
+	offers := make([]*flexoffer.FlexOffer, n)
+	for i := range offers {
+		est := rng.Intn(estRange)
+		tf := rng.Intn(tfMax + 1)
+		slices := make([]flexoffer.Slice, 1+rng.Intn(4))
+		for j := range slices {
+			lo := int64(rng.Intn(5))
+			slices[j] = flexoffer.Slice{Min: lo, Max: lo + int64(rng.Intn(4))}
+		}
+		offers[i] = mkOffer(t, est, tf, slices...)
+	}
+	return offers
+}
+
+func TestGroupEmpty(t *testing.T) {
+	if Group(nil, Params{}) != nil {
+		t.Fatal("grouping no offers should yield no groups")
+	}
+}
+
+func TestGroupTolerances(t *testing.T) {
+	offers := []*flexoffer.FlexOffer{
+		mkOffer(t, 0, 2), mkOffer(t, 1, 2), mkOffer(t, 5, 2), mkOffer(t, 6, 9),
+	}
+	groups := Group(offers, Params{ESTTolerance: 1, TFTolerance: -1})
+	if len(groups) != 2 || len(groups[0]) != 2 || len(groups[1]) != 2 {
+		t.Fatalf("EST-tolerance grouping = %d groups, want [2 2]", len(groups))
+	}
+	// A tight TF tolerance splits the second pair (tf 2 vs 9).
+	groups = Group(offers, Params{ESTTolerance: 1, TFTolerance: 3})
+	if len(groups) != 3 {
+		t.Fatalf("TF-tolerance grouping = %d groups, want 3", len(groups))
+	}
+	// A size cap of one isolates every offer.
+	groups = Group(offers, Params{ESTTolerance: 10, TFTolerance: -1, MaxGroupSize: 1})
+	if len(groups) != len(offers) {
+		t.Fatalf("size-capped grouping = %d groups, want %d", len(groups), len(offers))
+	}
+}
+
+func TestGroupPreservesInput(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	offers := randomOffers(t, rng, 50, 20, 6)
+	before := append([]*flexoffer.FlexOffer(nil), offers...)
+	groups := Group(offers, Params{ESTTolerance: 2, TFTolerance: -1})
+	for i := range before {
+		if offers[i] != before[i] {
+			t.Fatal("Group reordered the input slice")
+		}
+	}
+	total := 0
+	for _, g := range groups {
+		total += len(g)
+	}
+	if total != len(offers) {
+		t.Fatalf("groups hold %d offers, want %d", total, len(offers))
+	}
+}
+
+func TestThresholdAdapter(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	offers := randomOffers(t, rng, 40, 12, 4)
+	p := Params{ESTTolerance: 2, TFTolerance: 3, MaxGroupSize: 5}
+	got, err := Threshold{Params: p}.Group(context.Background(), offers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Group(offers, p)
+	if len(got) != len(want) {
+		t.Fatalf("Threshold adapter diverged: %d vs %d groups", len(got), len(want))
+	}
+}
+
+func TestBalanceAdapter(t *testing.T) {
+	pos := mkOffer(t, 0, 2, flexoffer.Slice{Min: 2, Max: 4})
+	neg, err := flexoffer.New(0, 2, flexoffer.Slice{Min: -4, Max: -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, gerr := Balance{Params: BalanceParams{ESTTolerance: 4}}.Group(context.Background(), []*flexoffer.FlexOffer{pos, neg})
+	if gerr != nil {
+		t.Fatal(gerr)
+	}
+	if len(got) != 1 || NetExpectedEnergy(got[0]) != 0 {
+		t.Fatalf("balance adapter did not net out: %d groups, net %d", len(got), NetExpectedEnergy(got[0]))
+	}
+}
+
+func TestOptimizeRequiresMeasureAndCombiner(t *testing.T) {
+	if _, err := OptimizeGroups(nil, OptimizeParams{}, nil); !errors.Is(err, ErrNoMeasure) {
+		t.Fatalf("missing measure: %v, want ErrNoMeasure", err)
+	}
+	if _, err := OptimizeGroups(nil, OptimizeParams{Measure: core.TimeMeasure{}}, nil); !errors.Is(err, ErrNoCombiner) {
+		t.Fatalf("missing combiner: %v, want ErrNoCombiner", err)
+	}
+}

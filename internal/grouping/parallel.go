@@ -1,0 +1,338 @@
+package grouping
+
+import (
+	"context"
+	"runtime"
+	"sort"
+
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/pool"
+)
+
+// This file implements the parallel sharded grouper. The serial
+// threshold grouper (grouping.go) is a sort followed by one greedy pack
+// over the sorted order — after PRs 1–4 parallelized every downstream
+// stage, that pass was the pipeline's last serial fraction. The sharded
+// grouper removes it in three parallel phases, each bit-identical to
+// its serial counterpart:
+//
+//  1. Key derivation fans out across the executor (independent per
+//     offer).
+//  2. The stable (est, tf) sort runs as a parallel merge sort: fixed
+//     contiguous chunks are stable-sorted concurrently and then merged
+//     pairwise, ties always taken from the left run. A stable merge
+//     sort produces exactly the stable sort order, so the resulting
+//     permutation is identical for every chunk and worker count.
+//  3. The sorted order is cut into shards at every earliest-start gap
+//     wider than ESTTolerance. A group's earliest-start spread is
+//     bounded by the tolerance, so no group can span such a gap — the
+//     serial greedy pack provably flushes there — which makes the
+//     shards independent: packing each one separately and
+//     concatenating the outputs in shard order reproduces the serial
+//     pack bit for bit. The property tests in parallel_test.go pin
+//     this against the serial oracle.
+//
+// When no gap exists (every offer is EST-connected to the next, e.g. a
+// huge tolerance or densely overlapping spans) the pack phase is
+// inherently sequential; the grouper then documents its fallback by
+// running the serial pack over the parallel sort's output. Small
+// inputs (below MinOffers) skip the machinery entirely.
+
+// Batch is one contiguous run of groups delivered by a streaming
+// grouper: Groups[i] is global group Offset+i in grouping-output order.
+// Batches arrive in increasing Offset order with no holes.
+type Batch struct {
+	// Offset is the global grouping-order index of Groups[0].
+	Offset int
+	// Groups holds the batch's groups in grouping order.
+	Groups [][]*flexoffer.FlexOffer
+}
+
+// Streamer is implemented by groupers that can deliver their output
+// incrementally, batch by batch, while later shards are still being
+// packed — the hook the streaming aggregation pipeline consumes so
+// aggregation starts before grouping finishes. Streaming groupers must
+// be infallible: a strategy that can fail implements only Grouper.
+type Streamer interface {
+	Grouper
+	// GroupStream partitions the offers and delivers the groups as
+	// batches in increasing Offset order on the returned channel,
+	// closing it when grouping is complete. The channel is buffered to
+	// the producer's full output, so abandoning it leaks nothing; a
+	// cancelled ctx ends the stream early (consumers that need to
+	// distinguish completion from cancellation check ctx themselves).
+	GroupStream(ctx context.Context, offers []*flexoffer.FlexOffer) <-chan Batch
+}
+
+// Sharded is the parallel implementation of the threshold strategy:
+// output is bit-identical to Group(offers, Params) for every worker
+// count, pool, and input size. The zero value is a valid serial-ish
+// grouper; attach an Engine's pool via Pool for the persistent
+// execution model.
+type Sharded struct {
+	// Params are the threshold tolerances, as in Group.
+	Params Params
+	// Pool, when non-nil, submits the fan-out phases to a persistent
+	// executor (an Engine's pool); nil spins up goroutines per call.
+	Pool pool.Executor
+	// Workers caps the grouper's parallelism; values below 1 mean one
+	// worker per logical CPU (or the pool's full width).
+	Workers int
+	// MinOffers is the input size below which Group simply runs the
+	// serial grouper — sharding overhead dominates tiny inputs. 0
+	// picks the default (2048); negative always takes the sharded
+	// path (the property tests force it).
+	MinOffers int
+}
+
+// defaultMinOffers is the input size under which sharding is not worth
+// the coordination.
+const defaultMinOffers = 2048
+
+func (s *Sharded) minOffers() int {
+	switch {
+	case s.MinOffers > 0:
+		return s.MinOffers
+	case s.MinOffers < 0:
+		return 0
+	default:
+		return defaultMinOffers
+	}
+}
+
+// forEach fans fn over [0, n) under the grouper's execution model.
+func (s *Sharded) forEach(n, batch int, fn func(int)) {
+	if s.Pool != nil {
+		s.Pool.ForEach(n, s.Workers, batch, fn)
+		return
+	}
+	pool.Run(n, s.Workers, batch, fn)
+}
+
+// chunks resolves the initial run count of the parallel sort.
+func (s *Sharded) chunks() int {
+	if s.Workers > 0 {
+		return s.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Group implements Grouper. The result is bit-identical to
+// Group(offers, s.Params); only the work distribution differs.
+func (s *Sharded) Group(ctx context.Context, offers []*flexoffer.FlexOffer) ([][]*flexoffer.FlexOffer, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(offers) == 0 {
+		return nil, nil
+	}
+	if len(offers) < s.minOffers() {
+		return Group(offers, s.Params), nil
+	}
+	p := s.plan(offers)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if len(p.ends) == 1 {
+		// Fallback: one EST-connected run — every adjacent gap is
+		// within the tolerance, so greedy packing is inherently
+		// sequential and runs serially over the parallel sort's output.
+		return pack(p.sorted, p.tfs, s.Params), nil
+	}
+	per := make([][][]*flexoffer.FlexOffer, len(p.ends))
+	done := ctx.Done()
+	s.forEach(len(p.ends), 0, func(k int) {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		lo, hi := p.startOf(k), p.ends[k]
+		per[k] = pack(p.sorted[lo:hi], p.tfs[lo:hi], s.Params)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, g := range per {
+		total += len(g)
+	}
+	out := make([][]*flexoffer.FlexOffer, 0, total)
+	for _, g := range per {
+		out = append(out, g...)
+	}
+	return out, nil
+}
+
+// GroupStream implements Streamer: each shard's groups are delivered as
+// soon as the shard and every shard before it are packed, so a consumer
+// aggregates the first groups while later shards are still packing. The
+// channel is buffered to the shard count — a shard emits at least one
+// group, so producers never block and abandoning the channel mid-stream
+// leaks no goroutines.
+func (s *Sharded) GroupStream(ctx context.Context, offers []*flexoffer.FlexOffer) <-chan Batch {
+	if len(offers) == 0 || ctx.Err() != nil {
+		ch := make(chan Batch)
+		close(ch)
+		return ch
+	}
+	if len(offers) < s.minOffers() {
+		ch := make(chan Batch, 1)
+		ch <- Batch{Groups: Group(offers, s.Params)}
+		close(ch)
+		return ch
+	}
+	p := s.plan(offers)
+	ch := make(chan Batch, len(p.ends))
+	results := make([][][]*flexoffer.FlexOffer, len(p.ends))
+	ready := make([]chan struct{}, len(p.ends))
+	for k := range ready {
+		ready[k] = make(chan struct{})
+	}
+	done := ctx.Done()
+	go func() {
+		s.forEach(len(p.ends), 0, func(k int) {
+			defer close(ready[k])
+			select {
+			case <-done:
+				return
+			default:
+			}
+			lo, hi := p.startOf(k), p.ends[k]
+			results[k] = pack(p.sorted[lo:hi], p.tfs[lo:hi], s.Params)
+		})
+	}()
+	go func() {
+		defer close(ch)
+		offset := 0
+		for k := range p.ends {
+			select {
+			case <-done:
+				return
+			case <-ready[k]:
+			}
+			if results[k] == nil {
+				// The packer skipped this shard: ctx was cancelled.
+				return
+			}
+			ch <- Batch{Offset: offset, Groups: results[k]}
+			offset += len(results[k])
+		}
+	}()
+	return ch
+}
+
+// shardPlan is the shared front half of Group and GroupStream: the
+// offers in stable (est, tf)-sorted order, their time flexibilities,
+// and the exclusive end index of every shard.
+type shardPlan struct {
+	sorted []*flexoffer.FlexOffer
+	tfs    []int
+	ends   []int
+}
+
+func (p *shardPlan) startOf(k int) int {
+	if k == 0 {
+		return 0
+	}
+	return p.ends[k-1]
+}
+
+// plan derives keys, sorts, and cuts the sorted order into shards at
+// every earliest-start gap wider than the tolerance.
+func (s *Sharded) plan(offers []*flexoffer.FlexOffer) *shardPlan {
+	n := len(offers)
+	ests := make([]int, n)
+	tfs := make([]int, n)
+	s.forEach(n, 0, func(i int) {
+		ests[i] = offers[i].EarliestStart
+		tfs[i] = offers[i].TimeFlexibility()
+	})
+	perm := s.sortPerm(ests, tfs)
+	p := &shardPlan{
+		sorted: make([]*flexoffer.FlexOffer, n),
+		tfs:    make([]int, n),
+	}
+	sortedEST := make([]int, n)
+	for i, pi := range perm {
+		p.sorted[i] = offers[pi]
+		p.tfs[i] = tfs[pi]
+		sortedEST[i] = ests[pi]
+	}
+	for i := 1; i < n; i++ {
+		if sortedEST[i]-sortedEST[i-1] > s.Params.ESTTolerance {
+			p.ends = append(p.ends, i)
+		}
+	}
+	p.ends = append(p.ends, n)
+	return p
+}
+
+// sortPerm returns the stable (est, tf)-sorted permutation via a
+// parallel merge sort: fixed contiguous chunks are stable-sorted
+// concurrently, then merged pairwise with ties taken from the left run.
+// A stable merge of stable runs is the stable sort, so the permutation
+// is identical to sortedPerm's regardless of chunk or worker count.
+func (s *Sharded) sortPerm(ests, tfs []int) []int {
+	n := len(ests)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	chunks := s.chunks()
+	if chunks > n {
+		chunks = n
+	}
+	if chunks <= 1 {
+		sort.SliceStable(perm, func(i, j int) bool {
+			return keyLess(ests, tfs, perm[i], perm[j])
+		})
+		return perm
+	}
+	bounds := make([]int, chunks+1)
+	for c := 0; c <= chunks; c++ {
+		bounds[c] = c * n / chunks
+	}
+	s.forEach(chunks, 1, func(c int) {
+		seg := perm[bounds[c]:bounds[c+1]]
+		sort.SliceStable(seg, func(i, j int) bool {
+			return keyLess(ests, tfs, seg[i], seg[j])
+		})
+	})
+	src, dst := perm, make([]int, n)
+	for width := 1; width < chunks; width *= 2 {
+		step := 2 * width
+		ops := (chunks + step - 1) / step
+		s.forEach(ops, 1, func(op int) {
+			c := op * step
+			lo := bounds[c]
+			mid := bounds[min(c+width, chunks)]
+			hi := bounds[min(c+step, chunks)]
+			if mid == hi {
+				copy(dst[lo:hi], src[lo:hi])
+				return
+			}
+			mergeRuns(dst[lo:hi], src[lo:mid], src[mid:hi], ests, tfs)
+		})
+		src, dst = dst, src
+	}
+	return src
+}
+
+// mergeRuns merges two sorted runs into dst, preferring the left run on
+// equal keys (stability).
+func mergeRuns(dst, a, b []int, ests, tfs []int) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if keyLess(ests, tfs, b[j], a[i]) {
+			dst[k] = b[j]
+			j++
+		} else {
+			dst[k] = a[i]
+			i++
+		}
+		k++
+	}
+	k += copy(dst[k:], a[i:])
+	copy(dst[k:], b[j:])
+}

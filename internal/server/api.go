@@ -21,6 +21,11 @@ import (
 type IngestResponse struct {
 	// Ingested is the number of records decoded by this request.
 	Ingested int `json:"ingested"`
+	// Replaced is how many of those records overwrote an already-stored
+	// offer with the same ID (last write wins) — the per-prosumer
+	// identity a re-submitting device relies on. Records without an ID
+	// are always appended.
+	Replaced int `json:"replaced"`
 	// Stored is the store's total offer count after the request.
 	Stored int `json:"stored"`
 }

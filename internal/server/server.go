@@ -41,7 +41,7 @@ type Options struct {
 //
 // Routes:
 //
-//	POST   /v1/offers     NDJSON ingest (sharded decode, ?mode=collect)
+//	POST   /v1/offers     NDJSON ingest (sharded decode, ID dedup, ?mode=collect)
 //	GET    /v1/offers     store size
 //	DELETE /v1/offers     reset the store
 //	POST   /v1/aggregate  aggregate stored offers (?est,tft,max-group,mode)
@@ -57,6 +57,9 @@ type Server struct {
 
 	mu     sync.RWMutex
 	offers []*flexoffer.FlexOffer
+	// index maps a non-empty offer ID to its position in offers, the
+	// per-prosumer identity behind ingest's last-write-wins dedup.
+	index map[string]int
 
 	mux *http.ServeMux
 }
@@ -72,10 +75,11 @@ func New(eng *flex.Engine, opts Options) *Server {
 		opts.MaxBodyBytes = 1 << 30
 	}
 	s := &Server{
-		eng:  eng,
-		opts: opts,
-		gate: make(chan struct{}, opts.MaxInFlight),
-		mux:  http.NewServeMux(),
+		eng:   eng,
+		opts:  opts,
+		gate:  make(chan struct{}, opts.MaxInFlight),
+		index: make(map[string]int),
+		mux:   http.NewServeMux(),
 	}
 	s.mux.HandleFunc("POST /v1/offers", s.route(routeOffers, s.gated(s.handleIngest)))
 	s.mux.HandleFunc("GET /v1/offers", s.route(routeOffers, s.handleStoreSize))
@@ -121,20 +125,61 @@ func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// snapshot returns the stored offers. The slice is append-only, so the
-// shared backing array is safe to read concurrently.
+// snapshot returns the stored offers. A returned slice is immutable:
+// the store only appends, and an ingest that replaces offers by ID
+// clones the slice before writing (see store), so concurrent readers
+// never observe a mutation.
 func (s *Server) snapshot() []*flexoffer.FlexOffer {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.offers
 }
 
+// store merges decoded offers into the store: an offer whose non-empty
+// ID is already present replaces the stored one in place (last write
+// wins — a prosumer re-submitting its flex-offer updates it instead of
+// double-counting), everything else is appended. When any replacement
+// targets the pre-existing region the slice is cloned first, keeping
+// previously returned snapshots immutable. It reports how many records
+// replaced an existing offer and the store's size afterwards.
+func (s *Server) store(offers []*flexoffer.FlexOffer) (replaced, stored int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	clone := false
+	for _, f := range offers {
+		if f.ID == "" {
+			continue
+		}
+		if _, ok := s.index[f.ID]; ok {
+			clone = true
+			break
+		}
+	}
+	if clone {
+		s.offers = append([]*flexoffer.FlexOffer(nil), s.offers...)
+	}
+	for _, f := range offers {
+		if f.ID != "" {
+			if i, ok := s.index[f.ID]; ok {
+				s.offers[i] = f
+				replaced++
+				continue
+			}
+			s.index[f.ID] = len(s.offers)
+		}
+		s.offers = append(s.offers, f)
+	}
+	return replaced, len(s.offers)
+}
+
 // handleIngest streams NDJSON offers from the request body through the
 // sharded decoder into the store. The body is consumed block by block —
 // decode speed is the read speed, which is the backpressure a slow
-// pool exerts on the client's connection. ?mode=collect switches to
-// collect-all error reporting; any record failure rejects the whole
-// request, so a 2xx means every record was stored.
+// pool exerts on the client's connection. Offers are deduplicated by ID
+// (last write wins; see store), with the replacement count reported in
+// the response. ?mode=collect switches to collect-all error reporting;
+// any record failure rejects the whole request, so a 2xx means every
+// record was stored.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	mode, err := modeFromQuery(r)
 	if err != nil {
@@ -168,12 +213,9 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	s.mu.Lock()
-	s.offers = append(s.offers, offers...)
-	stored := len(s.offers)
-	s.mu.Unlock()
+	replaced, stored := s.store(offers)
 	s.m.ingestRecords.Add(int64(len(offers)))
-	writeJSON(w, http.StatusOK, &IngestResponse{Ingested: len(offers), Stored: stored})
+	writeJSON(w, http.StatusOK, &IngestResponse{Ingested: len(offers), Replaced: replaced, Stored: stored})
 }
 
 func recordInfos(res ingest.RecordErrors) []RecordErrorInfo {
@@ -191,6 +233,7 @@ func (s *Server) handleStoreSize(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.offers = nil
+	s.index = make(map[string]int)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, &StoreResponse{Stored: 0})
 }

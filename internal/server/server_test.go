@@ -20,11 +20,18 @@ import (
 )
 
 // testFleet builds a reproducible population and its NDJSON encoding.
+// IDs are rewritten to be unique: the workload generator's random IDs
+// can collide, and ingest dedups by ID, which would make the stored
+// fleet diverge from the encoded one. Dedup itself is tested
+// explicitly (TestIngestDedupByID).
 func testFleet(t *testing.T, n int) ([]*flexoffer.FlexOffer, []byte) {
 	t.Helper()
 	offers, err := workload.Population(rand.New(rand.NewSource(31)), n, 2, workload.DefaultMix())
 	if err != nil {
 		t.Fatal(err)
+	}
+	for i, f := range offers {
+		f.ID = fmt.Sprintf("p-%04d", i)
 	}
 	var buf bytes.Buffer
 	if err := flexoffer.EncodeNDJSON(&buf, offers); err != nil {
@@ -85,11 +92,13 @@ func TestIngestAndStore(t *testing.T) {
 	if err := json.Unmarshal(body, &ir); err != nil {
 		t.Fatal(err)
 	}
-	if ir.Ingested != len(offers) || ir.Stored != len(offers) {
-		t.Fatalf("ingested %d stored %d, want %d", ir.Ingested, ir.Stored, len(offers))
+	if ir.Ingested != len(offers) || ir.Replaced != 0 || ir.Stored != len(offers) {
+		t.Fatalf("ingested %d replaced %d stored %d, want %d/0/%d",
+			ir.Ingested, ir.Replaced, ir.Stored, len(offers), len(offers))
 	}
 
-	// A second batch appends.
+	// Re-posting the same batch replaces every offer by ID instead of
+	// double-counting the fleet (last write wins).
 	resp, body = post(t, srv.URL+"/v1/offers", bytes.NewReader(ndjson))
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("second ingest: %s: %s", resp.Status, body)
@@ -97,8 +106,9 @@ func TestIngestAndStore(t *testing.T) {
 	if err := json.Unmarshal(body, &ir); err != nil {
 		t.Fatal(err)
 	}
-	if ir.Stored != 2*len(offers) {
-		t.Fatalf("stored %d after second batch, want %d", ir.Stored, 2*len(offers))
+	if ir.Replaced != len(offers) || ir.Stored != len(offers) {
+		t.Fatalf("second batch replaced %d stored %d, want %d/%d",
+			ir.Replaced, ir.Stored, len(offers), len(offers))
 	}
 
 	resp, body = get(t, srv.URL+"/v1/offers")
@@ -109,8 +119,8 @@ func TestIngestAndStore(t *testing.T) {
 	if err := json.Unmarshal(body, &sr); err != nil {
 		t.Fatal(err)
 	}
-	if sr.Stored != 2*len(offers) {
-		t.Fatalf("store reports %d, want %d", sr.Stored, 2*len(offers))
+	if sr.Stored != len(offers) {
+		t.Fatalf("store reports %d, want %d", sr.Stored, len(offers))
 	}
 
 	// Reset empties it.
@@ -132,6 +142,94 @@ func TestIngestAndStore(t *testing.T) {
 	}
 	if sr.Stored != 0 {
 		t.Fatalf("store reports %d after reset, want 0", sr.Stored)
+	}
+
+	// Reset clears the ID index too: the same batch ingests fresh.
+	resp, body = post(t, srv.URL+"/v1/offers", bytes.NewReader(ndjson))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-reset ingest: %s: %s", resp.Status, body)
+	}
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Replaced != 0 || ir.Stored != len(offers) {
+		t.Fatalf("post-reset batch replaced %d stored %d, want 0/%d", ir.Replaced, ir.Stored, len(offers))
+	}
+}
+
+// TestIngestDedupByID pins the per-prosumer identity contract of the
+// offer store: a non-empty ID identifies the prosumer's current offer,
+// re-submissions replace it (last write wins, within and across
+// batches), and offers without an ID always append.
+func TestIngestDedupByID(t *testing.T) {
+	srv, _ := newTestServer(t, Options{}, flex.WithWorkers(2))
+	rec := func(id string, max int64) string {
+		line := fmt.Sprintf(`{"earliestStart":0,"latestStart":2,"slices":[{"min":0,"max":%d}],"totalMin":0,"totalMax":%d}`, max, max)
+		if id != "" {
+			line = fmt.Sprintf(`{"id":%q,"earliestStart":0,"latestStart":2,"slices":[{"min":0,"max":%d}],"totalMin":0,"totalMax":%d}`, id, max, max)
+		}
+		return line + "\n"
+	}
+	var ir IngestResponse
+
+	// Within one batch: a appears twice, the later record wins; the
+	// anonymous record appends.
+	batch1 := rec("a", 1) + rec("b", 2) + rec("", 3) + rec("a", 4)
+	resp, body := post(t, srv.URL+"/v1/offers", strings.NewReader(batch1))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch1: %s: %s", resp.Status, body)
+	}
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Ingested != 4 || ir.Replaced != 1 || ir.Stored != 3 {
+		t.Fatalf("batch1 = %+v, want ingested 4 replaced 1 stored 3", ir)
+	}
+
+	// Across batches: b updates, c is new, another anonymous appends.
+	batch2 := rec("b", 9) + rec("c", 5) + rec("", 6)
+	resp, body = post(t, srv.URL+"/v1/offers", strings.NewReader(batch2))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch2: %s: %s", resp.Status, body)
+	}
+	if err := json.Unmarshal(body, &ir); err != nil {
+		t.Fatal(err)
+	}
+	if ir.Ingested != 3 || ir.Replaced != 1 || ir.Stored != 5 {
+		t.Fatalf("batch2 = %+v, want ingested 3 replaced 1 stored 5", ir)
+	}
+}
+
+// TestStoreLastWriteWins checks the store at the unit level: replaced
+// content is the latest submission, and a snapshot taken before a
+// replacement still reads the old value (copy-on-write, so concurrent
+// readers never observe mutation).
+func TestStoreLastWriteWins(t *testing.T) {
+	eng := flex.New(flex.WithWorkers(1))
+	defer eng.Close()
+	s := New(eng, Options{})
+	mk := func(id string, max int64) *flexoffer.FlexOffer {
+		f, err := flexoffer.New(0, 2, flexoffer.Slice{Min: 0, Max: max})
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.ID = id
+		return f
+	}
+	s.store([]*flexoffer.FlexOffer{mk("x", 3), mk("y", 1)})
+	before := s.snapshot()
+	if replaced, stored := s.store([]*flexoffer.FlexOffer{mk("x", 7)}); replaced != 1 || stored != 2 {
+		t.Fatalf("replacement reported (%d, %d), want (1, 2)", replaced, stored)
+	}
+	after := s.snapshot()
+	if before[0].Slices[0].Max != 3 {
+		t.Fatalf("pre-replacement snapshot mutated: x max = %d, want 3", before[0].Slices[0].Max)
+	}
+	if after[0].Slices[0].Max != 7 || after[0].ID != "x" {
+		t.Fatalf("replacement not applied: got %+v", after[0])
+	}
+	if len(after) != 2 || after[1].ID != "y" {
+		t.Fatalf("unrelated offers disturbed: %+v", after)
 	}
 }
 

@@ -30,9 +30,10 @@ const (
 // target series; see the sched package for the heuristic's details.
 //
 // Deprecated: create a long-lived [Engine] with [New] and call
-// [Engine.Schedule]. This shim remains for callers that need the
-// non-default ScheduleOptions (placement orders, the legacy
-// full-recompute evaluator).
+// [Engine.Schedule] — [WithPlacement] and [WithPlacementMeasure] cover
+// the flexibility-ranked placement orders. This shim remains only for
+// OrderRandom (which needs a caller-owned rand source) and the legacy
+// full-recompute evaluator.
 func Schedule(offers []*FlexOffer, target Series, opts ScheduleOptions) (*ScheduleResult, error) {
 	return sched.Schedule(offers, target, opts)
 }
