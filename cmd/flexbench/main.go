@@ -49,6 +49,13 @@
 //
 //	flexbench -group 100000             # serial vs sharded grouping
 //	flexbench -group 100000 -workers 4  # pin the grouping worker count
+//
+// -scatter sweeps the sharded engine's scatter-gather pipeline over
+// shard counts 1/2/4/8, verifying each one reproduces the single-engine
+// pipeline bit for bit:
+//
+//	flexbench -scatter 20000            # shard sweep, one worker per CPU per shard
+//	flexbench -scatter 20000 -workers 2 # pin the per-shard pool size
 package main
 
 import (
@@ -91,9 +98,13 @@ func run(args []string) error {
 	engineN := fs.Int("engine", 0, "compare per-call pool spin-up vs the persistent Engine pool over repeated batches of N synthetic offers and exit")
 	ingestN := fs.Int("ingest", 0, "compare serial vs sharded NDJSON decoding over N synthetic offers and exit")
 	groupN := fs.Int("group", 0, "compare serial vs sharded grouping over N synthetic offers and exit")
-	workers := fs.Int("workers", 0, "worker-pool size for -agg / -sched / -engine / -ingest / -group (0: one per CPU)")
+	scatterN := fs.Int("scatter", 0, "sweep the scatter-gather pipeline over shard counts 1/2/4/8 on N synthetic offers and exit")
+	workers := fs.Int("workers", 0, "worker-pool size for -agg / -sched / -engine / -ingest / -group / -scatter (0: one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *scatterN > 0 {
+		return runScatterCompare(os.Stdout, *scatterN, *workers)
 	}
 	if *aggN > 0 {
 		return runAggCompare(os.Stdout, *aggN, *workers)
@@ -354,6 +365,68 @@ func runGroupCompare(out io.Writer, n, workers int) error {
 	fmt.Fprintf(out, "serial:  %v\n", serialDur)
 	fmt.Fprintf(out, "sharded: %v  (%d workers, %.2fx speedup)\n", parallelDur, workers, speedup)
 	fmt.Fprintln(out, "serial and sharded groupings are identical")
+	return nil
+}
+
+// runScatterCompare sweeps the sharded engine's scatter-gather
+// pipeline over shard counts 1/2/4/8 on a reproducible synthetic
+// population (seed 99, Scenario 1 grouping) and fails unless every
+// shard count reproduces the single-engine pipeline result exactly —
+// the bit-identity contract that lets flexd change -shards without
+// changing a byte of /v1/schedule output. Zones are stamped so the
+// router exercises its preferred key. On a single machine the sweep
+// measures coordination overhead, not scale-out: every shard's pool
+// shares the same CPUs.
+func runScatterCompare(out io.Writer, n, workers int) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rng := rand.New(rand.NewSource(99))
+	offers, err := workload.Population(rng, n, 3, workload.DefaultMix())
+	if err != nil {
+		return err
+	}
+	for i, f := range offers {
+		f.Zone = fmt.Sprintf("z%02d", i%7)
+	}
+	gp := flex.GroupParams{ESTTolerance: 4, TFTolerance: -1, MaxGroupSize: 64}
+	opts := []flex.Option{flex.WithWorkers(workers), flex.WithSafe(true), flex.WithGrouping(gp)}
+	horizon := 4 * workload.SlotsPerDay
+	var expected int64
+	for _, f := range offers {
+		expected += (f.TotalMin + f.TotalMax) / 2
+	}
+	target := workload.WindProfile(rng, horizon, expected/int64(horizon))
+
+	eng := flex.New(opts...)
+	defer eng.Close()
+	t0 := time.Now()
+	want, err := eng.Pipeline(context.Background(), offers, target)
+	if err != nil {
+		return err
+	}
+	baseDur := time.Since(t0)
+	fmt.Fprintf(out, "pipelined %d offers → %d aggregates over %d slots (%d workers/shard)\n",
+		n, len(want.Aggregates), horizon, workers)
+	fmt.Fprintf(out, "single engine: %v\n", baseDur)
+
+	for _, shards := range []int{1, 2, 4, 8} {
+		se := flex.NewSharded(shards, opts...)
+		t0 = time.Now()
+		got, err := se.Pipeline(context.Background(), offers, target)
+		if err != nil {
+			se.Close()
+			return fmt.Errorf("shards=%d: %w", shards, err)
+		}
+		dur := time.Since(t0)
+		if !reflect.DeepEqual(got, want) {
+			se.Close()
+			return fmt.Errorf("shards=%d: scatter-gather diverged from single engine", shards)
+		}
+		fmt.Fprintf(out, "shards=%d:      %v  (%.2fx vs single)\n", shards, dur, float64(baseDur)/float64(dur))
+		se.Close()
+	}
+	fmt.Fprintln(out, "every shard count reproduced the single-engine pipeline exactly")
 	return nil
 }
 

@@ -121,7 +121,7 @@ func loadOffers(fs *flag.FlagSet) ([]*flexoffer.FlexOffer, error) {
 	defer f.Close()
 	br := bufio.NewReader(f)
 	head, err := br.Peek(4)
-	if err == nil && string(head) == "FXO1" {
+	if err == nil && (string(head) == "FXO1" || string(head) == "FXO2") {
 		return flexoffer.DecodeBinary(br)
 	}
 	return flexoffer.Decode(br)
@@ -372,6 +372,7 @@ func cmdSchedule(args []string, out io.Writer) error {
 	pipeline := fs.Bool("pipeline", false, "stream group→aggregate→schedule→disaggregate instead of scheduling raw offers")
 	asJSON := fs.Bool("json", false, "emit the flexd wire format instead of the summary (with -pipeline)")
 	workers := fs.Int("workers", 0, "pipeline worker-pool size (with -pipeline; 0: one per CPU)")
+	shards := fs.Int("shards", 1, "engine shard count: >1 scatter-gathers across per-shard pools (bit-identical output)")
 	est := fs.Int("est", 2, "earliest-start-time grouping tolerance (with -pipeline)")
 	tft := fs.Int("tft", -1, "time-flexibility grouping tolerance (with -pipeline; -1: unbounded)")
 	size := fs.Int("max-group", 0, "maximum group size (with -pipeline; 0: unbounded)")
@@ -402,16 +403,33 @@ func cmdSchedule(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "imbalance (L1): %.0f   peak load: %d\n", res.Imbalance(target), res.PeakLoad())
 		return nil
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
+	}
 	// One engine option set serves both the direct and the pipelined
 	// schedule, so -cap means the same thing on either path.
-	eng := flex.New(
+	engOpts := []flex.Option{
 		flex.WithWorkers(*workers),
 		flex.WithGrouping(flex.GroupParams{ESTTolerance: *est, TFTolerance: *tft, MaxGroupSize: *size}),
 		// Safe aggregation guarantees the disaggregation stage succeeds
 		// for whatever assignments the scheduler picks.
 		flex.WithSafe(true),
 		flex.WithPeakCap(*cap),
-	)
+	}
+	// A single engine and a sharded one expose the same scheduling
+	// surface — and, by the scatter-gather design, the same bytes — so
+	// -shards only decides which one backs the run.
+	var eng interface {
+		Pipeline(ctx context.Context, offers []*flexoffer.FlexOffer, target flex.Series, opts ...flex.Option) (*flex.PipelineResult, error)
+		Schedule(ctx context.Context, offers []*flexoffer.FlexOffer, target flex.Series, opts ...flex.Option) (*flex.ScheduleResult, error)
+		Workers() int
+		Close()
+	}
+	if *shards > 1 {
+		eng = flex.NewSharded(*shards, engOpts...)
+	} else {
+		eng = flex.New(engOpts...)
+	}
 	defer eng.Close()
 	if *pipeline {
 		res, err := eng.Pipeline(context.Background(), offers, target)

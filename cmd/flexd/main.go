@@ -4,10 +4,18 @@
 // paper's Scenario-1 chain — aggregate, schedule, disaggregate — plus
 // the eight flexibility measures as endpoints.
 //
+// With -shards N the population is partitioned across N engine shards
+// (routed by offer zone, then ID hash, then round-robin; see package
+// shard) and /v1/schedule runs scatter-gather across them. The response
+// bytes are independent of N: the merge is deterministic and the
+// pipeline bit-identical to a single engine, so shards only change
+// where the work runs.
+//
 // Usage:
 //
 //	flexd                          # serve on :8080, one worker per CPU
 //	flexd -addr :9000 -workers 8   # pin address and pool size
+//	flexd -shards 4                # four engine shards, scatter-gather
 //	flexd -cap 500                 # default soft peak cap for /v1/schedule
 //
 // Endpoints:
@@ -16,15 +24,19 @@
 //	GET    /v1/offers     stored offer count
 //	DELETE /v1/offers     reset the store
 //	POST   /v1/aggregate  aggregate stored offers (?est,tft,max-group,mode)
-//	POST   /v1/schedule   full pipeline (?horizon,target,cap,est,tft,max-group)
+//	POST   /v1/schedule   full pipeline, streamed (?horizon,target,cap,est,tft,max-group)
 //	GET    /v1/measures   the paper's measures (?norm=l1|l2|linf)
-//	GET    /healthz       liveness probe
-//	GET    /metrics       Prometheus text metrics
+//	GET    /healthz       liveness probe (503 once draining)
+//	GET    /metrics       Prometheus text metrics (per-shard labels)
 //
 // A /v1/schedule response is byte-identical to `flexctl schedule
 // -pipeline -json` over the same offers and parameters — the service
-// and the CLI render through the same wire builder, and the e2e test
-// in cmd/flexctl pins the equality.
+// and the CLI render through the same wire builder, and the e2e tests
+// in cmd/flexctl pin the equality for shard counts 1 and 4.
+//
+// On SIGINT/SIGTERM flexd drains: /healthz flips to 503 so load
+// balancers stop routing, the listener stops accepting, in-flight
+// requests get -drain to finish, then the engine shards shut down.
 package main
 
 import (
@@ -53,23 +65,28 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("flexd", flag.ContinueOnError)
 	addr := fs.String("addr", ":8080", "listen address")
-	workers := fs.Int("workers", 0, "engine worker-pool size (0: one per CPU, 1: serial)")
+	workers := fs.Int("workers", 0, "per-shard worker-pool size (0: one per CPU, 1: serial)")
+	shards := fs.Int("shards", 1, "engine shard count; /v1/schedule scatter-gathers across them")
 	safe := fs.Bool("safe", true, "safe aggregation: tighten constituents so every schedule disaggregates")
 	cap := fs.Int64("cap", 0, "default soft peak cap for scheduling (0: uncapped; per-request ?cap overrides)")
 	inflight := fs.Int("max-inflight", 0, "concurrent expensive requests before 429 (0: 4x workers)")
 	maxBody := fs.Int64("max-body", 0, "ingest request body limit in bytes (0: 1 GiB)")
 	block := fs.Int("block", 0, "ingest decode block size in bytes (0: 1 MiB)")
+	drain := fs.Duration("drain", 10*time.Second, "shutdown deadline for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *shards < 1 {
+		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
+	}
 
-	eng := flex.New(
+	se := flex.NewSharded(*shards,
 		flex.WithWorkers(*workers),
 		flex.WithSafe(*safe),
 		flex.WithPeakCap(*cap),
 	)
-	defer eng.Close()
-	srv := server.New(eng, server.Options{
+	defer se.Close()
+	srv := server.NewSharded(se, server.Options{
 		MaxInFlight:      *inflight,
 		MaxBodyBytes:     *maxBody,
 		IngestBlockBytes: *block,
@@ -86,16 +103,21 @@ func run(args []string) error {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	poolWorkers, _ := eng.PoolStats()
-	log.Printf("flexd: serving on %s (%d pool workers)", *addr, poolWorkers)
+	poolWorkers, _ := se.PoolStats()
+	log.Printf("flexd: serving on %s (%d shards, %d pool workers)", *addr, se.Shards(), poolWorkers)
 
 	select {
 	case err := <-errc:
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("flexd: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	// Drain: advertise unhealthiness first so load balancers stop
+	// sending traffic, then stop accepting and let in-flight requests
+	// finish within the deadline. The engines close last (deferred),
+	// after no request can still be using their pools.
+	srv.MarkDraining()
+	log.Printf("flexd: draining (deadline %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return err
@@ -103,5 +125,6 @@ func run(args []string) error {
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	log.Printf("flexd: drained")
 	return nil
 }

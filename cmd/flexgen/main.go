@@ -9,6 +9,11 @@
 //	flexgen -n 1000 -days 3 -mix default -seed 42 > offers.json
 //	flexgen -n 200 -mix consumption -o offers.json
 //	flexgen -device ev -n 10        # a single device class
+//	flexgen -n 1000 -zones 8        # stamp skewed grid zones (flexd -shards routing)
+//
+// -zones draws each offer's grid zone from a skewed distribution
+// (zone i has weight ∝ 1/(i+1)) using an RNG independent of the offer
+// stream, so the offers themselves are identical with and without it.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"sort"
 
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/workload"
@@ -34,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 	n := fs.Int("n", 100, "number of flex-offers to generate")
 	days := fs.Int("days", 1, "spread offers over this many days")
 	seed := fs.Int64("seed", 1, "random seed (generation is deterministic)")
+	zones := fs.Int("zones", 0, "stamp a grid zone onto each offer, drawn skewed from this many zones (0: no zones)")
 	mixName := fs.String("mix", "default", `population mix: "default" or "consumption"`)
 	device := fs.String("device", "", "generate a single device class instead of a mix (ev, heat-pump, dishwasher, refrigerator, solar-panel, wind-turbine, vehicle-to-grid)")
 	format := fs.String("format", "json", `output format: "json", "ndjson" (flexd ingest) or "binary"`)
@@ -55,6 +62,12 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *zones < 0 {
+		return fmt.Errorf("-zones must be non-negative, got %d", *zones)
+	}
+	if *zones > 0 {
+		stampZones(offers, *zones, *seed)
+	}
 	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
@@ -73,6 +86,34 @@ func run(args []string, stdout io.Writer) error {
 		return flexoffer.EncodeBinary(w, offers)
 	default:
 		return fmt.Errorf("unknown format %q (want json, ndjson or binary)", *format)
+	}
+}
+
+// zoneSeedSalt decouples the zone stream from the offer stream: zones
+// are drawn from their own RNG (seeded from -seed xor this constant),
+// so `-zones K` stamps zones onto the exact offers `-zones 0` emits —
+// the zone-less and zoned datasets differ only in the zone field.
+const zoneSeedSalt = 0x5a4f4e45 // "ZONE"
+
+// stampZones assigns each offer a zone drawn from a skewed
+// distribution over k zones — zone i has weight ∝ 1/(i+1), the
+// few-big-many-small shape of real grid zones — deterministically for
+// a given seed.
+func stampZones(offers []*flexoffer.FlexOffer, k int, seed int64) {
+	r := rand.New(rand.NewSource(seed ^ zoneSeedSalt))
+	cum := make([]float64, k)
+	total := 0.0
+	for i := range cum {
+		total += 1 / float64(i+1)
+		cum[i] = total
+	}
+	for _, f := range offers {
+		x := r.Float64() * total
+		zone := sort.SearchFloat64s(cum, x)
+		if zone >= k {
+			zone = k - 1
+		}
+		f.Zone = fmt.Sprintf("z%02d", zone)
 	}
 }
 

@@ -80,6 +80,52 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestZonesDeterministicAndOfferInvariant(t *testing.T) {
+	var plain, zoned, zoned2 bytes.Buffer
+	if err := run([]string{"-n", "60", "-seed", "7"}, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "60", "-seed", "7", "-zones", "6"}, &zoned); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "60", "-seed", "7", "-zones", "6"}, &zoned2); err != nil {
+		t.Fatal(err)
+	}
+	if zoned.String() != zoned2.String() {
+		t.Fatal("-zones must be deterministic for a fixed seed")
+	}
+	base, err := flexoffer.Decode(&plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := flexoffer.Decode(&zoned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for i, f := range got {
+		if f.Zone == "" {
+			t.Fatalf("offer %d: no zone stamped", i)
+		}
+		seen[f.Zone]++
+		f.Zone = ""
+		if !f.Equal(base[i]) {
+			t.Fatalf("offer %d: -zones changed the offer itself", i)
+		}
+	}
+	// The distribution is skewed (weight ∝ 1/(i+1)): with 60 draws over
+	// 6 zones, more than one zone must appear and z00 must dominate z05.
+	if len(seen) < 2 {
+		t.Fatalf("only %d distinct zones in 60 offers", len(seen))
+	}
+	if seen["z00"] <= seen["z05"] {
+		t.Errorf("skew inverted: z00=%d z05=%d", seen["z00"], seen["z05"])
+	}
+	if err := run([]string{"-n", "5", "-zones", "-1"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("negative -zones should fail")
+	}
+}
+
 func TestConsumptionMixFlag(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-n", "30", "-mix", "consumption", "-seed", "2"}, &buf); err != nil {

@@ -23,15 +23,22 @@ import (
 // Deltas keep the varints short: tls ≥ tes, max ≥ min, cmin ≥ Σmin and
 // cmax ≥ cmin always hold for valid offers, so the deltas are
 // non-negative.
+//
+// Version 2 ("FXO2") inserts `zoneLen | zone bytes` between the id and
+// tes, carrying the grid-zone routing key. The encoder emits FXO2 only
+// when at least one offer has a zone — a zone-less population encodes
+// to the exact FXO1 bytes it always did — and the decoder accepts both
+// versions.
 
 // Binary codec errors.
 var (
-	ErrBadMagic  = errors.New("flexoffer: not a binary flex-offer stream")
-	ErrCorrupt   = errors.New("flexoffer: corrupt binary stream")
-	ErrTooLarge  = errors.New("flexoffer: binary field exceeds sanity limit")
-	binaryMagic  = [4]byte{'F', 'X', 'O', '1'}
-	maxBinLen    = 1 << 20 // per-field sanity cap: 1M slices / 1MB IDs
-	maxBinOffers = 1 << 26
+	ErrBadMagic   = errors.New("flexoffer: not a binary flex-offer stream")
+	ErrCorrupt    = errors.New("flexoffer: corrupt binary stream")
+	ErrTooLarge   = errors.New("flexoffer: binary field exceeds sanity limit")
+	binaryMagic   = [4]byte{'F', 'X', 'O', '1'}
+	binaryMagicV2 = [4]byte{'F', 'X', 'O', '2'}
+	maxBinLen     = 1 << 20 // per-field sanity cap: 1M slices / 1MB IDs
+	maxBinOffers  = 1 << 26
 )
 
 // EncodeBinary writes the offers in the compact binary format. Every
@@ -42,8 +49,21 @@ func EncodeBinary(w io.Writer, offers []*FlexOffer) error {
 			return fmt.Errorf("flexoffer: encoding offer %d: %w", i, err)
 		}
 	}
+	// FXO2 only when a zone is actually present: zone-less streams keep
+	// their historical FXO1 bytes.
+	zoned := false
+	for _, f := range offers {
+		if f.Zone != "" {
+			zoned = true
+			break
+		}
+	}
 	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(binaryMagic[:]); err != nil {
+	magic := binaryMagic
+	if zoned {
+		magic = binaryMagicV2
+	}
+	if _, err := bw.Write(magic[:]); err != nil {
 		return err
 	}
 	putUvarint(bw, uint64(len(offers)))
@@ -51,6 +71,12 @@ func EncodeBinary(w io.Writer, offers []*FlexOffer) error {
 		putUvarint(bw, uint64(len(f.ID)))
 		if _, err := bw.WriteString(f.ID); err != nil {
 			return err
+		}
+		if zoned {
+			putUvarint(bw, uint64(len(f.Zone)))
+			if _, err := bw.WriteString(f.Zone); err != nil {
+				return err
+			}
 		}
 		putUvarint(bw, uint64(f.EarliestStart))
 		putUvarint(bw, uint64(f.LatestStart-f.EarliestStart))
@@ -73,7 +99,8 @@ func DecodeBinary(r io.Reader) ([]*FlexOffer, error) {
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadMagic, err)
 	}
-	if magic != binaryMagic {
+	zoned := magic == binaryMagicV2
+	if magic != binaryMagic && !zoned {
 		return nil, ErrBadMagic
 	}
 	count, err := readUvarint(br)
@@ -85,7 +112,7 @@ func DecodeBinary(r io.Reader) ([]*FlexOffer, error) {
 	}
 	offers := make([]*FlexOffer, 0, count)
 	for i := uint64(0); i < count; i++ {
-		f, err := decodeOneBinary(br)
+		f, err := decodeOneBinary(br, zoned)
 		if err != nil {
 			return nil, fmt.Errorf("flexoffer: offer %d: %w", i, err)
 		}
@@ -94,7 +121,7 @@ func DecodeBinary(r io.Reader) ([]*FlexOffer, error) {
 	return offers, nil
 }
 
-func decodeOneBinary(br *bufio.Reader) (*FlexOffer, error) {
+func decodeOneBinary(br *bufio.Reader, zoned bool) (*FlexOffer, error) {
 	idLen, err := readUvarint(br)
 	if err != nil {
 		return nil, err
@@ -105,6 +132,20 @@ func decodeOneBinary(br *bufio.Reader) (*FlexOffer, error) {
 	id := make([]byte, idLen)
 	if _, err := io.ReadFull(br, id); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	var zone []byte
+	if zoned {
+		zoneLen, err := readUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if zoneLen > uint64(maxBinLen) {
+			return nil, fmt.Errorf("%w: zone length %d", ErrTooLarge, zoneLen)
+		}
+		zone = make([]byte, zoneLen)
+		if _, err := io.ReadFull(br, zone); err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
 	}
 	tes, err := readUvarint(br)
 	if err != nil {
@@ -123,6 +164,7 @@ func decodeOneBinary(br *bufio.Reader) (*FlexOffer, error) {
 	}
 	f := &FlexOffer{
 		ID:            string(id),
+		Zone:          string(zone),
 		EarliestStart: int(tes),
 		LatestStart:   int(tes + tfDelta),
 		Slices:        make([]Slice, nSlices),

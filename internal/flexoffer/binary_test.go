@@ -38,6 +38,46 @@ func TestBinaryRoundTrip(t *testing.T) {
 	}
 }
 
+func TestBinaryZonedRoundTrip(t *testing.T) {
+	offers := []*FlexOffer{
+		paperF(t),
+		MustNew(0, 2, Slice{-1, 2}, Slice{-4, -1}, Slice{-3, 1}),
+		MustNew(5, 8, Slice{1, 3}),
+	}
+	offers[0].ID, offers[0].Zone = "figure-1", "z03"
+	offers[2].Zone = "dk1-west" // zoned but anonymous
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, offers); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("FXO2")) {
+		t.Fatalf("zoned stream should carry the FXO2 magic, got %q", buf.Bytes()[:4])
+	}
+	got, err := DecodeBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(offers) {
+		t.Fatalf("decoded %d offers, want %d", len(got), len(offers))
+	}
+	for i := range offers {
+		if !got[i].Equal(offers[i]) {
+			t.Errorf("offer %d mismatch:\n got %v\nwant %v", i, got[i], offers[i])
+		}
+	}
+}
+
+func TestBinaryZonelessKeepsV1Bytes(t *testing.T) {
+	offers := []*FlexOffer{paperF(t), MustNew(1, 4, Slice{0, 2}, Slice{1, 3})}
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, offers); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf.Bytes(), []byte("FXO1")) {
+		t.Fatalf("zone-less stream must stay FXO1, got %q", buf.Bytes()[:4])
+	}
+}
+
 func TestBinaryIsSmallerThanJSON(t *testing.T) {
 	r := rand.New(rand.NewSource(21))
 	offers := make([]*FlexOffer, 200)

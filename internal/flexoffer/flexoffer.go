@@ -88,6 +88,11 @@ type FlexOffer struct {
 	// ID is an optional caller-supplied identifier carried through
 	// aggregation and scheduling. It does not affect any semantics.
 	ID string `json:"id,omitempty"`
+	// Zone optionally names the grid zone (or tenant) the offer belongs
+	// to. Like ID it carries no model semantics; the shard router uses
+	// it as the preferred partitioning key so one zone's offers stay
+	// co-located on one engine shard.
+	Zone string `json:"zone,omitempty"`
 	// EarliestStart is tes, the earliest allowed start time.
 	EarliestStart int `json:"earliestStart"`
 	// LatestStart is tls, the latest allowed start time.
@@ -245,12 +250,13 @@ func (f *FlexOffer) Clone() *FlexOffer {
 }
 
 // Equal reports whether two flex-offers have identical intervals,
-// profiles and totals. IDs are compared too.
+// profiles and totals. IDs and zones are compared too.
 func (f *FlexOffer) Equal(o *FlexOffer) bool {
 	if f == nil || o == nil {
 		return f == o
 	}
 	if f.ID != o.ID ||
+		f.Zone != o.Zone ||
 		f.EarliestStart != o.EarliestStart ||
 		f.LatestStart != o.LatestStart ||
 		f.TotalMin != o.TotalMin ||

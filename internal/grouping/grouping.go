@@ -124,6 +124,39 @@ func tfsOf(tfs []int, perm []int) []int {
 	return out
 }
 
+// Pack greedily packs an already stably (est, tf)-sorted run into
+// groups within the tolerances — the serial pack loop, exported for
+// the scatter-gather sharded engine, which merges per-shard sorted
+// runs into the global order itself and then needs exactly this loop
+// (segmented at the EST-gap cuts, see Cuts) to reproduce the serial
+// grouping bit for bit. sortedTF holds each offer's time flexibility
+// in run order (nil recomputes them).
+func Pack(sorted []*flexoffer.FlexOffer, sortedTF []int, p Params) [][]*flexoffer.FlexOffer {
+	return pack(sorted, sortedTF, p)
+}
+
+// Cuts returns the exclusive end index of every independently packable
+// segment of an (est, tf)-sorted run: the run is cut after position
+// i-1 wherever sortedESTs[i]-sortedESTs[i-1] exceeds the tolerance. A
+// group's earliest-start spread is bounded by the tolerance, so no
+// group can span such a gap — the greedy pack provably flushes there —
+// which makes the segments independent: packing each separately and
+// concatenating the outputs reproduces Pack over the whole run. A
+// non-empty input always yields a final cut at len(sortedESTs); an
+// empty input yields nil.
+func Cuts(sortedESTs []int, estTolerance int) []int {
+	var ends []int
+	for i := 1; i < len(sortedESTs); i++ {
+		if sortedESTs[i]-sortedESTs[i-1] > estTolerance {
+			ends = append(ends, i)
+		}
+	}
+	if len(sortedESTs) > 0 {
+		ends = append(ends, len(sortedESTs))
+	}
+	return ends
+}
+
 // pack greedily packs a run of (est, tf)-sorted offers into groups
 // within the tolerances: a group accepts the next offer while the
 // earliest-start spread stays within ESTTolerance, the time-flexibility

@@ -259,13 +259,27 @@ func (s *Sharded) plan(offers []*flexoffer.FlexOffer) *shardPlan {
 		p.tfs[i] = tfs[pi]
 		sortedEST[i] = ests[pi]
 	}
-	for i := 1; i < n; i++ {
-		if sortedEST[i]-sortedEST[i-1] > s.Params.ESTTolerance {
-			p.ends = append(p.ends, i)
-		}
-	}
-	p.ends = append(p.ends, n)
+	p.ends = Cuts(sortedEST, s.Params.ESTTolerance)
 	return p
+}
+
+// SortRun derives the grouping sort keys for the offers and returns
+// the stable (est, tf)-sorted permutation together with the keys (in
+// input order) — the parallel merge sort the Sharded grouper uses,
+// exposed for the scatter-gather sharded engine, which sorts each
+// shard's store concurrently on that shard's pool and k-way merges the
+// runs into the global grouping order. ex and workers follow the
+// Sharded fields of the same names.
+func SortRun(offers []*flexoffer.FlexOffer, ex pool.Executor, workers int) (perm, ests, tfs []int) {
+	s := &Sharded{Pool: ex, Workers: workers}
+	n := len(offers)
+	ests = make([]int, n)
+	tfs = make([]int, n)
+	s.forEach(n, 0, func(i int) {
+		ests[i] = offers[i].EarliestStart
+		tfs[i] = offers[i].TimeFlexibility()
+	})
+	return s.sortPerm(ests, tfs), ests, tfs
 }
 
 // sortPerm returns the stable (est, tf)-sorted permutation via a

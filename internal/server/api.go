@@ -147,6 +147,96 @@ func FlatTargetLevel(offers []*flexoffer.FlexOffer, horizon int, level int64) in
 	return expected / int64(horizon)
 }
 
+// FlatTargetLevelRouted is FlatTargetLevel over a routed (per-shard)
+// snapshot. The expected-energy sum is commutative, so the result is
+// identical to flattening the parts first — the shard count cannot
+// change the resolved target.
+func FlatTargetLevelRouted(parts [][]flex.RoutedOffer, horizon int, level int64) int64 {
+	if level >= 0 {
+		return level
+	}
+	var expected int64
+	for _, part := range parts {
+		for _, e := range part {
+			expected += (e.Offer.TotalMin + e.Offer.TotalMax) / 2
+		}
+	}
+	return expected / int64(horizon)
+}
+
+// scheduleHead mirrors ScheduleResponse minus the Disaggregated tail —
+// the part of the response StreamScheduleResponse materializes up
+// front. Field order and tags must stay in lockstep with
+// ScheduleResponse: the streamed bytes are pinned byte-identical to
+// EncodeResponse(BuildScheduleResponse(...)) by TestStreamScheduleResponse.
+type scheduleHead struct {
+	Offers               int                    `json:"offers"`
+	Aggregates           int                    `json:"aggregates"`
+	Prosumers            int                    `json:"prosumers"`
+	Horizon              int                    `json:"horizon"`
+	TargetLevel          int64                  `json:"targetLevel"`
+	Imbalance            float64                `json:"imbalance"`
+	PeakLoad             int64                  `json:"peakLoad"`
+	Load                 SeriesJSON             `json:"load"`
+	AggregateAssignments []flexoffer.Assignment `json:"aggregateAssignments"`
+}
+
+// StreamScheduleResponse writes resp incrementally: the head is one
+// small marshal, then the disaggregated assignments — the bulk of a
+// big fleet's response — are encoded and flushed group by group
+// instead of being materialized as a single document. The bytes are
+// exactly EncodeResponse(w, resp); only the peak memory differs.
+func StreamScheduleResponse(w io.Writer, resp *ScheduleResponse) error {
+	head, err := json.Marshal(&scheduleHead{
+		Offers:               resp.Offers,
+		Aggregates:           resp.Aggregates,
+		Prosumers:            resp.Prosumers,
+		Horizon:              resp.Horizon,
+		TargetLevel:          resp.TargetLevel,
+		Imbalance:            resp.Imbalance,
+		PeakLoad:             resp.PeakLoad,
+		Load:                 resp.Load,
+		AggregateAssignments: resp.AggregateAssignments,
+	})
+	if err != nil {
+		return err
+	}
+	// Drop the head's closing brace and splice in the tail field.
+	if _, err := w.Write(head[:len(head)-1]); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w, `,"disaggregated":`); err != nil {
+		return err
+	}
+	if resp.Disaggregated == nil {
+		_, err := io.WriteString(w, "null}\n")
+		return err
+	}
+	if _, err := io.WriteString(w, "["); err != nil {
+		return err
+	}
+	f, _ := w.(interface{ Flush() })
+	for i, group := range resp.Disaggregated {
+		if i > 0 {
+			if _, err := io.WriteString(w, ","); err != nil {
+				return err
+			}
+		}
+		data, err := json.Marshal(group)
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(data); err != nil {
+			return err
+		}
+		if f != nil {
+			f.Flush()
+		}
+	}
+	_, err = io.WriteString(w, "]}\n")
+	return err
+}
+
 // JSONFloat is a float64 that marshals NaN and infinities as null —
 // the measure table contains NaN for undefined cells, which plain
 // encoding/json refuses to encode.

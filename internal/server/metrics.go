@@ -37,6 +37,9 @@ type metrics struct {
 	inFlight      atomic.Int64
 	ingestRecords atomic.Int64
 	ingestBytes   atomic.Int64
+	// shardIngest[k] counts offers routed to shard k at ingest time
+	// (sized to the engine's shard count in NewSharded).
+	shardIngest []atomic.Int64
 }
 
 // handleMetrics renders the counters in the Prometheus text exposition
@@ -65,15 +68,40 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("# TYPE flexd_ingest_bytes_total counter\n")
 	write("flexd_ingest_bytes_total %d\n", s.m.ingestBytes.Load())
 
-	workers, busy := s.eng.PoolStats()
-	write("# HELP flexd_pool_workers Size of the engine's persistent worker pool.\n")
+	workers, busy := s.se.PoolStats()
+	write("# HELP flexd_pool_workers Size of the engine's persistent worker pool (summed across shards).\n")
 	write("# TYPE flexd_pool_workers gauge\n")
 	write("flexd_pool_workers %d\n", workers)
-	write("# HELP flexd_pool_busy Pool workers currently executing a task.\n")
+	write("# HELP flexd_pool_busy Pool workers currently executing a task (summed across shards).\n")
 	write("# TYPE flexd_pool_busy gauge\n")
 	write("flexd_pool_busy %d\n", busy)
 
 	write("# HELP flexd_offers_stored Flex-offers in the store.\n")
 	write("# TYPE flexd_offers_stored gauge\n")
-	write("flexd_offers_stored %d\n", len(s.snapshot()))
+	write("flexd_offers_stored %d\n", s.stores.Len())
+
+	// Per-shard breakdowns of the totals above, labeled by shard index.
+	lens := s.stores.ShardLens()
+	write("# HELP flexd_shard_offers_stored Flex-offers in the store, by engine shard.\n")
+	write("# TYPE flexd_shard_offers_stored gauge\n")
+	for k, n := range lens {
+		write("flexd_shard_offers_stored{shard=\"%d\"} %d\n", k, n)
+	}
+	write("# HELP flexd_shard_ingest_records_total Flex-offers routed at ingest, by engine shard.\n")
+	write("# TYPE flexd_shard_ingest_records_total counter\n")
+	for k := range s.m.shardIngest {
+		write("flexd_shard_ingest_records_total{shard=\"%d\"} %d\n", k, s.m.shardIngest[k].Load())
+	}
+	write("# HELP flexd_shard_pool_workers Size of one shard engine's worker pool.\n")
+	write("# TYPE flexd_shard_pool_workers gauge\n")
+	for k := 0; k < s.se.Shards(); k++ {
+		w, _ := s.se.ShardPoolStats(k)
+		write("flexd_shard_pool_workers{shard=\"%d\"} %d\n", k, w)
+	}
+	write("# HELP flexd_shard_pool_busy Pool workers currently executing a task, by engine shard.\n")
+	write("# TYPE flexd_shard_pool_busy gauge\n")
+	for k := 0; k < s.se.Shards(); k++ {
+		_, b := s.se.ShardPoolStats(k)
+		write("flexd_shard_pool_busy{shard=\"%d\"} %d\n", k, b)
+	}
 }

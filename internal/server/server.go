@@ -7,11 +7,12 @@ import (
 	"io"
 	"net/http"
 	"strconv"
-	"sync"
+	"sync/atomic"
 
 	flex "flexmeasures"
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/ingest"
+	"flexmeasures/internal/shard"
 	"flexmeasures/internal/timeseries"
 )
 
@@ -21,8 +22,8 @@ type Options struct {
 	// schedule, measures): at most this many such requests run
 	// concurrently, and excess requests are rejected immediately with
 	// 429 so a traffic spike degrades into fast rejections instead of
-	// an unbounded pile-up on the pool. Values below 1 pick 4× the
-	// engine's worker count.
+	// an unbounded pile-up on the pools. Values below 1 pick 4× the
+	// engine's total worker count (summed across shards).
 	MaxInFlight int
 	// MaxBodyBytes caps an ingest request's body. Values below 1 pick
 	// 1 GiB.
@@ -34,53 +35,74 @@ type Options struct {
 	IngestBlockBytes int
 }
 
-// Server is the flexd HTTP service: a long-lived flex.Engine, an
-// in-memory offer store fed by sharded NDJSON ingest, and the paper's
-// aggregate/schedule/measure operations as endpoints. It implements
-// http.Handler; create one with New.
+// Server is the flexd HTTP service: a long-lived sharded engine, N
+// copy-on-write offer stores fed by sharded NDJSON ingest and routed
+// by the shard router (zone → ID hash → round-robin), and the paper's
+// aggregate/schedule/measure operations as scatter-gather endpoints.
+// It implements http.Handler; create one with New (single engine) or
+// NewSharded.
 //
 // Routes:
 //
-//	POST   /v1/offers     NDJSON ingest (sharded decode, ID dedup, ?mode=collect)
+//	POST   /v1/offers     NDJSON ingest (sharded decode, ID dedup, shard routing, ?mode=collect)
 //	GET    /v1/offers     store size
 //	DELETE /v1/offers     reset the store
 //	POST   /v1/aggregate  aggregate stored offers (?est,tft,max-group,mode)
-//	POST   /v1/schedule   full pipeline (?horizon,target,cap,est,tft,max-group)
+//	POST   /v1/schedule   full pipeline, streamed response (?horizon,target,cap,est,tft,max-group)
 //	GET    /v1/measures   the paper's eight measures (?norm=l1|l2|linf)
-//	GET    /healthz       liveness
-//	GET    /metrics       Prometheus text metrics
+//	GET    /healthz       liveness (503 while draining)
+//	GET    /metrics       Prometheus text metrics (per-shard labels)
+//
+// The schedule response bytes are independent of the shard count: the
+// scatter-gather pipeline is bit-identical to a single engine, so
+// `-shards 8` and `-shards 1` — and `flexctl schedule -pipeline -json`
+// — produce the same body for the same stored offers.
 type Server struct {
-	eng  *flex.Engine
+	se   *flex.ShardedEngine
 	opts Options
 	gate chan struct{}
 	m    metrics
 
-	mu     sync.RWMutex
-	offers []*flexoffer.FlexOffer
-	// index maps a non-empty offer ID to its position in offers, the
-	// per-prosumer identity behind ingest's last-write-wins dedup.
-	index map[string]int
+	// stores is the sharded offer store; its router mirrors the
+	// engine's shard count so snapshots feed the Routed endpoints
+	// directly.
+	stores *shard.Stores
+
+	// draining flips when the process is shutting down: /healthz turns
+	// 503 so load balancers stop routing here while in-flight requests
+	// finish.
+	draining atomic.Bool
 
 	mux *http.ServeMux
 }
 
-// New returns a Server serving eng. The engine is borrowed, not owned:
-// Close it yourself after the HTTP server shuts down.
+// New returns a Server serving a single engine — the one-shard special
+// case of NewSharded. The engine is borrowed, not owned: Close it
+// yourself after the HTTP server shuts down.
 func New(eng *flex.Engine, opts Options) *Server {
+	return NewSharded(flex.NewShardedFrom(eng), opts)
+}
+
+// NewSharded returns a Server serving a sharded engine: ingest routes
+// offers across per-shard stores and /v1/schedule runs scatter-gather
+// over them. The engine is borrowed, not owned: Close it yourself
+// after the HTTP server shuts down.
+func NewSharded(se *flex.ShardedEngine, opts Options) *Server {
 	if opts.MaxInFlight < 1 {
-		workers, _ := eng.PoolStats()
+		workers, _ := se.PoolStats()
 		opts.MaxInFlight = 4 * workers
 	}
 	if opts.MaxBodyBytes < 1 {
 		opts.MaxBodyBytes = 1 << 30
 	}
 	s := &Server{
-		eng:   eng,
-		opts:  opts,
-		gate:  make(chan struct{}, opts.MaxInFlight),
-		index: make(map[string]int),
-		mux:   http.NewServeMux(),
+		se:     se,
+		opts:   opts,
+		gate:   make(chan struct{}, opts.MaxInFlight),
+		stores: shard.NewStores(shard.Router{Shards: se.Shards()}),
+		mux:    http.NewServeMux(),
 	}
+	s.m.shardIngest = make([]atomic.Int64, se.Shards())
 	s.mux.HandleFunc("POST /v1/offers", s.route(routeOffers, s.gated(s.handleIngest)))
 	s.mux.HandleFunc("GET /v1/offers", s.route(routeOffers, s.handleStoreSize))
 	s.mux.HandleFunc("DELETE /v1/offers", s.route(routeOffers, s.handleReset))
@@ -91,6 +113,11 @@ func New(eng *flex.Engine, opts Options) *Server {
 	s.mux.HandleFunc("GET /metrics", s.route(routeMetrics, s.handleMetrics))
 	return s
 }
+
+// MarkDraining flips /healthz to 503 — flexd calls this on SIGTERM so
+// load balancers drain the instance while http.Server.Shutdown lets
+// in-flight requests finish. Idempotent; there is no way back.
+func (s *Server) MarkDraining() { s.draining.Store(true) }
 
 // ServeHTTP dispatches to the route table.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -125,61 +152,50 @@ func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// snapshot returns the stored offers. A returned slice is immutable:
-// the store only appends, and an ingest that replaces offers by ID
-// clones the slice before writing (see store), so concurrent readers
-// never observe a mutation.
+// snapshot returns the stored offers flattened back into global ingest
+// order — the view a single unsharded store would hold. Kept for unit
+// tests and the single-store mental model; the handlers consume the
+// routed snapshot directly.
 func (s *Server) snapshot() []*flexoffer.FlexOffer {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.offers
+	return shard.Flatten(s.stores.Snapshot())
 }
 
-// store merges decoded offers into the store: an offer whose non-empty
-// ID is already present replaces the stored one in place (last write
-// wins — a prosumer re-submitting its flex-offer updates it instead of
-// double-counting), everything else is appended. When any replacement
-// targets the pre-existing region the slice is cloned first, keeping
-// previously returned snapshots immutable. It reports how many records
-// replaced an existing offer and the store's size afterwards.
+// store merges decoded offers into the sharded store (see
+// shard.Stores.Add for the routing and last-write-wins dedup rules),
+// recording per-shard routing counts in the metrics. It reports how
+// many records replaced an existing offer and the store's total size
+// afterwards.
 func (s *Server) store(offers []*flexoffer.FlexOffer) (replaced, stored int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	clone := false
-	for _, f := range offers {
-		if f.ID == "" {
-			continue
-		}
-		if _, ok := s.index[f.ID]; ok {
-			clone = true
-			break
+	replaced, routed, stored := s.stores.Add(offers)
+	for k, c := range routed {
+		if c > 0 {
+			s.m.shardIngest[k].Add(int64(c))
 		}
 	}
-	if clone {
-		s.offers = append([]*flexoffer.FlexOffer(nil), s.offers...)
+	return replaced, stored
+}
+
+// routedSnapshot returns the per-shard snapshot plus the total offer
+// count (summed from the snapshot itself, so the two cannot be torn
+// apart by a concurrent ingest).
+func (s *Server) routedSnapshot() ([][]flex.RoutedOffer, int) {
+	parts := s.stores.Snapshot()
+	total := 0
+	for _, p := range parts {
+		total += len(p)
 	}
-	for _, f := range offers {
-		if f.ID != "" {
-			if i, ok := s.index[f.ID]; ok {
-				s.offers[i] = f
-				replaced++
-				continue
-			}
-			s.index[f.ID] = len(s.offers)
-		}
-		s.offers = append(s.offers, f)
-	}
-	return replaced, len(s.offers)
+	return parts, total
 }
 
 // handleIngest streams NDJSON offers from the request body through the
 // sharded decoder into the store. The body is consumed block by block —
 // decode speed is the read speed, which is the backpressure a slow
 // pool exerts on the client's connection. Offers are deduplicated by ID
-// (last write wins; see store), with the replacement count reported in
-// the response. ?mode=collect switches to collect-all error reporting;
-// any record failure rejects the whole request, so a 2xx means every
-// record was stored.
+// (last write wins; see shard.Stores.Add), routed to their shard by
+// zone/ID, and the replacement count reported in the response.
+// ?mode=collect switches to collect-all error reporting; any record
+// failure rejects the whole request, so a 2xx means every record was
+// stored.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	mode, err := modeFromQuery(r)
 	if err != nil {
@@ -189,7 +205,7 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	body := &countingReader{r: http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)}
 	offers, err := ingest.DecodeNDJSON(r.Context(), body, ingest.Params{
 		ErrorMode:  mode,
-		Pool:       s.eng.Executor(),
+		Pool:       s.se.Executor(),
 		BlockBytes: s.opts.IngestBlockBytes,
 	})
 	s.m.ingestBytes.Add(body.n)
@@ -227,14 +243,11 @@ func recordInfos(res ingest.RecordErrors) []RecordErrorInfo {
 }
 
 func (s *Server) handleStoreSize(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, &StoreResponse{Stored: len(s.snapshot())})
+	writeJSON(w, http.StatusOK, &StoreResponse{Stored: s.stores.Len()})
 }
 
 func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	s.offers = nil
-	s.index = make(map[string]int)
-	s.mu.Unlock()
+	s.stores.Reset()
 	writeJSON(w, http.StatusOK, &StoreResponse{Stored: 0})
 }
 
@@ -283,24 +296,26 @@ func (s *Server) handleAggregate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	opts := []flex.Option{flex.WithGrouping(gp), flex.WithErrorMode(mode)}
-	offers := s.snapshot()
-	if len(offers) == 0 {
+	parts, total := s.routedSnapshot()
+	if total == 0 {
 		writeError(w, http.StatusBadRequest, "no offers ingested", nil)
 		return
 	}
-	ags, err := s.eng.Aggregate(r.Context(), offers, opts...)
+	ags, err := s.se.AggregateRouted(r.Context(), parts, opts...)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error(), nil)
 		return
 	}
-	writeJSON(w, http.StatusOK, BuildAggregateResponse(len(offers), ags))
+	writeJSON(w, http.StatusOK, BuildAggregateResponse(total, ags))
 }
 
 // handleSchedule runs the full Scenario-1 chain — aggregate → schedule
-// → disaggregate — over the stored offers, streaming on the engine's
-// pool, and returns the schedule plus the per-prosumer assignments.
-// The response is byte-identical to `flexctl schedule -pipeline -json`
-// on the same offers and parameters.
+// → disaggregate — over the stored offers, scatter-gathered across the
+// engine shards, and streams the schedule plus the per-prosumer
+// assignments: the response body is encoded group by group (see
+// StreamScheduleResponse) instead of being materialized as one
+// document. The bytes are identical to `flexctl schedule -pipeline
+// -json` on the same offers and parameters, for every shard count.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	horizon, err := qInt(r, "horizon", 48)
 	if err == nil && horizon < 1 {
@@ -329,19 +344,21 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		}
 		opts = append(opts, flex.WithPeakCap(cap))
 	}
-	offers := s.snapshot()
-	if len(offers) == 0 {
+	parts, total := s.routedSnapshot()
+	if total == 0 {
 		writeError(w, http.StatusBadRequest, "no offers ingested", nil)
 		return
 	}
-	level = FlatTargetLevel(offers, horizon, level)
+	level = FlatTargetLevelRouted(parts, horizon, level)
 	target := timeseries.Constant(0, horizon, level)
-	res, err := s.eng.Pipeline(r.Context(), offers, target, opts...)
+	res, err := s.se.PipelineRouted(r.Context(), parts, target, opts...)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error(), nil)
 		return
 	}
-	writeJSON(w, http.StatusOK, BuildScheduleResponse(len(offers), res, target, horizon, level))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	_ = StreamScheduleResponse(w, BuildScheduleResponse(total, res, target, horizon, level))
 }
 
 func (s *Server) handleMeasures(w http.ResponseWriter, r *http.Request) {
@@ -356,12 +373,12 @@ func (s *Server) handleMeasures(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, `norm must be "l1", "l2" or "linf"`, nil)
 		return
 	}
-	offers := s.snapshot()
-	if len(offers) == 0 {
+	parts, total := s.routedSnapshot()
+	if total == 0 {
 		writeError(w, http.StatusBadRequest, "no offers ingested", nil)
 		return
 	}
-	tab, err := s.eng.Measures(r.Context(), offers, opts...)
+	tab, err := s.se.MeasuresRouted(r.Context(), parts, opts...)
 	if err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error(), nil)
 		return
@@ -370,7 +387,11 @@ func (s *Server) handleMeasures(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "stored": len(s.snapshot())})
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining", "stored": s.stores.Len()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "stored": s.stores.Len()})
 }
 
 // qInt parses an optional integer query parameter.

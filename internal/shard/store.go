@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"sync"
+
+	"flexmeasures/internal/flexoffer"
+)
+
+// loc records where a deduplicated offer lives: its shard and the
+// global sequence number it keeps for life (re-submissions replace the
+// offer in place, position included).
+type loc struct {
+	shard int
+	seq   uint64
+}
+
+// Stores is the sharded counterpart of flexd's single in-memory offer
+// store: N copy-on-write entry lists under one lock, one global
+// sequence counter, and one last-write-wins ID index spanning all
+// shards. Snapshots are immutable — Add only ever appends to a shard's
+// slice or replaces the slice wholesale — so readers run lock-free on
+// whatever snapshot they took.
+//
+// The single lock is deliberate: per-shard locks would let two
+// concurrent ingests interleave their sequence assignments, and the
+// whole point of the sequence counter is that merging the shards by
+// Seq reproduces one globally ordered store. Ingest holds the lock
+// only to splice already-decoded offers, so the critical section is
+// memory moves, not parsing.
+type Stores struct {
+	r Router
+
+	mu     sync.RWMutex
+	seq    uint64
+	shards [][]Entry
+	// index maps a non-empty offer ID to its shard and sequence — the
+	// per-prosumer identity behind last-write-wins dedup. It spans all
+	// shards so a re-submission whose zone changed is found (and moved)
+	// rather than double-counted.
+	index map[string]loc
+	count int
+}
+
+// NewStores returns an empty sharded store routed by r.
+func NewStores(r Router) *Stores {
+	return &Stores{
+		r:      r,
+		shards: make([][]Entry, r.NumShards()),
+		index:  make(map[string]loc),
+	}
+}
+
+// Shards returns the shard count.
+func (s *Stores) Shards() int { return len(s.shards) }
+
+// Add merges decoded offers into the store: an offer whose non-empty ID
+// is already present replaces the stored one at its original sequence
+// number (last write wins — and if the new version's key routes
+// elsewhere, e.g. the prosumer moved zones, the entry moves shards
+// keeping its sequence), everything else is appended under a fresh
+// sequence number. Any shard whose pre-existing region is touched is
+// cloned first, keeping previously returned snapshots immutable.
+//
+// It reports how many records replaced an existing offer, how many
+// records landed on each shard, and the store's total size afterwards.
+func (s *Stores) Add(offers []*flexoffer.FlexOffer) (replaced int, routed []int, stored int) {
+	routed = make([]int, len(s.shards))
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cloned := make([]bool, len(s.shards))
+	for _, f := range offers {
+		if f.ID != "" {
+			if l, ok := s.index[f.ID]; ok {
+				target := s.r.Route(f, l.seq)
+				s.replace(f, l, target, cloned)
+				s.index[f.ID] = loc{shard: target, seq: l.seq}
+				replaced++
+				routed[target]++
+				continue
+			}
+		}
+		seq := s.seq
+		s.seq++
+		sh := s.r.Route(f, seq)
+		s.shards[sh] = append(s.shards[sh], Entry{Offer: f, Seq: seq})
+		if f.ID != "" {
+			s.index[f.ID] = loc{shard: sh, seq: seq}
+		}
+		s.count++
+		routed[sh]++
+	}
+	return replaced, routed, s.count
+}
+
+// replace overwrites the entry at l with f, moving it to the target
+// shard when routing changed, cloning touched shards at most once per
+// Add batch.
+func (s *Stores) replace(f *flexoffer.FlexOffer, l loc, target int, cloned []bool) {
+	pos := findSeq(s.shards[l.shard], l.seq)
+	if target == l.shard {
+		if !cloned[l.shard] {
+			s.shards[l.shard] = append([]Entry(nil), s.shards[l.shard]...)
+			cloned[l.shard] = true
+		}
+		s.shards[l.shard][pos] = Entry{Offer: f, Seq: l.seq}
+		return
+	}
+	// Cross-shard move: remove from the old shard, insert into the new
+	// one at the position its sequence number dictates, so every shard
+	// slice stays Seq-sorted.
+	old := s.shards[l.shard]
+	next := make([]Entry, 0, len(old)-1)
+	next = append(next, old[:pos]...)
+	next = append(next, old[pos+1:]...)
+	s.shards[l.shard] = next
+	cloned[l.shard] = true
+
+	dst := s.shards[target]
+	at := insertionPoint(dst, l.seq)
+	grown := make([]Entry, 0, len(dst)+1)
+	grown = append(grown, dst[:at]...)
+	grown = append(grown, Entry{Offer: f, Seq: l.seq})
+	grown = append(grown, dst[at:]...)
+	s.shards[target] = grown
+	cloned[target] = true
+}
+
+// findSeq locates seq in a Seq-sorted entry slice (it must be present).
+func findSeq(entries []Entry, seq uint64) int {
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if entries[mid].Seq < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// insertionPoint returns where seq belongs in a Seq-sorted slice.
+func insertionPoint(entries []Entry, seq uint64) int {
+	return findSeq(entries, seq)
+}
+
+// Snapshot returns the per-shard entry lists. The inner slices are
+// immutable (copy-on-write; see Add) and each is in ascending Seq
+// order; the outer slice is a fresh copy the caller may keep.
+func (s *Stores) Snapshot() [][]Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([][]Entry, len(s.shards))
+	copy(out, s.shards)
+	return out
+}
+
+// Len returns the total offer count across all shards.
+func (s *Stores) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.count
+}
+
+// ShardLens returns the per-shard offer counts.
+func (s *Stores) ShardLens() []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, len(s.shards))
+	for i, entries := range s.shards {
+		out[i] = len(entries)
+	}
+	return out
+}
+
+// Reset empties every shard and restarts the sequence counter.
+func (s *Stores) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.shards = make([][]Entry, len(s.shards))
+	s.index = make(map[string]loc)
+	s.seq = 0
+	s.count = 0
+}

@@ -1,0 +1,204 @@
+package flex
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"flexmeasures/internal/timeseries"
+	"flexmeasures/internal/workload"
+)
+
+// shardedFleet samples a workload population and stamps deterministic
+// IDs and (for zones > 0) a skewed zone distribution onto it, so the
+// router exercises all three key paths: zone, ID hash, round-robin.
+func shardedFleet(t *testing.T, seed int64, n, zones int) []*FlexOffer {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	offers, err := workload.Population(rng, n, 2, workload.DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range offers {
+		switch i % 5 {
+		case 0: // anonymous: routed round-robin
+		default:
+			f.ID = fmt.Sprintf("p-%05d", i)
+		}
+		if zones > 0 && i%3 != 0 {
+			f.Zone = fmt.Sprintf("z%02d", rng.Intn(zones))
+		}
+	}
+	return offers
+}
+
+// TestShardedEngineMatchesEngine is the PR's bit-identity property
+// test: for every shard count × worker count × input permutation, the
+// scatter-gather pipeline (and aggregation and measures) over the
+// partitioned population equals a single engine's output on the same
+// input, DeepEqual-exact.
+func TestShardedEngineMatchesEngine(t *testing.T) {
+	base := shardedFleet(t, 41, 400, 5)
+	horizon := 96
+	target := timeseries.Constant(0, horizon, 40)
+	groupings := []GroupParams{
+		{ESTTolerance: 3, TFTolerance: -1, MaxGroupSize: 32},
+		{ESTTolerance: 0, TFTolerance: 0},
+	}
+	permRng := rand.New(rand.NewSource(42))
+	for _, workers := range []int{1, 2, 3} {
+		for gi, gp := range groupings {
+			opts := []Option{WithWorkers(workers), WithSafe(true), WithGrouping(gp), WithPeakCap(55)}
+			eng := New(opts...)
+			for perm := 0; perm < 3; perm++ {
+				offers := append([]*FlexOffer(nil), base...)
+				if perm > 0 {
+					permRng.Shuffle(len(offers), func(i, j int) {
+						offers[i], offers[j] = offers[j], offers[i]
+					})
+				}
+				want, err := eng.Pipeline(context.Background(), offers, target)
+				if err != nil {
+					t.Fatalf("workers=%d gp=%d perm=%d: single engine: %v", workers, gi, perm, err)
+				}
+				wantAgs, err := eng.Aggregate(context.Background(), offers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				wantTab, err := eng.Measures(context.Background(), offers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, shards := range []int{1, 2, 4, 8} {
+					se := NewSharded(shards, opts...)
+					got, err := se.Pipeline(context.Background(), offers, target)
+					if err != nil {
+						t.Fatalf("shards=%d workers=%d gp=%d perm=%d: %v", shards, workers, gi, perm, err)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Errorf("shards=%d workers=%d gp=%d perm=%d: pipeline result differs from single engine", shards, workers, gi, perm)
+					}
+					gotAgs, err := se.Aggregate(context.Background(), offers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(gotAgs, wantAgs) {
+						t.Errorf("shards=%d workers=%d gp=%d perm=%d: aggregates differ from single engine", shards, workers, gi, perm)
+					}
+					gotTab, err := se.Measures(context.Background(), offers)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(gotTab, wantTab) {
+						t.Errorf("shards=%d workers=%d gp=%d perm=%d: measures differ from single engine", shards, workers, gi, perm)
+					}
+					se.Close()
+				}
+				eng2 := New(WithWorkers(1), WithSafe(true), WithGrouping(gp), WithPeakCap(55))
+				serial, err := eng2.Pipeline(context.Background(), offers, target)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(serial, want) {
+					t.Errorf("workers=%d gp=%d perm=%d: parallel single engine differs from serial", workers, gi, perm)
+				}
+				eng2.Close()
+			}
+			eng.Close()
+		}
+	}
+}
+
+// TestShardedEngineRoutedStability checks that pre-routed calls (the
+// path flexd takes through its shard store) agree with the partition
+// convenience path and with a single engine.
+func TestShardedEngineRoutedStability(t *testing.T) {
+	offers := shardedFleet(t, 43, 250, 3)
+	target := timeseries.Constant(0, 48, 25)
+	opts := []Option{WithWorkers(2), WithSafe(true), WithGrouping(GroupParams{ESTTolerance: 2, TFTolerance: -1})}
+	eng := New(opts...)
+	defer eng.Close()
+	want, err := eng.Pipeline(context.Background(), offers, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := NewSharded(4, opts...)
+	defer se.Close()
+	parts := se.Partition(offers)
+	got, err := se.PipelineRouted(context.Background(), parts, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("PipelineRouted differs from single engine")
+	}
+	sr, err := se.ScheduleRouted(context.Background(), parts, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSR, err := eng.Schedule(context.Background(), offers, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sr, wantSR) {
+		t.Fatal("ScheduleRouted differs from single engine Schedule")
+	}
+}
+
+// TestShardedEngineCustomKey checks bit-identity is preserved under a
+// custom (pathological) routing key: routing never changes results,
+// only locality.
+func TestShardedEngineCustomKey(t *testing.T) {
+	offers := shardedFleet(t, 44, 200, 0)
+	target := timeseries.Constant(0, 48, 30)
+	opts := []Option{WithWorkers(2), WithSafe(true), WithGrouping(GroupParams{ESTTolerance: 4, TFTolerance: -1, MaxGroupSize: 16})}
+	eng := New(opts...)
+	defer eng.Close()
+	want, err := eng.Pipeline(context.Background(), offers, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se := NewSharded(3, opts...)
+	defer se.Close()
+	// Key by earliest start parity: adversarially correlated with the
+	// grouping key itself.
+	se.SetRouterKey(func(f *FlexOffer) string { return fmt.Sprintf("parity-%d", f.EarliestStart%2) })
+	got, err := se.Pipeline(context.Background(), offers, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("custom routing key changed pipeline output")
+	}
+}
+
+// TestShardedEngineEmptyAndErrors pins the edge and error paths to the
+// single-engine behaviour.
+func TestShardedEngineEmptyAndErrors(t *testing.T) {
+	target := timeseries.Constant(0, 24, 10)
+	se := NewSharded(4, WithWorkers(2))
+	defer se.Close()
+	eng := New(WithWorkers(2))
+	defer eng.Close()
+
+	_, gotErr := se.Pipeline(context.Background(), nil, target)
+	_, wantErr := eng.Pipeline(context.Background(), nil, target)
+	if (gotErr == nil) != (wantErr == nil) || (gotErr != nil && gotErr.Error() != wantErr.Error()) {
+		t.Fatalf("empty pipeline: sharded err %v, single err %v", gotErr, wantErr)
+	}
+
+	offers := shardedFleet(t, 45, 50, 2)
+	if _, err := se.Pipeline(context.Background(), offers, target, WithPlacement(OrderLeastFlexibleFirst)); err == nil {
+		t.Fatal("non-arrival placement should fail like the single engine")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := se.Pipeline(ctx, offers, target); err == nil {
+		t.Fatal("cancelled ctx should fail")
+	}
+	if _, err := se.Aggregate(ctx, offers); err == nil {
+		t.Fatal("cancelled ctx should fail aggregation")
+	}
+}
