@@ -56,6 +56,14 @@
 //
 //	flexbench -scatter 20000            # shard sweep, one worker per CPU per shard
 //	flexbench -scatter 20000 -workers 2 # pin the per-shard pool size
+//
+// -replay measures the durable store (internal/persist): WAL append
+// throughput under each fsync policy, then boot-time replay of the
+// resulting log, serial vs fanned out across the worker pool
+// (verifying the replayed store matches the live one bit for bit):
+//
+//	flexbench -replay 100000            # append per fsync policy + replay timing
+//	flexbench -replay 100000 -workers 4 # pin the replay decode pool
 package main
 
 import (
@@ -77,7 +85,9 @@ import (
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/grouping"
 	"flexmeasures/internal/ingest"
+	"flexmeasures/internal/persist"
 	"flexmeasures/internal/sched"
+	"flexmeasures/internal/shard"
 	"flexmeasures/internal/workload"
 )
 
@@ -99,9 +109,13 @@ func run(args []string) error {
 	ingestN := fs.Int("ingest", 0, "compare serial vs sharded NDJSON decoding over N synthetic offers and exit")
 	groupN := fs.Int("group", 0, "compare serial vs sharded grouping over N synthetic offers and exit")
 	scatterN := fs.Int("scatter", 0, "sweep the scatter-gather pipeline over shard counts 1/2/4/8 on N synthetic offers and exit")
-	workers := fs.Int("workers", 0, "worker-pool size for -agg / -sched / -engine / -ingest / -group / -scatter (0: one per CPU)")
+	replayN := fs.Int("replay", 0, "measure WAL append throughput per fsync policy and serial-vs-parallel replay over N synthetic offers and exit")
+	workers := fs.Int("workers", 0, "worker-pool size for -agg / -sched / -engine / -ingest / -group / -scatter / -replay (0: one per CPU)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *replayN > 0 {
+		return runReplayCompare(os.Stdout, *replayN, *workers)
 	}
 	if *scatterN > 0 {
 		return runScatterCompare(os.Stdout, *scatterN, *workers)
@@ -517,5 +531,103 @@ func runSchedCompare(out io.Writer, n, workers int) error {
 	fmt.Fprintf(out, "streaming (pipeline): %v  (%d workers, %.2fx speedup)\n",
 		streamDur, workers, float64(batchDur)/float64(streamDur))
 	fmt.Fprintln(out, "batch and streaming schedules are identical")
+	return nil
+}
+
+// runReplayCompare measures the durable store: it appends N synthetic
+// offers to a fresh WAL under each fsync policy (same population, same
+// batching, separate directories), then reboots from the largest log
+// twice — once decoding serially, once fanned out across a worker
+// pool — verifying that the replayed store matches the live one bit
+// for bit.
+func runReplayCompare(out io.Writer, n, workers int) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	offers, err := workload.Population(rand.New(rand.NewSource(99)), n, 3, workload.DefaultMix())
+	if err != nil {
+		return err
+	}
+	for i, f := range offers {
+		f.ID = fmt.Sprintf("r-%07d", i)
+	}
+	r := shard.Router{Shards: 4}
+	const batch = 1000
+
+	appendAll := func(dir string, policy persist.FsyncPolicy) (time.Duration, error) {
+		w, err := persist.OpenWAL(persist.Options{
+			Dir: dir, Router: r, Fsync: policy,
+			SnapshotEvery: -1, // measure the log, not the compactor
+		})
+		if err != nil {
+			return 0, err
+		}
+		t0 := time.Now()
+		for off := 0; off < len(offers); off += batch {
+			end := off + batch
+			if end > len(offers) {
+				end = len(offers)
+			}
+			if _, _, err := w.Add(offers[off:end]); err != nil {
+				w.Close()
+				return 0, err
+			}
+		}
+		d := time.Since(t0)
+		return d, w.Close()
+	}
+
+	var replayDir string
+	fmt.Fprintf(out, "appending %d offers (batches of %d, 4 shards)\n", n, batch)
+	for _, policy := range []persist.FsyncPolicy{persist.FsyncAlways, persist.FsyncInterval, persist.FsyncOff} {
+		dir, err := os.MkdirTemp("", "flexbench-wal-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		d, err := appendAll(dir, policy)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "fsync=%-8s %v  (%.0f offers/s)\n", policy, d, float64(n)/d.Seconds())
+		replayDir = dir // all three logs are equivalent; reboot the last
+	}
+
+	live := persist.NewMemory(r)
+	if _, _, err := live.Add(offers); err != nil {
+		return err
+	}
+	replay := func(ex flex.Executor) (*persist.WALStore, time.Duration, error) {
+		t0 := time.Now()
+		w, err := persist.OpenWAL(persist.Options{Dir: replayDir, Router: r, Executor: ex})
+		return w, time.Since(t0), err
+	}
+	serialStore, serialDur, err := replay(nil)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(serialStore.Snapshot(), live.Snapshot()) {
+		return fmt.Errorf("serial replay diverged from the live store over %d offers", n)
+	}
+	serialStore.Close()
+
+	eng := flex.New(flex.WithWorkers(workers))
+	defer eng.Close()
+	parStore, parDur, err := replay(eng.Executor())
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(parStore.Snapshot(), live.Snapshot()) {
+		return fmt.Errorf("parallel replay diverged from the live store over %d offers", n)
+	}
+	st := parStore.Stats()
+	parStore.Close()
+
+	fmt.Fprintf(out, "replaying %d records (%d segments, %.1f MiB)\n",
+		st.Records, st.Segments, float64(st.Bytes)/(1<<20))
+	fmt.Fprintf(out, "serial:   %v  (%.0f records/s)\n", serialDur, float64(n)/serialDur.Seconds())
+	fmt.Fprintf(out, "parallel: %v  (%d workers, %.0f records/s, %.2fx speedup)\n",
+		parDur, workers, float64(n)/parDur.Seconds(), float64(serialDur)/float64(parDur))
+	fmt.Fprintln(out, "replayed stores are identical to the live store")
 	return nil
 }

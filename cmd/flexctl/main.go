@@ -16,6 +16,8 @@
 //	                                         # streaming group→aggregate→schedule→disaggregate
 //	flexctl schedule -pipeline -json offers.json
 //	                                         # emit the flexd wire format (bit-identical to POST /v1/schedule)
+//	flexctl push -url http://host:8080 offers.ndjson
+//	                                         # upload to flexd, retrying 429/503 with backoff
 package main
 
 import (
@@ -45,10 +47,12 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("usage: flexctl <validate|measure|render|enumerate|aggregate|schedule> [flags] <file.json>")
+		return fmt.Errorf("usage: flexctl <validate|measure|render|enumerate|aggregate|schedule|push> [flags] <file.json>")
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
+	case "push":
+		return cmdPush(rest, out)
 	case "validate":
 		return cmdValidate(rest, out)
 	case "measure":

@@ -1,0 +1,220 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"time"
+
+	"flexmeasures/internal/server"
+)
+
+// cmdPush uploads an NDJSON offer stream to a running flexd. Unlike a
+// bare curl, it retries on the server's backpressure answers — 429 from
+// the in-flight gate, 503 from a degraded (read-only) store — with
+// exponential backoff, honoring the Retry-After the server suggests, so
+// a load spike or a disk hiccup on the far side degrades into a slower
+// upload instead of a failed one.
+func cmdPush(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("push", flag.ContinueOnError)
+	url := fs.String("url", "http://localhost:8080", "flexd base URL")
+	mode := fs.String("mode", "", `ingest error mode: "first" or "collect" (empty: server default)`)
+	attempts := fs.Int("attempts", 6, "delivery attempts before giving up")
+	timeout := fs.Duration("timeout", 0, "overall deadline including retries (0: none)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return errors.New(`expected exactly one input file ("-" for stdin)`)
+	}
+	var body []byte
+	var err error
+	if fs.Arg(0) == "-" {
+		body, err = io.ReadAll(os.Stdin)
+	} else {
+		body, err = os.ReadFile(fs.Arg(0))
+	}
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	res, tries, err := pushOffers(ctx, http.DefaultClient, *url, *mode, body, pusher{attempts: *attempts})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "pushed %d offers (%d replaced, %d stored, %d attempts)\n",
+		res.Ingested, res.Replaced, res.Stored, tries)
+	return nil
+}
+
+// pusher holds the retry policy; tests shrink the delays and pin the
+// jitter source.
+type pusher struct {
+	// attempts bounds delivery tries (minimum 1).
+	attempts int
+	// base is the first backoff delay (default 250ms), doubling per
+	// retry up to max (default 15s).
+	base, max time.Duration
+	// sleep waits d or until ctx is done; nil means the real clock.
+	sleep func(ctx context.Context, d time.Duration) error
+	// jitter returns a random factor in [0.5, 1.5); nil means math/rand.
+	jitter func() float64
+}
+
+func (p pusher) withDefaults() pusher {
+	if p.attempts < 1 {
+		p.attempts = 1
+	}
+	if p.base <= 0 {
+		p.base = 250 * time.Millisecond
+	}
+	if p.max <= 0 {
+		p.max = 15 * time.Second
+	}
+	if p.sleep == nil {
+		p.sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	if p.jitter == nil {
+		p.jitter = func() float64 { return 0.5 + rand.Float64() }
+	}
+	return p
+}
+
+// pushOffers POSTs body to baseURL's /v1/offers, retrying retriable
+// failures (429, 503, transport errors) per the policy. It returns the
+// server's ingest response and how many attempts it took. Cancelling
+// ctx aborts both in-flight requests and backoff waits.
+func pushOffers(ctx context.Context, c *http.Client, baseURL, mode string, body []byte, p pusher) (*server.IngestResponse, int, error) {
+	p = p.withDefaults()
+	url := baseURL + "/v1/offers"
+	if mode != "" {
+		url += "?mode=" + mode
+	}
+	delay := p.base
+	var lastErr error
+	for try := 1; ; try++ {
+		res, retriable, err := pushOnce(ctx, c, url, body)
+		if err == nil {
+			return res, try, nil
+		}
+		if !retriable {
+			return nil, try, err
+		}
+		lastErr = err
+		if try >= p.attempts {
+			return nil, try, fmt.Errorf("giving up after %d attempts: %w", try, lastErr)
+		}
+		wait := time.Duration(float64(delay) * p.jitter())
+		if ra, ok := retryAfter(err); ok {
+			// The server knows its own backlog better than our backoff
+			// curve does; take its word, jitter included, capped like
+			// every other wait.
+			wait = time.Duration(float64(ra) * p.jitter())
+		}
+		if wait > p.max {
+			wait = p.max
+		}
+		if err := p.sleep(ctx, wait); err != nil {
+			return nil, try, fmt.Errorf("%w (last attempt: %v)", err, lastErr)
+		}
+		if delay *= 2; delay > p.max {
+			delay = p.max
+		}
+	}
+}
+
+// retryError is a retriable HTTP failure, carrying the server's
+// Retry-After suggestion when it sent one.
+type retryError struct {
+	status     int
+	msg        string
+	retryAfter time.Duration
+	hasRetry   bool
+}
+
+func (e *retryError) Error() string {
+	return fmt.Sprintf("server answered %d: %s", e.status, e.msg)
+}
+
+func retryAfter(err error) (time.Duration, bool) {
+	var re *retryError
+	if errors.As(err, &re) && re.hasRetry {
+		return re.retryAfter, true
+	}
+	return 0, false
+}
+
+// pushOnce performs a single delivery attempt. retriable reports
+// whether the failure is worth another try: transport errors and the
+// server's backpressure statuses are, anything else (bad records, too
+// large, unexpected statuses) is not.
+func pushOnce(ctx context.Context, c *http.Client, url string, body []byte) (res *server.IngestResponse, retriable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	resp, err := c.Do(req)
+	if err != nil {
+		// Transport-level failure (refused, reset, DNS): retriable
+		// unless the context itself was cancelled.
+		return nil, ctx.Err() == nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var ir server.IngestResponse
+		if err := server.DecodeResponse(resp.Body, &ir); err != nil {
+			return nil, false, fmt.Errorf("decoding ingest response: %w", err)
+		}
+		return &ir, false, nil
+	}
+	msg := readErrorBody(resp.Body)
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		re := &retryError{status: resp.StatusCode, msg: msg}
+		if s := resp.Header.Get("Retry-After"); s != "" {
+			if secs, perr := strconv.Atoi(s); perr == nil && secs >= 0 {
+				re.retryAfter, re.hasRetry = time.Duration(secs)*time.Second, true
+			} else if t, perr := http.ParseTime(s); perr == nil {
+				if d := time.Until(t); d > 0 {
+					re.retryAfter, re.hasRetry = d, true
+				}
+			}
+		}
+		return nil, true, re
+	}
+	return nil, false, fmt.Errorf("server answered %d: %s", resp.StatusCode, msg)
+}
+
+// readErrorBody extracts the error message from a non-2xx response.
+func readErrorBody(r io.Reader) string {
+	var er server.ErrorResponse
+	if err := server.DecodeResponse(io.LimitReader(r, 1<<20), &er); err == nil && er.Error != "" {
+		return er.Error
+	}
+	return "(no error body)"
+}

@@ -11,12 +11,23 @@
 // pipeline bit-identical to a single engine, so shards only change
 // where the work runs.
 //
+// With -data-dir the offer store is durable: every mutation is
+// appended to a write-ahead log (see package persist) before it is
+// applied, and a restart replays the log — parallel decode across the
+// worker pool — back into a bit-identical store. -fsync picks the
+// durability/throughput trade-off. Without -data-dir the store is
+// in-memory, as before. If the WAL fails mid-flight (disk full,
+// yanked volume), flexd degrades to read-only: ingest answers 503
+// with a Retry-After while schedule/measures keep serving.
+//
 // Usage:
 //
 //	flexd                          # serve on :8080, one worker per CPU
 //	flexd -addr :9000 -workers 8   # pin address and pool size
 //	flexd -shards 4                # four engine shards, scatter-gather
 //	flexd -cap 500                 # default soft peak cap for /v1/schedule
+//	flexd -data-dir /var/lib/flexd # durable store (WAL + snapshots)
+//	flexd -data-dir d -fsync off   # durable but page-cache-paced
 //
 // Endpoints:
 //
@@ -52,7 +63,9 @@ import (
 	"time"
 
 	flex "flexmeasures"
+	"flexmeasures/internal/persist"
 	"flexmeasures/internal/server"
+	"flexmeasures/internal/shard"
 )
 
 func main() {
@@ -73,11 +86,22 @@ func run(args []string) error {
 	maxBody := fs.Int64("max-body", 0, "ingest request body limit in bytes (0: 1 GiB)")
 	block := fs.Int("block", 0, "ingest decode block size in bytes (0: 1 MiB)")
 	drain := fs.Duration("drain", 10*time.Second, "shutdown deadline for in-flight requests")
+	dataDir := fs.String("data-dir", "", "durable store directory (empty: in-memory, lost on restart)")
+	fsync := fs.String("fsync", "always", `WAL fsync policy: "always", "interval" or "off"`)
+	fsyncEvery := fs.Duration("fsync-interval", 100*time.Millisecond, "sync period under -fsync interval")
+	segBytes := fs.Int64("wal-segment", 0, "WAL segment rotation size in bytes (0: 64 MiB)")
+	snapEvery := fs.Int("snapshot-every", 0, "records between snapshot+compaction (0: 100000, negative: never)")
+	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle timeout")
+	writeTimeout := fs.Duration("write-timeout", time.Minute, "per-write stall timeout for responses (0: none)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
+	}
+	policy, err := persist.ParseFsyncPolicy(*fsync)
+	if err != nil {
+		return err
 	}
 
 	se := flex.NewSharded(*shards,
@@ -86,16 +110,49 @@ func run(args []string) error {
 		flex.WithPeakCap(*cap),
 	)
 	defer se.Close()
+
+	var store persist.Store
+	if *dataDir != "" {
+		wal, err := persist.OpenWAL(persist.Options{
+			Dir:           *dataDir,
+			Router:        shard.Router{Shards: se.Shards()},
+			Fsync:         policy,
+			FsyncInterval: *fsyncEvery,
+			SegmentBytes:  *segBytes,
+			SnapshotEvery: *snapEvery,
+			Executor:      se.Executor(),
+		})
+		if err != nil {
+			return err
+		}
+		// Closed after HTTP shutdown (below) and before the engines: no
+		// request can be mutating it, and it never outlives the pools
+		// its replay borrowed.
+		defer wal.Close()
+		st := wal.Stats()
+		log.Printf("flexd: replayed %s: %d snapshot + %d log records (%d segments, %d bytes, %d torn bytes dropped) in %s",
+			*dataDir, st.SnapshotRecords, st.Records, st.Segments, st.Bytes, st.DroppedBytes, st.Duration.Round(time.Millisecond))
+		store = wal
+	}
+
 	srv := server.NewSharded(se, server.Options{
-		MaxInFlight:      *inflight,
-		MaxBodyBytes:     *maxBody,
-		IngestBlockBytes: *block,
+		MaxInFlight:        *inflight,
+		MaxBodyBytes:       *maxBody,
+		IngestBlockBytes:   *block,
+		Store:              store,
+		StreamWriteTimeout: *writeTimeout,
 	})
 
+	// WriteTimeout is safe for streamed /v1/schedule bodies because the
+	// handler pushes the deadline forward on every write (see
+	// server.Options.StreamWriteTimeout): it bounds a stalled client,
+	// not the response size.
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       *idleTimeout,
+		WriteTimeout:      *writeTimeout,
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

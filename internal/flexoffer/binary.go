@@ -2,6 +2,7 @@ package flexoffer
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -194,6 +195,51 @@ func decodeOneBinary(br *bufio.Reader, zoned bool) (*FlexOffer, error) {
 		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	return f, nil
+}
+
+// MarshalBinary encodes the offer as a one-offer binary stream —
+// exactly the bytes EncodeBinary produces for a single-element slice,
+// FXO1/FXO2 selection included. It implements encoding.BinaryMarshaler;
+// the WAL in internal/persist stores offers record by record through
+// this pair, so log payloads stay readable by any FXO decoder.
+func (f *FlexOffer) MarshalBinary() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := EncodeBinary(&buf, []*FlexOffer{f}); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// UnmarshalBinary decodes a one-offer binary stream into f (the inverse
+// of MarshalBinary). It implements encoding.BinaryUnmarshaler. Trailing
+// bytes after the offer are an error: a WAL record frames exactly one
+// offer, so extra data means the frame is corrupt.
+func (f *FlexOffer) UnmarshalBinary(data []byte) error {
+	br := bufio.NewReader(bytes.NewReader(data))
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadMagic, err)
+	}
+	zoned := magic == binaryMagicV2
+	if magic != binaryMagic && !zoned {
+		return ErrBadMagic
+	}
+	count, err := readUvarint(br)
+	if err != nil {
+		return err
+	}
+	if count != 1 {
+		return fmt.Errorf("%w: %d offers in a one-offer stream", ErrCorrupt, count)
+	}
+	out, err := decodeOneBinary(br, zoned)
+	if err != nil {
+		return err
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return fmt.Errorf("%w: trailing bytes after offer", ErrCorrupt)
+	}
+	*f = *out
+	return nil
 }
 
 func putUvarint(w *bufio.Writer, v uint64) {

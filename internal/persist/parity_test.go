@@ -1,0 +1,65 @@
+package persist_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"flexmeasures/internal/persist"
+	"flexmeasures/internal/shard"
+)
+
+// TestWALEngineParity is the property pin for the durable store: for
+// every shard count, a WAL-backed store that went through a full
+// mutation history (adds, replaces, deletes), a shutdown and a replay
+// serves exactly the bytes an in-memory store serves — for every
+// worker count — and those bytes are the same across all shard counts,
+// so durability composes with the repo's core determinism invariant.
+func TestWALEngineParity(t *testing.T) {
+	offers := crashFleet(t, 9, 60)
+	ops := func(st persist.Store) {
+		st.Add(offers[:40])
+		st.Add(offers[40:])
+		st.Add(offers[10:20]) // replaces
+		st.Delete([]string{offers[2].ID, offers[45].ID})
+	}
+
+	var ref []byte
+	for _, shards := range []int{1, 2, 4} {
+		r := shard.Router{Shards: shards}
+		dir := t.TempDir()
+		w, err := persist.OpenWAL(persist.Options{
+			Dir: dir, Router: r,
+			SegmentBytes: 2 << 10, SnapshotEvery: 25, SyncSnapshots: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops(w)
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		re, err := persist.OpenWAL(persist.Options{Dir: dir, Router: r})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem := persist.NewMemory(r)
+		ops(mem)
+		if !reflect.DeepEqual(re.Snapshot(), mem.Snapshot()) {
+			t.Fatalf("shards=%d: replayed store diverges from memory store", shards)
+		}
+		for _, workers := range []int{1, 4} {
+			wal := scheduleBytes(t, re.Snapshot(), shards, workers)
+			memB := scheduleBytes(t, mem.Snapshot(), shards, workers)
+			if !bytes.Equal(wal, memB) {
+				t.Fatalf("shards=%d workers=%d: WAL-backed schedule bytes diverge from memory", shards, workers)
+			}
+			if ref == nil {
+				ref = wal
+			} else if !bytes.Equal(ref, wal) {
+				t.Fatalf("shards=%d workers=%d: schedule bytes not shard/worker independent", shards, workers)
+			}
+		}
+		re.Close()
+	}
+}

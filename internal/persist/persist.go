@@ -1,0 +1,112 @@
+// Package persist is flexd's durability layer: a write-ahead log and
+// snapshot store layered under the sharded copy-on-write offer store,
+// so a restart — planned or not — is a non-event for the offer book.
+//
+// The design separates the durable persistence layer from the
+// transient compute layer above it. shard.Stores stays the single
+// in-memory representation the engines schedule over; this package
+// only decides how its mutation stream (shard.Mutation) reaches disk
+// and how boot reproduces the store from what disk holds:
+//
+//   - Store is the pluggable seam the server ingests through. The
+//     memory backend (NewMemory) is the seed behavior; WALStore adds
+//     the log; an embedded-KV backend can slot in behind the same
+//     interface later.
+//   - WAL records reuse the FXO1/FXO2 offer codec framed with length +
+//     CRC-32C, carrying op/shard/seq so replay is exact (record.go).
+//   - The FS seam (fs.go) makes every write and sync fault-injectable,
+//     which is how the crash-matrix tests kill the log at every record
+//     boundary and prove recovery byte-identical.
+package persist
+
+import (
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/shard"
+)
+
+// Store is the offer store a flexd server mutates through: the sharded
+// in-memory store's surface plus error returns for backends with a
+// durable layer that can fail, and a sticky health probe.
+//
+// Mutations are atomic in memory: on error, nothing of the batch is
+// applied to the serving state. A crash mid-append can still leave a
+// durable prefix of the failed batch that replays on the next boot —
+// record granularity is the durability unit — which is safe to repair
+// by retrying the batch, since ingest is last-write-wins by offer ID.
+// Err reports a degraded backend — mutations will be refused, reads
+// keep working — so the serving layer can flip read-only instead of
+// crashing.
+type Store interface {
+	// Add merges decoded offers (see shard.Stores.Add), reporting the
+	// applied mutations and the store size afterwards.
+	Add(offers []*flexoffer.FlexOffer) (muts []shard.Mutation, stored int, err error)
+	// Delete removes the identified offers (unknown IDs are skipped).
+	Delete(ids []string) (muts []shard.Mutation, stored int, err error)
+	// Reset empties the store — durably, for backends with a log.
+	Reset() error
+	// Snapshot returns the immutable per-shard entry lists.
+	Snapshot() [][]shard.Entry
+	// Len returns the total offer count.
+	Len() int
+	// Shards returns the shard count.
+	Shards() int
+	// ShardLens returns the per-shard offer counts.
+	ShardLens() []int
+	// Err reports the sticky degradation cause; nil while healthy.
+	Err() error
+	// Close releases the backend. The store must not be used after.
+	Close() error
+}
+
+// MemStore is the non-durable Store: shard.Stores with nothing under
+// it. It never fails and never degrades — and it forgets everything on
+// restart, which is exactly the flexd default this package exists to
+// replace.
+type MemStore struct {
+	st *shard.Stores
+}
+
+// NewMemory returns an empty in-memory store routed by r.
+func NewMemory(r shard.Router) *MemStore {
+	return &MemStore{st: shard.NewStores(r)}
+}
+
+// Add implements Store.
+func (m *MemStore) Add(offers []*flexoffer.FlexOffer) ([]shard.Mutation, int, error) {
+	muts, stored := m.st.Add(offers)
+	return muts, stored, nil
+}
+
+// Delete implements Store.
+func (m *MemStore) Delete(ids []string) ([]shard.Mutation, int, error) {
+	muts, stored := m.st.Delete(ids)
+	return muts, stored, nil
+}
+
+// Reset implements Store.
+func (m *MemStore) Reset() error {
+	m.st.Reset()
+	return nil
+}
+
+// Snapshot implements Store.
+func (m *MemStore) Snapshot() [][]shard.Entry { return m.st.Snapshot() }
+
+// Len implements Store.
+func (m *MemStore) Len() int { return m.st.Len() }
+
+// Shards implements Store.
+func (m *MemStore) Shards() int { return m.st.Shards() }
+
+// ShardLens implements Store.
+func (m *MemStore) ShardLens() []int { return m.st.ShardLens() }
+
+// Seq returns the next sequence number (test hook for parity with
+// WALStore).
+func (m *MemStore) Seq() uint64 { return m.st.Seq() }
+
+// Err implements Store; a memory store is never degraded.
+func (m *MemStore) Err() error { return nil }
+
+// Close implements Store.
+func (m *MemStore) Close() error { return nil }

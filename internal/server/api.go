@@ -299,6 +299,12 @@ type ErrorResponse struct {
 	Records []RecordErrorInfo `json:"records,omitempty"`
 }
 
+// DecodeResponse reads one wire value as encoded by EncodeResponse —
+// the client-side half, used by flexctl push.
+func DecodeResponse(r io.Reader, v any) error {
+	return json.NewDecoder(r).Decode(v)
+}
+
 // EncodeResponse writes v as one line of compact JSON — the single
 // serialization path of every wire type, shared by the HTTP handlers
 // and flexctl -json so their bytes can be compared directly.

@@ -37,6 +37,9 @@ type metrics struct {
 	inFlight      atomic.Int64
 	ingestRecords atomic.Int64
 	ingestBytes   atomic.Int64
+	// degradedRejects counts mutations refused because the durable
+	// store is degraded (the 503 read-only path).
+	degradedRejects atomic.Int64
 	// shardIngest[k] counts offers routed to shard k at ingest time
 	// (sized to the engine's shard count in NewSharded).
 	shardIngest []atomic.Int64
@@ -79,6 +82,17 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("# HELP flexd_offers_stored Flex-offers in the store.\n")
 	write("# TYPE flexd_offers_stored gauge\n")
 	write("flexd_offers_stored %d\n", s.stores.Len())
+
+	degraded := 0
+	if s.stores.Err() != nil {
+		degraded = 1
+	}
+	write("# HELP flexd_wal_degraded 1 when the durable store has failed and the server is read-only.\n")
+	write("# TYPE flexd_wal_degraded gauge\n")
+	write("flexd_wal_degraded %d\n", degraded)
+	write("# HELP flexd_degraded_rejects_total Mutations refused because the store is degraded.\n")
+	write("# TYPE flexd_degraded_rejects_total counter\n")
+	write("flexd_degraded_rejects_total %d\n", s.m.degradedRejects.Load())
 
 	// Per-shard breakdowns of the totals above, labeled by shard index.
 	lens := s.stores.ShardLens()

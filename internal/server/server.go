@@ -8,10 +8,12 @@ import (
 	"net/http"
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	flex "flexmeasures"
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/ingest"
+	"flexmeasures/internal/persist"
 	"flexmeasures/internal/shard"
 	"flexmeasures/internal/timeseries"
 )
@@ -33,6 +35,20 @@ type Options struct {
 	// default. Blocks are also the ingest backpressure unit: a request
 	// body is read only as fast as blocks are decoded.
 	IngestBlockBytes int
+	// Store is the offer store behind the ingest endpoints. nil means a
+	// fresh in-memory store; flexd -data-dir injects the WAL-backed one.
+	// Its shard count must match the engine's. The store is borrowed,
+	// not owned: Close it yourself after the HTTP server shuts down.
+	Store persist.Store
+	// StreamWriteTimeout, when positive, pushes the connection's write
+	// deadline this far into the future before every response write on
+	// the gated endpoints. http.Server.WriteTimeout starts when the
+	// request headers arrive, so alone it would cut off a streamed
+	// /v1/schedule body mid-flight — or kill the response of a slow
+	// ingest upload or long computation. The per-write extension turns
+	// it into a stall bound instead: any response that keeps moving is
+	// safe regardless of size or how long the handler ran first.
+	StreamWriteTimeout time.Duration
 }
 
 // Server is the flexd HTTP service: a long-lived sharded engine, N
@@ -63,10 +79,12 @@ type Server struct {
 	gate chan struct{}
 	m    metrics
 
-	// stores is the sharded offer store; its router mirrors the
-	// engine's shard count so snapshots feed the Routed endpoints
-	// directly.
-	stores *shard.Stores
+	// stores is the offer store behind ingest; its shard count mirrors
+	// the engine's so snapshots feed the Routed endpoints directly.
+	// Behind the persist.Store seam it is either purely in-memory or
+	// WAL-backed — the handlers cannot tell, except that a degraded
+	// durable store refuses mutations (the read-only path below).
+	stores persist.Store
 
 	// draining flips when the process is shutting down: /healthz turns
 	// 503 so load balancers stop routing here while in-flight requests
@@ -95,11 +113,18 @@ func NewSharded(se *flex.ShardedEngine, opts Options) *Server {
 	if opts.MaxBodyBytes < 1 {
 		opts.MaxBodyBytes = 1 << 30
 	}
+	if opts.Store == nil {
+		opts.Store = persist.NewMemory(shard.Router{Shards: se.Shards()})
+	}
+	if opts.Store.Shards() != se.Shards() {
+		panic(fmt.Sprintf("server: store has %d shards, engine has %d",
+			opts.Store.Shards(), se.Shards()))
+	}
 	s := &Server{
 		se:     se,
 		opts:   opts,
 		gate:   make(chan struct{}, opts.MaxInFlight),
-		stores: shard.NewStores(shard.Router{Shards: se.Shards()}),
+		stores: opts.Store,
 		mux:    http.NewServeMux(),
 	}
 	s.m.shardIngest = make([]atomic.Int64, se.Shards())
@@ -142,6 +167,9 @@ func (s *Server) gated(h http.HandlerFunc) http.HandlerFunc {
 		select {
 		case s.gate <- struct{}{}:
 			defer func() { <-s.gate }()
+			if s.opts.StreamWriteTimeout > 0 {
+				w = &deadlineWriter{ResponseWriter: w, rc: http.NewResponseController(w), d: s.opts.StreamWriteTimeout}
+			}
 			h(w, r)
 		default:
 			s.m.rejected.Add(1)
@@ -164,15 +192,35 @@ func (s *Server) snapshot() []*flexoffer.FlexOffer {
 // shard.Stores.Add for the routing and last-write-wins dedup rules),
 // recording per-shard routing counts in the metrics. It reports how
 // many records replaced an existing offer and the store's total size
-// afterwards.
-func (s *Server) store(offers []*flexoffer.FlexOffer) (replaced, stored int) {
-	replaced, routed, stored := s.stores.Add(offers)
+// afterwards. A non-nil error means the durable layer refused the
+// batch and nothing was applied.
+func (s *Server) store(offers []*flexoffer.FlexOffer) (replaced, stored int, err error) {
+	muts, stored, err := s.stores.Add(offers)
+	if err != nil {
+		return 0, stored, err
+	}
+	var routed []int
+	replaced, routed = shard.Summarize(muts, s.se.Shards())
 	for k, c := range routed {
 		if c > 0 {
 			s.m.shardIngest[k].Add(int64(c))
 		}
 	}
-	return replaced, stored
+	return replaced, stored, nil
+}
+
+// degraded reports whether the store's durable layer has failed. The
+// server then serves read-only: ingest and reset answer 503 with a
+// Retry-After so clients back off (and flexctl push retries elsewhere),
+// while schedule/aggregate/measures keep working off the intact
+// in-memory snapshot.
+func (s *Server) degraded() bool { return s.stores.Err() != nil }
+
+// writeDegraded answers a mutation attempt on a degraded store.
+func (s *Server) writeDegraded(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "30")
+	writeError(w, http.StatusServiceUnavailable,
+		fmt.Sprintf("store is read-only (degraded): %v", err), nil)
 }
 
 // routedSnapshot returns the per-shard snapshot plus the total offer
@@ -197,6 +245,13 @@ func (s *Server) routedSnapshot() ([][]flex.RoutedOffer, int) {
 // failure rejects the whole request, so a 2xx means every record was
 // stored.
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if err := s.stores.Err(); err != nil {
+		// Refuse before reading the body: a degraded store cannot
+		// accept the batch, so don't make the client upload it first.
+		s.m.degradedRejects.Add(1)
+		s.writeDegraded(w, err)
+		return
+	}
 	mode, err := modeFromQuery(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error(), nil)
@@ -229,7 +284,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	replaced, stored := s.store(offers)
+	replaced, stored, err := s.store(offers)
+	if err != nil {
+		s.m.degradedRejects.Add(1)
+		s.writeDegraded(w, err)
+		return
+	}
 	s.m.ingestRecords.Add(int64(len(offers)))
 	writeJSON(w, http.StatusOK, &IngestResponse{Ingested: len(offers), Replaced: replaced, Stored: stored})
 }
@@ -246,8 +306,15 @@ func (s *Server) handleStoreSize(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, &StoreResponse{Stored: s.stores.Len()})
 }
 
+// handleReset empties the store. For a WAL-backed store this is
+// durable — the log is rewritten so deleted offers cannot resurrect on
+// the next boot (see WALStore.Reset).
 func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
-	s.stores.Reset()
+	if err := s.stores.Reset(); err != nil {
+		s.m.degradedRejects.Add(1)
+		s.writeDegraded(w, err)
+		return
+	}
 	writeJSON(w, http.StatusOK, &StoreResponse{Stored: 0})
 }
 
@@ -361,6 +428,37 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	_ = StreamScheduleResponse(w, BuildScheduleResponse(total, res, target, horizon, level))
 }
 
+// deadlineWriter pushes the connection's write deadline d into the
+// future before every write, converting the server's global
+// WriteTimeout from a whole-response bound (which would cut large
+// streamed schedules mid-body and kill responses after a slow upload
+// or long computation) into a per-chunk stall bound. The gate wraps
+// every expensive handler's ResponseWriter in one.
+type deadlineWriter struct {
+	http.ResponseWriter
+	rc *http.ResponseController
+	d  time.Duration
+}
+
+func (dw *deadlineWriter) extend() {
+	// SetWriteDeadline errors (unsupported writer) are ignored: the
+	// response then just runs under whatever deadline is already set.
+	_ = dw.rc.SetWriteDeadline(time.Now().Add(dw.d))
+}
+
+func (dw *deadlineWriter) WriteHeader(code int) {
+	dw.extend()
+	dw.ResponseWriter.WriteHeader(code)
+}
+
+func (dw *deadlineWriter) Write(p []byte) (int, error) {
+	dw.extend()
+	return dw.ResponseWriter.Write(p)
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer.
+func (dw *deadlineWriter) Unwrap() http.ResponseWriter { return dw.ResponseWriter }
+
 func (s *Server) handleMeasures(w http.ResponseWriter, r *http.Request) {
 	var opts []flex.Option
 	switch r.URL.Query().Get("norm") {
@@ -386,9 +484,19 @@ func (s *Server) handleMeasures(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, BuildMeasuresResponse(tab))
 }
 
+// handleHealthz reports liveness. Draining is 503 (stop routing here);
+// degraded stays 200 — the instance still serves reads, and killing it
+// would lose the in-memory offers that are still answering schedules —
+// but the body says so, and flexd_wal_degraded exposes it to alerting.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining", "stored": s.stores.Len()})
+		return
+	}
+	if err := s.stores.Err(); err != nil {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"status": "degraded", "stored": s.stores.Len(), "error": err.Error(),
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "stored": s.stores.Len()})

@@ -218,8 +218,8 @@ func TestStoreLastWriteWins(t *testing.T) {
 	}
 	s.store([]*flexoffer.FlexOffer{mk("x", 3), mk("y", 1)})
 	before := s.snapshot()
-	if replaced, stored := s.store([]*flexoffer.FlexOffer{mk("x", 7)}); replaced != 1 || stored != 2 {
-		t.Fatalf("replacement reported (%d, %d), want (1, 2)", replaced, stored)
+	if replaced, stored, err := s.store([]*flexoffer.FlexOffer{mk("x", 7)}); replaced != 1 || stored != 2 || err != nil {
+		t.Fatalf("replacement reported (%d, %d, %v), want (1, 2, nil)", replaced, stored, err)
 	}
 	after := s.snapshot()
 	if before[0].Slices[0].Max != 3 {

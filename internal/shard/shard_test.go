@@ -209,7 +209,8 @@ func TestStoresMatchesSingleStore(t *testing.T) {
 				}
 				ref = append(ref, f)
 			}
-			replaced, routed, stored := st.Add(offers)
+			muts, stored := st.Add(offers)
+			replaced, routed := Summarize(muts, shards)
 			if replaced != wantReplaced {
 				t.Fatalf("shards=%d batch %d: replaced %d, want %d", shards, batch, replaced, wantReplaced)
 			}

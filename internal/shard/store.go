@@ -1,10 +1,60 @@
 package shard
 
 import (
+	"fmt"
 	"sync"
 
 	"flexmeasures/internal/flexoffer"
 )
+
+// Op identifies one kind of store mutation. The values are stable wire
+// constants: internal/persist writes them into WAL records, so they
+// must never be renumbered.
+type Op uint8
+
+const (
+	// OpAdd appends a new offer under a fresh sequence number.
+	OpAdd Op = 1
+	// OpReplace overwrites the stored offer that owns Seq (last write
+	// wins), possibly moving it to a different shard.
+	OpReplace Op = 2
+	// OpDelete removes the entry at (Shard, Seq).
+	OpDelete Op = 3
+	// OpReset empties the store and restarts the sequence counter.
+	OpReset Op = 4
+)
+
+// String names the op for errors and logs.
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpReplace:
+		return "replace"
+	case OpDelete:
+		return "delete"
+	case OpReset:
+		return "reset"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Mutation is one store change in its replayable form: the op plus the
+// exact shard and sequence number it lands on. Add and Stage report the
+// mutations they planned, Apply consumes them — the same application
+// code runs for live ingest and for WAL replay, which is what makes a
+// replayed store bit-identical to the one that wrote the log.
+type Mutation struct {
+	Op    Op
+	Shard int
+	// Seq is the global sequence number the mutation targets: the fresh
+	// number for OpAdd, the replaced entry's original number for
+	// OpReplace, the victim's number for OpDelete. Unused by OpReset.
+	Seq uint64
+	// Offer carries the offer body for OpAdd and OpReplace; nil for
+	// OpDelete and OpReset.
+	Offer *flexoffer.FlexOffer
+}
 
 // loc records where a deduplicated offer lives: its shard and the
 // global sequence number it keeps for life (re-submissions replace the
@@ -17,9 +67,9 @@ type loc struct {
 // Stores is the sharded counterpart of flexd's single in-memory offer
 // store: N copy-on-write entry lists under one lock, one global
 // sequence counter, and one last-write-wins ID index spanning all
-// shards. Snapshots are immutable — Add only ever appends to a shard's
-// slice or replaces the slice wholesale — so readers run lock-free on
-// whatever snapshot they took.
+// shards. Snapshots are immutable — mutations only ever append to a
+// shard's slice or replace the slice wholesale — so readers run
+// lock-free on whatever snapshot they took.
 //
 // The single lock is deliberate: per-shard locks would let two
 // concurrent ingests interleave their sequence assignments, and the
@@ -27,6 +77,14 @@ type loc struct {
 // Seq reproduces one globally ordered store. Ingest holds the lock
 // only to splice already-decoded offers, so the critical section is
 // memory moves, not parsing.
+//
+// Every change flows through the Stage/Apply pair: Stage plans a batch
+// into explicit Mutations (routing, sequence assignment, last-write-
+// wins resolution) without touching state, Apply executes mutations.
+// Add bundles the two under one lock acquisition; a durable store
+// stages, logs the mutations to its WAL, and only then applies — so a
+// logged-but-unapplied batch can never exist, and replaying the log
+// through the same Apply reproduces this store exactly.
 type Stores struct {
 	r Router
 
@@ -61,40 +119,200 @@ func (s *Stores) Shards() int { return len(s.shards) }
 // sequence number. Any shard whose pre-existing region is touched is
 // cloned first, keeping previously returned snapshots immutable.
 //
-// It reports how many records replaced an existing offer, how many
-// records landed on each shard, and the store's total size afterwards.
-func (s *Stores) Add(offers []*flexoffer.FlexOffer) (replaced int, routed []int, stored int) {
-	routed = make([]int, len(s.shards))
+// It reports the applied mutations (one per offer, in input order) and
+// the store's total size afterwards.
+func (s *Stores) Add(offers []*flexoffer.FlexOffer) (muts []Mutation, stored int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cloned := make([]bool, len(s.shards))
+	muts = s.stageLocked(offers)
+	if err := s.applyLocked(muts); err != nil {
+		// Stage and Apply agree by construction; a failure here is a
+		// bug, not an input condition.
+		panic(err)
+	}
+	return muts, s.count
+}
+
+// Stage plans a batch without mutating the store: it resolves
+// last-write-wins replacements (including duplicates within the batch),
+// routes every offer, and assigns sequence numbers, returning one
+// Mutation per offer in input order. The plan is only valid until the
+// next mutation, so Stage→Apply sequences must be serialized by the
+// caller (the durable store's write lock); Add does both under one
+// internal lock for callers without a log to write in between.
+func (s *Stores) Stage(offers []*flexoffer.FlexOffer) []Mutation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stageLocked(offers)
+}
+
+func (s *Stores) stageLocked(offers []*flexoffer.FlexOffer) []Mutation {
+	muts := make([]Mutation, 0, len(offers))
+	seq := s.seq
+	// overlay tracks IDs added or moved earlier in this same batch, so
+	// an intra-batch re-submission stages as a replace of the staged
+	// entry, exactly as it would land if the batch were split in two.
+	var overlay map[string]loc
 	for _, f := range offers {
 		if f.ID != "" {
-			if l, ok := s.index[f.ID]; ok {
+			l, ok := overlay[f.ID]
+			if !ok {
+				l, ok = s.index[f.ID]
+			}
+			if ok {
 				target := s.r.Route(f, l.seq)
-				s.replace(f, l, target, cloned)
-				s.index[f.ID] = loc{shard: target, seq: l.seq}
-				replaced++
-				routed[target]++
+				muts = append(muts, Mutation{Op: OpReplace, Shard: target, Seq: l.seq, Offer: f})
+				if overlay == nil {
+					overlay = make(map[string]loc)
+				}
+				overlay[f.ID] = loc{shard: target, seq: l.seq}
 				continue
 			}
 		}
-		seq := s.seq
-		s.seq++
 		sh := s.r.Route(f, seq)
-		s.shards[sh] = append(s.shards[sh], Entry{Offer: f, Seq: seq})
+		muts = append(muts, Mutation{Op: OpAdd, Shard: sh, Seq: seq, Offer: f})
 		if f.ID != "" {
-			s.index[f.ID] = loc{shard: sh, seq: seq}
+			if overlay == nil {
+				overlay = make(map[string]loc)
+			}
+			overlay[f.ID] = loc{shard: sh, seq: seq}
+		}
+		seq++
+	}
+	return muts
+}
+
+// Delete removes the stored offers with the given IDs (unknown IDs are
+// skipped), reporting the applied delete mutations and the store's
+// total size afterwards.
+func (s *Stores) Delete(ids []string) (muts []Mutation, stored int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	muts = s.stageDeleteLocked(ids)
+	if err := s.applyLocked(muts); err != nil {
+		panic(err)
+	}
+	return muts, s.count
+}
+
+// StageDelete plans Delete without mutating the store; the same
+// serialization rules as Stage apply.
+func (s *Stores) StageDelete(ids []string) []Mutation {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.stageDeleteLocked(ids)
+}
+
+func (s *Stores) stageDeleteLocked(ids []string) []Mutation {
+	var muts []Mutation
+	staged := make(map[string]bool)
+	for _, id := range ids {
+		if id == "" || staged[id] {
+			continue
+		}
+		if l, ok := s.index[id]; ok {
+			muts = append(muts, Mutation{Op: OpDelete, Shard: l.shard, Seq: l.seq})
+			staged[id] = true
+		}
+	}
+	return muts
+}
+
+// Apply executes mutations — the single code path live ingest and WAL
+// replay share. Every mutation carries its exact shard and sequence
+// number, so applying a store's logged mutations to an empty store of
+// the same shape reproduces it bit for bit, copy-on-write layout
+// included. Inconsistent mutations (a replace of an unknown ID, a
+// sequence regression, an out-of-range shard) return an error with
+// nothing further applied: on replay such a record means the log is
+// corrupt, and the caller must fail loudly rather than guess.
+func (s *Stores) Apply(muts []Mutation) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.applyLocked(muts)
+}
+
+func (s *Stores) applyLocked(muts []Mutation) error {
+	cloned := make([]bool, len(s.shards))
+	for i, m := range muts {
+		if err := s.applyOne(m, cloned); err != nil {
+			return fmt.Errorf("mutation %d (%s seq %d): %w", i, m.Op, m.Seq, err)
+		}
+		if m.Op == OpReset {
+			// The reset swapped every shard slice; earlier clones are gone.
+			cloned = make([]bool, len(s.shards))
+		}
+	}
+	return nil
+}
+
+func (s *Stores) applyOne(m Mutation, cloned []bool) error {
+	switch m.Op {
+	case OpAdd:
+		if m.Shard < 0 || m.Shard >= len(s.shards) {
+			return fmt.Errorf("shard %d out of range [0,%d)", m.Shard, len(s.shards))
+		}
+		if m.Offer == nil {
+			return fmt.Errorf("add without an offer")
+		}
+		if m.Seq < s.seq {
+			return fmt.Errorf("sequence regression (next %d)", s.seq)
+		}
+		if sh := s.shards[m.Shard]; len(sh) > 0 && sh[len(sh)-1].Seq >= m.Seq {
+			return fmt.Errorf("shard %d not in sequence order", m.Shard)
+		}
+		s.shards[m.Shard] = append(s.shards[m.Shard], Entry{Offer: m.Offer, Seq: m.Seq})
+		s.seq = m.Seq + 1
+		if m.Offer.ID != "" {
+			s.index[m.Offer.ID] = loc{shard: m.Shard, seq: m.Seq}
 		}
 		s.count++
-		routed[sh]++
+	case OpReplace:
+		if m.Shard < 0 || m.Shard >= len(s.shards) {
+			return fmt.Errorf("shard %d out of range [0,%d)", m.Shard, len(s.shards))
+		}
+		if m.Offer == nil || m.Offer.ID == "" {
+			return fmt.Errorf("replace without an identified offer")
+		}
+		l, ok := s.index[m.Offer.ID]
+		if !ok {
+			return fmt.Errorf("replace of unknown id %q", m.Offer.ID)
+		}
+		if l.seq != m.Seq {
+			return fmt.Errorf("replace targets seq %d but id %q owns seq %d", m.Seq, m.Offer.ID, l.seq)
+		}
+		s.replace(m.Offer, l, m.Shard, cloned)
+		s.index[m.Offer.ID] = loc{shard: m.Shard, seq: m.Seq}
+	case OpDelete:
+		if m.Shard < 0 || m.Shard >= len(s.shards) {
+			return fmt.Errorf("shard %d out of range [0,%d)", m.Shard, len(s.shards))
+		}
+		old := s.shards[m.Shard]
+		pos := findSeq(old, m.Seq)
+		if pos >= len(old) || old[pos].Seq != m.Seq {
+			return fmt.Errorf("delete of absent entry on shard %d", m.Shard)
+		}
+		victim := old[pos]
+		next := make([]Entry, 0, len(old)-1)
+		next = append(next, old[:pos]...)
+		next = append(next, old[pos+1:]...)
+		s.shards[m.Shard] = next
+		cloned[m.Shard] = true
+		if victim.Offer.ID != "" {
+			delete(s.index, victim.Offer.ID)
+		}
+		s.count--
+	case OpReset:
+		s.resetLocked()
+	default:
+		return fmt.Errorf("unknown op")
 	}
-	return replaced, routed, s.count
+	return nil
 }
 
 // replace overwrites the entry at l with f, moving it to the target
 // shard when routing changed, cloning touched shards at most once per
-// Add batch.
+// Apply batch.
 func (s *Stores) replace(f *flexoffer.FlexOffer, l loc, target int, cloned []bool) {
 	pos := findSeq(s.shards[l.shard], l.seq)
 	if target == l.shard {
@@ -145,7 +363,7 @@ func insertionPoint(entries []Entry, seq uint64) int {
 }
 
 // Snapshot returns the per-shard entry lists. The inner slices are
-// immutable (copy-on-write; see Add) and each is in ascending Seq
+// immutable (copy-on-write; see Apply) and each is in ascending Seq
 // order; the outer slice is a fresh copy the caller may keep.
 func (s *Stores) Snapshot() [][]Entry {
 	s.mu.RLock()
@@ -160,6 +378,29 @@ func (s *Stores) Len() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.count
+}
+
+// Seq returns the next sequence number the store will assign. Together
+// with Snapshot it is the store's full durable state: deletions and
+// resets make the counter unrecoverable from the entries alone, so a
+// snapshot must persist it explicitly.
+func (s *Stores) Seq() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.seq
+}
+
+// SetSeq forces the next sequence number. Replay-only: a snapshot
+// restores its persisted counter after loading its entries, since the
+// entries' maximum Seq undercounts whenever the latest offers were
+// deleted. v below the current counter is ignored — the counter never
+// regresses.
+func (s *Stores) SetSeq(v uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if v > s.seq {
+		s.seq = v
+	}
 }
 
 // ShardLens returns the per-shard offer counts.
@@ -177,8 +418,29 @@ func (s *Stores) ShardLens() []int {
 func (s *Stores) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.resetLocked()
+}
+
+func (s *Stores) resetLocked() {
 	s.shards = make([][]Entry, len(s.shards))
 	s.index = make(map[string]loc)
 	s.seq = 0
 	s.count = 0
+}
+
+// Summarize aggregates a mutation batch into the counters the serving
+// layer reports: how many mutations replaced an existing offer, and how
+// many landed on each of n shards (deletes and resets count nowhere).
+func Summarize(muts []Mutation, n int) (replaced int, routed []int) {
+	routed = make([]int, n)
+	for _, m := range muts {
+		switch m.Op {
+		case OpAdd:
+			routed[m.Shard]++
+		case OpReplace:
+			routed[m.Shard]++
+			replaced++
+		}
+	}
+	return replaced, routed
 }
