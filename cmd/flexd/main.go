@@ -99,6 +99,18 @@ func run(args []string) error {
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
 	}
+	if *workers < 0 {
+		return fmt.Errorf("-workers must be non-negative (0 means one per CPU), got %d", *workers)
+	}
+	if *cap < 0 {
+		return fmt.Errorf("-cap must be non-negative (0 means uncapped), got %d", *cap)
+	}
+	if *inflight < 0 {
+		return fmt.Errorf("-max-inflight must be non-negative (0 means 4x workers), got %d", *inflight)
+	}
+	if *maxBody < 0 || *block < 0 {
+		return fmt.Errorf("-max-body and -block must be non-negative")
+	}
 	policy, err := persist.ParseFsyncPolicy(*fsync)
 	if err != nil {
 		return err

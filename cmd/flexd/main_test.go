@@ -1,0 +1,33 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlagValidation: run rejects nonsensical flag values up front,
+// with an error naming the flag, instead of booting a broken server.
+func TestFlagValidation(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-shards", "0"}, "-shards"},
+		{[]string{"-shards", "-2"}, "-shards"},
+		{[]string{"-workers", "-1"}, "-workers"},
+		{[]string{"-cap", "-500"}, "-cap"},
+		{[]string{"-max-inflight", "-1"}, "-max-inflight"},
+		{[]string{"-max-body", "-1"}, "-max-body"},
+		{[]string{"-block", "-1"}, "-block"},
+		{[]string{"-fsync", "sometimes"}, "fsync"},
+	} {
+		err := run(tc.args)
+		if err == nil {
+			t.Errorf("run(%v) accepted bad flags", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("run(%v) error %q does not mention %q", tc.args, err, tc.want)
+		}
+	}
+}

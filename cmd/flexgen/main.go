@@ -22,7 +22,6 @@ import (
 	"io"
 	"math/rand"
 	"os"
-	"sort"
 
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/workload"
@@ -95,26 +94,11 @@ func run(args []string, stdout io.Writer) error {
 // the zone-less and zoned datasets differ only in the zone field.
 const zoneSeedSalt = 0x5a4f4e45 // "ZONE"
 
-// stampZones assigns each offer a zone drawn from a skewed
-// distribution over k zones — zone i has weight ∝ 1/(i+1), the
-// few-big-many-small shape of real grid zones — deterministically for
+// stampZones draws each offer's zone via workload.StampZones — the
+// skewed sampler the simulation harness shares — deterministically for
 // a given seed.
 func stampZones(offers []*flexoffer.FlexOffer, k int, seed int64) {
-	r := rand.New(rand.NewSource(seed ^ zoneSeedSalt))
-	cum := make([]float64, k)
-	total := 0.0
-	for i := range cum {
-		total += 1 / float64(i+1)
-		cum[i] = total
-	}
-	for _, f := range offers {
-		x := r.Float64() * total
-		zone := sort.SearchFloat64s(cum, x)
-		if zone >= k {
-			zone = k - 1
-		}
-		f.Zone = fmt.Sprintf("z%02d", zone)
-	}
+	workload.StampZones(rand.New(rand.NewSource(seed^zoneSeedSalt)), offers, k)
 }
 
 func generateMix(r *rand.Rand, name string, n, days int) ([]*flexoffer.FlexOffer, error) {

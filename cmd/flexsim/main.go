@@ -1,0 +1,135 @@
+// Command flexsim drives a running flexd with city-scale simulated
+// workloads: a deterministic, seedable, discrete-event closed-loop
+// simulator (virtual clock, scenario event queue) and an open-loop
+// wall-clock load generator. See internal/sim for the engine.
+//
+// Closed loop (the default) replays a scenario — time-varying offer
+// arrival waves, periodic intraday re-dispatch with price-curve
+// scoring and target feedback, demand-response price spikes, zone
+// capacity checks — against the server. One second of -duration is one
+// virtual slot (an hour of scenario time), so -duration 60s simulates
+// 60 hours regardless of how fast the server answers. For a fixed
+// -seed the event trace and the deterministic half of the report are
+// byte-identical across runs; CI pins this.
+//
+// Open loop (-mode open) is a conventional load generator: -clients
+// concurrent submitters offered at a fixed aggregate -rate for the
+// wall-clock -duration, a schedule request interleaved every
+// -schedule-every submissions.
+//
+// Usage:
+//
+//	flexsim -list                                        # scenario catalogue
+//	flexsim -scenario ev-morning -duration 60s -seed 42 -addr :8080
+//	flexsim -scenario zone-stress -duration 24s -json    # JSON report
+//	flexsim -scenario ev-morning -trace                  # dump the event trace
+//	flexsim -mode open -rate 200 -clients 8 -duration 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"flexmeasures/internal/sim"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "flexsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("flexsim", flag.ContinueOnError)
+	scenario := fs.String("scenario", "ev-morning", "scenario name (see -list)")
+	duration := fs.Duration("duration", 0, "closed loop: 1s per virtual slot; open loop: wall-clock run length (0: scenario default)")
+	seed := fs.Int64("seed", 1, "simulation seed; fixed seed means a byte-identical event trace")
+	addr := fs.String("addr", ":8080", "flexd address (URL, host:port, or :port)")
+	mode := fs.String("mode", "closed", `"closed" (discrete-event simulation) or "open" (wall-clock load generator)`)
+	rate := fs.Float64("rate", 100, "open loop: aggregate offer submissions per second")
+	clients := fs.Int("clients", 4, "open loop: concurrent submitter goroutines")
+	schedEvery := fs.Int("schedule-every", 50, "open loop: schedule request every N submissions (negative: never)")
+	jsonOut := fs.Bool("json", false, "emit the full report as JSON instead of the summary table")
+	trace := fs.Bool("trace", false, "closed loop: dump the event trace before the report")
+	list := fs.Bool("list", false, "list registered scenarios and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, sc := range sim.Scenarios() {
+			fmt.Fprintf(stdout, "%-16s %s\n", sc.Name, sc.Description)
+		}
+		return nil
+	}
+
+	sc, ok := sim.Lookup(*scenario)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q (use -list)", *scenario)
+	}
+	if *duration < 0 {
+		return fmt.Errorf("-duration must be non-negative, got %v", *duration)
+	}
+	if *addr == "" {
+		return fmt.Errorf("-addr must not be empty")
+	}
+
+	client := sim.NewClient(*addr, sim.NewMetrics())
+	var (
+		rep *sim.Report
+		err error
+	)
+	switch *mode {
+	case "closed":
+		slots := int(*duration / time.Second)
+		if *duration == 0 {
+			slots = sc.DefaultSlots
+		}
+		if slots < 1 {
+			return fmt.Errorf("-duration %v is under one virtual slot (1s)", *duration)
+		}
+		rep, err = sim.ClosedLoop(ctx, sc, client, *seed, slots)
+	case "open":
+		if *rate <= 0 {
+			return fmt.Errorf("-rate must be positive, got %g", *rate)
+		}
+		if *clients < 1 {
+			return fmt.Errorf("-clients must be at least 1, got %d", *clients)
+		}
+		d := *duration
+		if d == 0 {
+			d = 30 * time.Second
+		}
+		rep, err = sim.OpenLoop(ctx, sc, client, sim.LoadOptions{
+			Rate:          *rate,
+			Clients:       *clients,
+			Duration:      d,
+			ScheduleEvery: *schedEvery,
+			Seed:          *seed,
+		})
+	default:
+		return fmt.Errorf(`-mode must be "closed" or "open", got %q`, *mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	if *trace {
+		for _, l := range rep.Trace() {
+			fmt.Fprintln(stdout, l)
+		}
+		fmt.Fprintln(stdout)
+	}
+	if *jsonOut {
+		return rep.WriteJSON(stdout)
+	}
+	return rep.WriteTable(stdout)
+}

@@ -173,6 +173,45 @@ func UnionAreaSize(f *flexoffer.FlexOffer) int64 {
 	return total
 }
 
+// FeasibleBand sweeps ColumnBounds over a set of offers: for every
+// column t in [from, to) it returns the extreme total loads any
+// combination of assignments could place there — hi[t−from] sums each
+// offer's maximum positive contribution, lo[t−from] each offer's
+// minimum negative contribution (offers that cannot occupy t contribute
+// nothing). The band brackets every schedule the set admits, so a grid
+// operator can check a zone's worst-case import (hi) and export (lo)
+// against the feeder capacity before any dispatch is chosen; the
+// simulation harness uses it for zone-capacity stress scenarios.
+//
+// Like UnionAreaSize, the sweep honours slice constraints only (total
+// energy constraints could rule out some extremes, so the band is a
+// sound over-approximation: no feasible schedule exceeds it).
+func FeasibleBand(offers []*flexoffer.FlexOffer, from, to int) (lo, hi []int64) {
+	if to < from {
+		to = from
+	}
+	lo = make([]int64, to-from)
+	hi = make([]int64, to-from)
+	for _, f := range offers {
+		for t := f.EarliestStart; t < f.LatestEnd(); t++ {
+			if t < from || t >= to {
+				continue
+			}
+			l, h, ok := ColumnBounds(f, t)
+			if !ok {
+				continue
+			}
+			if h > 0 {
+				hi[t-from] += h
+			}
+			if l < 0 {
+				lo[t-from] += l
+			}
+		}
+	}
+	return lo, hi
+}
+
 // UnionArea materialises the joint area of all assignments as a cell set.
 // Its cost is proportional to the area; use UnionAreaSize when only the
 // size is needed.

@@ -242,3 +242,58 @@ func TestPropertyAreaSizeNonNegativeAndBounded(t *testing.T) {
 
 // sl is shorthand for a slice literal in test fixtures.
 func sl(min, max int64) flexoffer.Slice { return flexoffer.Slice{Min: min, Max: max} }
+
+// TestFeasibleBand checks the band sweep against hand-computed bounds:
+// a consumption offer with time flexibility, plus a production offer,
+// over a window that clips both ends.
+func TestFeasibleBand(t *testing.T) {
+	// Consumption: two slices max 3 then 5, start in {1, 2}.
+	cons, err := flexoffer.New(1, 2, flexoffer.Slice{Min: 1, Max: 3}, flexoffer.Slice{Min: 2, Max: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Production: one slice [-4, 0] pinned at t=2.
+	prod, err := flexoffer.New(2, 2, flexoffer.Slice{Min: -4, Max: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := FeasibleBand([]*flexoffer.FlexOffer{cons, prod}, 0, 5)
+	wantHi := []int64{0, 3, 5, 5, 0} // t=1: s0 max; t=2: max(s0,s1)=5; t=3: s1 max
+	wantLo := []int64{0, 0, -4, 0, 0}
+	for tcol := range wantHi {
+		if hi[tcol] != wantHi[tcol] || lo[tcol] != wantLo[tcol] {
+			t.Errorf("column %d: band [%d, %d], want [%d, %d]", tcol, lo[tcol], hi[tcol], wantLo[tcol], wantHi[tcol])
+		}
+	}
+	// Clipped window: only column 2 visible.
+	lo, hi = FeasibleBand([]*flexoffer.FlexOffer{cons, prod}, 2, 3)
+	if len(hi) != 1 || hi[0] != 5 || lo[0] != -4 {
+		t.Errorf("clipped band = [%d, %d], want [-4, 5]", lo[0], hi[0])
+	}
+	// Degenerate windows.
+	if lo, hi := FeasibleBand(nil, 3, 1); len(lo) != 0 || len(hi) != 0 {
+		t.Errorf("inverted window band has length %d, %d; want 0, 0", len(lo), len(hi))
+	}
+}
+
+// TestFeasibleBandBracketsAssignments property-checks soundness: every
+// enumerated assignment's per-column load lies within the band.
+func TestFeasibleBandBracketsAssignments(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 30; trial++ {
+		f := randomOffer(r)
+		lo, hi := FeasibleBand([]*flexoffer.FlexOffer{f}, f.EarliestStart, f.LatestEnd())
+		err := f.EnumerateAssignments(20000, func(a flexoffer.Assignment) bool {
+			for i, v := range a.Values {
+				col := a.Start + i - f.EarliestStart
+				if v > hi[col] || v < lo[col] {
+					t.Fatalf("assignment value %d at column %d outside band [%d, %d] for %v", v, col, lo[col], hi[col], f)
+				}
+			}
+			return true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -15,6 +15,7 @@ package market
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"flexmeasures/internal/flexoffer"
@@ -39,6 +40,27 @@ func (p PriceCurve) At(t int) float64 { return p[t] }
 // Covers reports whether the curve prices every time unit in [from, to).
 func (p PriceCurve) Covers(from, to int) bool {
 	return from >= 0 && to <= len(p)
+}
+
+// Lerp returns the price at fractional slot x by linear interpolation
+// between the two neighbouring slots, clamped to the boundary slots
+// outside [0, len−1]. Scenario loops score loads at virtual times that
+// need not fall on slot boundaries — and may step just past the curve's
+// edge at a scenario boundary — so Lerp never fails: an empty curve
+// yields NaN, every other x yields a finite price.
+func (p PriceCurve) Lerp(x float64) float64 {
+	if len(p) == 0 {
+		return math.NaN()
+	}
+	if x <= 0 {
+		return p[0]
+	}
+	if x >= float64(len(p)-1) {
+		return p[len(p)-1]
+	}
+	i := int(x)
+	frac := x - float64(i)
+	return p[i] + (p[i+1]-p[i])*frac
 }
 
 // Validate checks the curve is non-empty.

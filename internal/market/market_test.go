@@ -246,3 +246,31 @@ func TestPropertyFlexibilityValueNonNegative(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestLerpBoundaries pins the interpolation the scenario loops use at
+// scenario boundaries: clamped outside the curve, exact on slots,
+// linear between them, NaN only when the curve is empty.
+func TestLerpBoundaries(t *testing.T) {
+	p := PriceCurve{10, 20, 40}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{-5, 10}, {0, 10}, {0.5, 15}, {1, 20}, {1.25, 25},
+		{2, 40}, {2.7, 40}, {99, 40},
+	}
+	for _, c := range cases {
+		if got := p.Lerp(c.x); got != c.want {
+			t.Errorf("Lerp(%g) = %g, want %g", c.x, got, c.want)
+		}
+	}
+	one := PriceCurve{7}
+	for _, x := range []float64{-1, 0, 0.5, 3} {
+		if got := one.Lerp(x); got != 7 {
+			t.Errorf("single-slot Lerp(%g) = %g, want 7", x, got)
+		}
+	}
+	if got := (PriceCurve{}).Lerp(1); !math.IsNaN(got) {
+		t.Errorf("empty Lerp = %g, want NaN", got)
+	}
+}

@@ -3,7 +3,11 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
+	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Route indices for the request counters. Fixed at compile time so the
@@ -43,6 +47,47 @@ type metrics struct {
 	// shardIngest[k] counts offers routed to shard k at ingest time
 	// (sized to the engine's shard count in NewSharded).
 	shardIngest []atomic.Int64
+	// latency[route] maps status code (int) to that (route, code)
+	// pair's latency histogram. A sync.Map because the code set is tiny
+	// and write-once: after the first request per pair, observation is
+	// one lock-free Load plus atomic adds.
+	latency [numRoutes]sync.Map
+}
+
+// latencyBuckets are flexd_request_seconds' upper bounds in seconds:
+// exponential-ish coverage from 500µs (a cheap in-memory ingest) to
+// 60s (a stalled streamed schedule), matching the server's per-write
+// timeout ceiling.
+var latencyBuckets = [...]float64{
+	0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+	0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// latencyHist is one (route, status code) latency histogram: per-bucket
+// counts (cumulated only at render time, so observation is a single
+// atomic add), total count and summed nanoseconds. Everything atomic so
+// the hot path never takes a lock.
+type latencyHist struct {
+	buckets [len(latencyBuckets) + 1]atomic.Int64 // last bucket is +Inf
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	i := sort.SearchFloat64s(latencyBuckets[:], d.Seconds())
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// observe records one finished request in its (route, code) histogram,
+// creating the histogram on the pair's first request.
+func (m *metrics) observe(route, code int, d time.Duration) {
+	v, ok := m.latency[route].Load(code)
+	if !ok {
+		v, _ = m.latency[route].LoadOrStore(code, &latencyHist{})
+	}
+	v.(*latencyHist).observe(d)
 }
 
 // handleMetrics renders the counters in the Prometheus text exposition
@@ -63,6 +108,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("# HELP flexd_requests_in_flight Requests currently being served.\n")
 	write("# TYPE flexd_requests_in_flight gauge\n")
 	write("flexd_requests_in_flight %d\n", s.m.inFlight.Load())
+
+	// Request latency histograms, one series set per (route, status
+	// code) pair that has served at least one request. Client-side
+	// percentiles (flexsim's report) can be compared against these
+	// server-side ones to isolate network and queueing time.
+	write("# HELP flexd_request_seconds Request latency in seconds, by route and status code.\n")
+	write("# TYPE flexd_request_seconds histogram\n")
+	for i, name := range routeNames {
+		var codes []int
+		s.m.latency[i].Range(func(k, _ any) bool {
+			codes = append(codes, k.(int))
+			return true
+		})
+		sort.Ints(codes)
+		for _, code := range codes {
+			v, _ := s.m.latency[i].Load(code)
+			h := v.(*latencyHist)
+			var cum int64
+			for j, le := range latencyBuckets {
+				cum += h.buckets[j].Load()
+				write("flexd_request_seconds_bucket{path=%q,code=\"%d\",le=%q} %d\n",
+					name, code, strconv.FormatFloat(le, 'g', -1, 64), cum)
+			}
+			cum += h.buckets[len(latencyBuckets)].Load()
+			write("flexd_request_seconds_bucket{path=%q,code=\"%d\",le=\"+Inf\"} %d\n", name, code, cum)
+			write("flexd_request_seconds_sum{path=%q,code=\"%d\"} %g\n", name, code, float64(h.sumNs.Load())/1e9)
+			write("flexd_request_seconds_count{path=%q,code=\"%d\"} %d\n", name, code, h.count.Load())
+		}
+	}
 
 	write("# HELP flexd_ingest_records_total Flex-offers ingested.\n")
 	write("# TYPE flexd_ingest_records_total counter\n")

@@ -151,13 +151,40 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// route wraps a handler with its request counter.
+// route wraps a handler with its request counter and latency
+// histogram: the handler runs against a status-capturing writer and
+// the elapsed time lands in the (route, status code) histogram.
 func (s *Server) route(idx int, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.m.requests[idx].Add(1)
-		h(w, r)
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.m.observe(idx, sw.code, time.Since(start))
 	}
 }
+
+// statusWriter records the response status code for the latency
+// histogram labels. It forwards Flush (the streamed /v1/schedule body
+// flushes per group) and exposes Unwrap so http.ResponseController can
+// reach the connection underneath.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(interface{ Flush() }); ok {
+		f.Flush()
+	}
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
 // gated wraps a handler with the max-in-flight gate: acquisition never
 // blocks, so under overload the server answers 429 immediately instead
@@ -454,6 +481,16 @@ func (dw *deadlineWriter) WriteHeader(code int) {
 func (dw *deadlineWriter) Write(p []byte) (int, error) {
 	dw.extend()
 	return dw.ResponseWriter.Write(p)
+}
+
+// Flush forwards the streamed /v1/schedule body's per-group flushes to
+// the writer underneath (without it the flush type assertion would
+// stop at this wrapper and the body would only move at buffer
+// boundaries).
+func (dw *deadlineWriter) Flush() {
+	if f, ok := dw.ResponseWriter.(interface{ Flush() }); ok {
+		f.Flush()
+	}
 }
 
 // Unwrap lets http.ResponseController reach the underlying writer.

@@ -490,3 +490,57 @@ func TestMethodNotAllowed(t *testing.T) {
 		t.Fatalf("GET /v1/aggregate: %s, want 405", resp.Status)
 	}
 }
+
+// TestRequestLatencyHistograms checks the flexd_request_seconds
+// histogram: after a successful ingest, a schedule and a failing
+// schedule (no-offers 400 after a reset), /metrics must expose one
+// histogram per observed (path, code) pair with coherent bucket,
+// sum and count lines.
+func TestRequestLatencyHistograms(t *testing.T) {
+	_, ndjson := testFleet(t, 40)
+	srv, _ := newTestServer(t, Options{}, flex.WithWorkers(2), flex.WithSafe(true))
+
+	resp, body := post(t, srv.URL+"/v1/offers", bytes.NewReader(ndjson))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: %s: %s", resp.Status, body)
+	}
+	resp, body = post(t, srv.URL+"/v1/schedule?horizon=96", nil)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("schedule: %s: %s", resp.Status, body)
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/offers", nil)
+	if resp, err := http.DefaultClient.Do(req); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("reset: %v %v", resp, err)
+	} else {
+		resp.Body.Close()
+	}
+	resp, _ = post(t, srv.URL+"/v1/schedule?horizon=96", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty schedule status = %s, want 400", resp.Status)
+	}
+
+	_, metricsBody := get(t, srv.URL+"/metrics")
+	text := string(metricsBody)
+	for _, want := range []string{
+		// 2: the ingest POST and the reset DELETE share the route.
+		`flexd_request_seconds_count{path="/v1/offers",code="200"} 2`,
+		`flexd_request_seconds_count{path="/v1/schedule",code="200"} 1`,
+		`flexd_request_seconds_count{path="/v1/schedule",code="400"} 1`,
+		`flexd_request_seconds_bucket{path="/v1/schedule",code="200",le="+Inf"} 1`,
+		`flexd_request_seconds_bucket{path="/v1/schedule",code="200",le="60"} 1`,
+		"# TYPE flexd_request_seconds histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	// Sum must be positive for the served schedule.
+	for _, line := range strings.Split(text, "\n") {
+		if strings.HasPrefix(line, `flexd_request_seconds_sum{path="/v1/schedule",code="200"}`) {
+			var v float64
+			if _, err := fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v); err != nil || v <= 0 {
+				t.Errorf("schedule latency sum = %q (parsed %g, err %v), want > 0", line, v, err)
+			}
+		}
+	}
+}

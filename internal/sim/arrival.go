@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/workload"
+)
+
+// RateFunc gives an arrival process's intensity — expected offers per
+// slot — at virtual time t (in slots). Scenario clocks follow the
+// workload convention: one slot is one hour, slot 0 is midnight of
+// day 0, so a rate peaking at t=8 peaks at 08:00.
+type RateFunc func(t float64) float64
+
+// Flat returns a constant rate — the stochastic baseline process.
+func Flat(rate float64) RateFunc {
+	return func(float64) float64 { return rate }
+}
+
+// Peak returns a Gaussian bump: height offers/slot at center, decaying
+// with the given width (standard deviation, in slots). This is the
+// morning/evening EV wave shape.
+func Peak(center, width, height float64) RateFunc {
+	return func(t float64) float64 {
+		d := (t - center) / width
+		return height * math.Exp(-d*d/2)
+	}
+}
+
+// Daily repeats a rate function with a 24-slot period, so a commuter
+// wave recurs every simulated day.
+func Daily(f RateFunc) RateFunc {
+	return func(t float64) float64 {
+		return f(math.Mod(t, workload.SlotsPerDay))
+	}
+}
+
+// Compose sums rate functions — e.g. a flat baseline plus two peaks.
+func Compose(fns ...RateFunc) RateFunc {
+	return func(t float64) float64 {
+		var sum float64
+		for _, f := range fns {
+			sum += f(t)
+		}
+		return sum
+	}
+}
+
+// Wave is one arrival process: offers of a device mix arriving with a
+// time-varying rate, optionally churning (the device re-plugs later
+// and replaces its earlier offer — the store's last-write-wins dedup
+// path).
+type Wave struct {
+	// Name labels the wave in traces and offer IDs.
+	Name string
+	// Mix is the device population the wave draws from.
+	Mix workload.Mix
+	// Rate is the wave's intensity over virtual time.
+	Rate RateFunc
+	// Churn is the probability that an arrival re-submits (same offer
+	// ID, re-generated offer) after ChurnDelay slots.
+	Churn float64
+	// ChurnDelay bounds the uniform re-submission delay in slots.
+	// Zero means [2, 6).
+	ChurnDelay [2]float64
+}
+
+// arrival is one materialized offer arrival (or churn re-submission).
+type arrival struct {
+	at    float64
+	wave  string
+	churn bool
+	offer *flexoffer.FlexOffer
+}
+
+// poisson draws a Poisson variate with mean lambda (Knuth's method;
+// the per-slot rates here are small enough that the multiplicative
+// loop is fine and, importantly, deterministic in the RNG stream).
+func poisson(r *rand.Rand, lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	l := math.Exp(-lambda)
+	k, p := 0, 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// materialize samples every arrival of every wave over the window
+// [start, start+slots), in a single deterministic pass over the RNG:
+// waves in declaration order, slots in order, arrivals within a slot
+// at uniform offsets. Churn re-submissions are generated immediately
+// after their arrival so the RNG consumption order is pinned. The
+// result is sorted by time (stable, so equal times keep generation
+// order) — byte-identical across runs with the same seed.
+func materialize(r *rand.Rand, waves []Wave, start, slots int) ([]arrival, error) {
+	var out []arrival
+	for wi, w := range waves {
+		if w.Rate == nil {
+			return nil, fmt.Errorf("sim: wave %q has no rate function", w.Name)
+		}
+		delay := w.ChurnDelay
+		if delay == [2]float64{} {
+			delay = [2]float64{2, 6}
+		}
+		n := 0
+		for s := start; s < start+slots; s++ {
+			k := poisson(r, w.Rate(float64(s)+0.5))
+			for i := 0; i < k; i++ {
+				at := float64(s) + r.Float64()
+				dev, err := w.Mix.Sample(r)
+				if err != nil {
+					return nil, fmt.Errorf("sim: wave %q: %w", w.Name, err)
+				}
+				f, err := workload.GenerateAt(r, dev, s)
+				if err != nil {
+					return nil, fmt.Errorf("sim: wave %q: %w", w.Name, err)
+				}
+				// Stable per-wave IDs: unique across waves, reused by
+				// the churn re-submission to exercise dedup.
+				f.ID = fmt.Sprintf("%s-%d-%05d", w.Name, wi, n)
+				n++
+				out = append(out, arrival{at: at, wave: w.Name, offer: f})
+
+				if w.Churn > 0 && r.Float64() < w.Churn {
+					churnAt := at + delay[0] + r.Float64()*(delay[1]-delay[0])
+					g, err := workload.GenerateAt(r, dev, int(churnAt))
+					if err != nil {
+						return nil, fmt.Errorf("sim: wave %q churn: %w", w.Name, err)
+					}
+					g.ID = f.ID
+					g.Zone = f.Zone
+					out = append(out, arrival{at: churnAt, wave: w.Name, churn: true, offer: g})
+				}
+			}
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].at < out[j].at })
+	return out, nil
+}

@@ -1,0 +1,197 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/server"
+)
+
+// Client drives one flexd instance over HTTP, recording every
+// request's latency and outcome in Metrics under the endpoint's path.
+// It speaks the wire types of internal/server, so a response the
+// server encodes is exactly what the client decodes.
+type Client struct {
+	// Base is the server's base URL, e.g. "http://127.0.0.1:8080".
+	Base string
+	// HTTP is the underlying client; nil means a dedicated client with
+	// a 2-minute timeout.
+	HTTP *http.Client
+	// Metrics receives one observation per request; nil disables
+	// recording.
+	Metrics *Metrics
+}
+
+// NewClient returns a client for the given base URL. addr may be a
+// full URL, a host:port, or a bare ":8080" (meaning localhost).
+func NewClient(addr string, m *Metrics) *Client {
+	base := addr
+	if strings.HasPrefix(base, ":") {
+		base = "127.0.0.1" + base
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	return &Client{
+		Base:    strings.TrimRight(base, "/"),
+		HTTP:    &http.Client{Timeout: 2 * time.Minute},
+		Metrics: m,
+	}
+}
+
+// RequestError is a non-2xx response, carrying the server's error body.
+type RequestError struct {
+	Path   string
+	Status int
+	Body   string
+}
+
+func (e *RequestError) Error() string {
+	return fmt.Sprintf("sim: %s: HTTP %d: %s", e.Path, e.Status, e.Body)
+}
+
+// do issues one request, times it, records it under path, and decodes
+// a 2xx JSON body into out (when non-nil). The query is excluded from
+// the metrics label so all calls to one endpoint share a histogram.
+func (c *Client) do(ctx context.Context, method, path, query string, body io.Reader, out any) error {
+	url := c.Base + path
+	if query != "" {
+		url += "?" + query
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/x-ndjson")
+	}
+	start := time.Now()
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		c.observe(path, time.Since(start), false)
+		return fmt.Errorf("sim: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	ok := resp.StatusCode >= 200 && resp.StatusCode < 300
+	if !ok {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		c.observe(path, time.Since(start), false)
+		return &RequestError{Path: path, Status: resp.StatusCode, Body: strings.TrimSpace(string(data))}
+	}
+	if out != nil {
+		if err := server.DecodeResponse(resp.Body, out); err != nil {
+			c.observe(path, time.Since(start), false)
+			return fmt.Errorf("sim: decoding %s response: %w", path, err)
+		}
+	}
+	// Drain so the connection is reusable, then stop the clock: the
+	// latency covers the full response body, like a real client.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	c.observe(path, time.Since(start), true)
+	return nil
+}
+
+func (c *Client) observe(path string, d time.Duration, ok bool) {
+	if c.Metrics != nil {
+		c.Metrics.Observe(path, d, ok)
+	}
+}
+
+// PushOffers uploads offers as one NDJSON POST /v1/offers.
+func (c *Client) PushOffers(ctx context.Context, offers []*flexoffer.FlexOffer) (server.IngestResponse, error) {
+	var buf bytes.Buffer
+	if err := flexoffer.EncodeNDJSON(&buf, offers); err != nil {
+		return server.IngestResponse{}, err
+	}
+	var out server.IngestResponse
+	err := c.do(ctx, http.MethodPost, "/v1/offers", "", &buf, &out)
+	return out, err
+}
+
+// PushOffer uploads a single offer.
+func (c *Client) PushOffer(ctx context.Context, f *flexoffer.FlexOffer) (server.IngestResponse, error) {
+	return c.PushOffers(ctx, []*flexoffer.FlexOffer{f})
+}
+
+// Schedule runs POST /v1/schedule over the stored offers: the full
+// aggregate → schedule → disaggregate pipeline. level < 0 lets the
+// server derive the flat target from the fleet's expected energy.
+func (c *Client) Schedule(ctx context.Context, horizon int, level int64) (*server.ScheduleResponse, error) {
+	q := "horizon=" + strconv.Itoa(horizon)
+	if level >= 0 {
+		q += "&target=" + strconv.FormatInt(level, 10)
+	}
+	var out server.ScheduleResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/schedule", q, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Reset empties the server's offer store (DELETE /v1/offers).
+func (c *Client) Reset(ctx context.Context) error {
+	return c.do(ctx, http.MethodDelete, "/v1/offers", "", nil, nil)
+}
+
+// Stored returns the server's stored offer count.
+func (c *Client) Stored(ctx context.Context) (int, error) {
+	var out server.StoreResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/offers", "", nil, &out); err != nil {
+		return 0, err
+	}
+	return out.Stored, nil
+}
+
+// ServerLatencyCounts scrapes the server's /metrics and sums its
+// flexd_request_seconds_count series by path — the server-side half of
+// the latency cross-check: for a dedicated flexd, each path's count
+// must equal the requests this client sent (plus the scrape itself
+// for /metrics). The scrape is not recorded in c.Metrics.
+func (c *Client) ServerLatencyCounts(ctx context.Context) (map[string]int64, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.Base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("sim: /metrics: HTTP %d", resp.StatusCode)
+	}
+	counts := make(map[string]int64)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "flexd_request_seconds_count{") {
+			continue
+		}
+		// flexd_request_seconds_count{path="/v1/offers",code="200"} 12
+		pi := strings.Index(line, `path="`)
+		if pi < 0 {
+			continue
+		}
+		rest := line[pi+len(`path="`):]
+		qi := strings.Index(rest, `"`)
+		si := strings.LastIndex(line, " ")
+		if qi < 0 || si < 0 {
+			continue
+		}
+		n, err := strconv.ParseInt(line[si+1:], 10, 64)
+		if err != nil {
+			continue
+		}
+		counts[rest[:qi]] += n
+	}
+	return counts, sc.Err()
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/workload"
+)
+
+// LoadOptions configures an open-loop load-generation run.
+type LoadOptions struct {
+	// Rate is the target offer-submission rate in requests per second
+	// across all clients.
+	Rate float64
+	// Clients is the number of concurrent submitters (0: 4).
+	Clients int
+	// Duration is the wall-clock run length.
+	Duration time.Duration
+	// ScheduleEvery interleaves a POST /v1/schedule every this many
+	// submissions (0: 50); negative disables scheduling entirely.
+	ScheduleEvery int
+	// Horizon is the scheduling horizon (0: 48).
+	Horizon int
+	// Seed seeds the offer generators (per-client streams derived from
+	// it). Open-loop runs measure a live server under wall-clock
+	// pacing, so only the generated offers — not the interleaving —
+	// are reproducible.
+	Seed int64
+}
+
+func (o *LoadOptions) validate() error {
+	if o.Rate <= 0 {
+		return fmt.Errorf("sim: open-loop rate must be positive, got %g", o.Rate)
+	}
+	if o.Clients < 0 {
+		return fmt.Errorf("sim: open-loop clients must be non-negative, got %d", o.Clients)
+	}
+	if o.Duration <= 0 {
+		return fmt.Errorf("sim: open-loop duration must be positive, got %v", o.Duration)
+	}
+	return nil
+}
+
+// OpenLoop drives flexd as a wall-clock load generator: Clients
+// concurrent submitters pushing offers of the scenario's first wave's
+// mix at a fixed aggregate Rate, with a schedule request interleaved
+// every ScheduleEvery submissions. Unlike the closed loop, the offered
+// rate does not slow down when the server does — the latency
+// percentiles show the resulting queueing.
+func OpenLoop(ctx context.Context, sc Scenario, client *Client, opts LoadOptions) (*Report, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	clients := opts.Clients
+	if clients == 0 {
+		clients = 4
+	}
+	schedEvery := opts.ScheduleEvery
+	if schedEvery == 0 {
+		schedEvery = 50
+	}
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = 48
+	}
+	if client.Metrics == nil {
+		client.Metrics = NewMetrics()
+	}
+	if err := client.Reset(ctx); err != nil {
+		return nil, fmt.Errorf("sim: resetting store: %w", err)
+	}
+
+	mix := sc.Waves[0].Mix
+	interval := time.Duration(float64(time.Second) / opts.Rate)
+	// runCtx bounds admission only: the ticker stops handing out work
+	// when the duration elapses, but in-flight requests run under the
+	// parent ctx and finish cleanly instead of being recorded as
+	// cancellation failures.
+	runCtx, cancel := context.WithTimeout(ctx, opts.Duration)
+	defer cancel()
+
+	var (
+		wg        sync.WaitGroup
+		submitted atomic.Int64
+		replaced  atomic.Int64
+		stored    atomic.Int64
+		firstErr  atomic.Value
+	)
+	// One shared ticker paces the aggregate rate; each client owns a
+	// derived RNG so offer generation needs no locking.
+	ticks := make(chan int64)
+	go func() {
+		defer close(ticks)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		var n int64
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-t.C:
+				select {
+				case ticks <- n:
+					n++
+				case <-runCtx.Done():
+					return
+				}
+			}
+		}
+	}()
+
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(c)*0x9e3779b9))
+			fails := 0
+			for n := range ticks {
+				dev, err := mix.Sample(rng)
+				if err != nil {
+					firstErr.CompareAndSwap(nil, error(err))
+					cancel()
+					return
+				}
+				f, err := workload.GenerateAt(rng, dev, int(n%(workload.SlotsPerDay)))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, error(err))
+					cancel()
+					return
+				}
+				f.ID = fmt.Sprintf("load-%d-%08d", c, n)
+				res, err := client.PushOffers(ctx, []*flexoffer.FlexOffer{f})
+				if err != nil {
+					if ctx.Err() != nil {
+						return
+					}
+					fails++
+					if fails >= maxConsecutiveFailures {
+						firstErr.CompareAndSwap(nil, fmt.Errorf("%w: last: %v", ErrTooManyFailures, err))
+						cancel()
+						return
+					}
+					continue
+				}
+				fails = 0
+				submitted.Add(1)
+				replaced.Add(int64(res.Replaced))
+				stored.Store(int64(res.Stored))
+				if schedEvery > 0 && (n+1)%int64(schedEvery) == 0 {
+					if _, err := client.Schedule(ctx, horizon, -1); err != nil && ctx.Err() == nil {
+						fails++
+						if fails >= maxConsecutiveFailures {
+							firstErr.CompareAndSwap(nil, fmt.Errorf("%w: last: %v", ErrTooManyFailures, err))
+							cancel()
+							return
+						}
+					}
+				}
+			}
+		}(c)
+	}
+
+	start := time.Now()
+	wg.Wait()
+	wall := time.Since(start)
+	if err, _ := firstErr.Load().(error); err != nil && !errors.Is(ctx.Err(), context.Canceled) {
+		return nil, err
+	}
+
+	rep := &Report{
+		Scenario:        sc.Name,
+		Mode:            "open",
+		Seed:            opts.Seed,
+		WallSeconds:     wall.Seconds(),
+		OffersSubmitted: int(submitted.Load()),
+		Replaced:        int(replaced.Load()),
+		StoredFinal:     int(stored.Load()),
+	}
+	rep.fillEndpoints(client.Metrics, wall)
+	return rep, nil
+}

@@ -1,0 +1,190 @@
+package sim
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// subBits sizes the histogram's linear sub-bucketing: 1<<subBits
+// sub-buckets per power of two, which bounds the relative quantile
+// error at 1/(1<<(subBits-1)) ≈ 6%. Values are recorded in
+// microseconds, so the exact range covers 0–63µs and the log-linear
+// range everything above it.
+const subBits = 5
+
+// numBuckets covers microsecond values up to 2^(subBits + maxExp);
+// with maxExp 40 that is ~13 days, far beyond any request latency.
+const numBuckets = (40 + 1) << subBits
+
+// Histogram is an HDR-style log-linear latency histogram: constant
+// memory, lock-free recording (one atomic add per observation), and
+// quantiles with a bounded relative error. It is the client-side
+// mirror of flexd's flexd_request_seconds server histogram, so the two
+// ends of one request path can be compared percentile by percentile.
+type Histogram struct {
+	counts [numBuckets]atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64 // nanoseconds
+	max    atomic.Int64 // nanoseconds
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram { return &Histogram{} }
+
+// bucketOf maps a microsecond value to its bucket: values below
+// 1<<subBits map exactly, larger values to (exponent, mantissa) pairs
+// where the mantissa keeps the top subBits bits. Monotonic in v.
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < 1<<subBits {
+		return int(v)
+	}
+	e := bits.Len64(uint64(v)) - subBits // ≥ 1 here
+	idx := e<<subBits | int(v>>uint(e))&(1<<subBits-1)
+	if idx >= numBuckets {
+		return numBuckets - 1
+	}
+	return idx
+}
+
+// bucketUpper returns the inclusive upper bound (in microseconds) of a
+// bucket — the value quantiles report, so they are conservative.
+func bucketUpper(idx int) int64 {
+	e := idx >> subBits
+	m := int64(idx & (1<<subBits - 1))
+	if e == 0 {
+		return m
+	}
+	// The mantissa mask keeps the leading bit (m ∈ [16, 31] for
+	// subBits 5), so the bucket holds v ∈ [m<<e, (m+1)<<e − 1].
+	return (m+1)<<uint(e) - 1
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.counts[bucketOf(ns/1000)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			break
+		}
+	}
+}
+
+// Count returns the number of recorded samples.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Max returns the largest recorded sample.
+func (h *Histogram) Max() time.Duration { return time.Duration(h.max.Load()) }
+
+// Mean returns the average of the recorded samples.
+func (h *Histogram) Mean() time.Duration {
+	n := h.count.Load()
+	if n == 0 {
+		return 0
+	}
+	return time.Duration(h.sum.Load() / n)
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) as the upper bound of
+// the bucket holding the q-th sample — within the histogram's ~6%
+// relative error, never below the true quantile's bucket. Zero when
+// the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q*float64(total-1)) + 1
+	var seen int64
+	for i := 0; i < numBuckets; i++ {
+		seen += h.counts[i].Load()
+		if seen >= rank {
+			return time.Duration(bucketUpper(i)) * time.Microsecond
+		}
+	}
+	return h.Max()
+}
+
+// EndpointMetrics aggregates one endpoint's request outcomes.
+type EndpointMetrics struct {
+	// Hist holds the latency of every request, successful or not.
+	Hist *Histogram
+	// Failed counts requests that did not return a 2xx.
+	Failed atomic.Int64
+}
+
+// Metrics is the per-endpoint latency and failure record of one
+// simulation or load-generation run. Recording is safe for concurrent
+// use (the open-loop generator's clients share one Metrics).
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*EndpointMetrics
+}
+
+// NewMetrics returns an empty metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{endpoints: make(map[string]*EndpointMetrics)}
+}
+
+// Endpoint returns the named endpoint's metrics, creating them on
+// first use.
+func (m *Metrics) Endpoint(path string) *EndpointMetrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e := m.endpoints[path]
+	if e == nil {
+		e = &EndpointMetrics{Hist: NewHistogram()}
+		m.endpoints[path] = e
+	}
+	return e
+}
+
+// Observe records one request against its endpoint.
+func (m *Metrics) Observe(path string, d time.Duration, ok bool) {
+	e := m.Endpoint(path)
+	e.Hist.Observe(d)
+	if !ok {
+		e.Failed.Add(1)
+	}
+}
+
+// Paths returns the observed endpoint paths in sorted order.
+func (m *Metrics) Paths() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.endpoints))
+	for p := range m.endpoints {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Requests returns the total request and failure counts across all
+// endpoints.
+func (m *Metrics) Requests() (total, failed int64) {
+	for _, p := range m.Paths() {
+		e := m.Endpoint(p)
+		total += e.Hist.Count()
+		failed += e.Failed.Load()
+	}
+	return total, failed
+}

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestBucketRoundTrip pins the histogram's bucket geometry: bucketOf is
+// monotonic, every value lands in a bucket whose bounds contain it, and
+// the sub-64µs range is exact.
+func TestBucketRoundTrip(t *testing.T) {
+	for v := int64(0); v < 1<<subBits; v++ {
+		if got := bucketUpper(bucketOf(v)); got != v {
+			t.Fatalf("exact range: bucketUpper(bucketOf(%d)) = %d", v, got)
+		}
+	}
+	r := rand.New(rand.NewSource(7))
+	prev := -1
+	for v := int64(0); v < 1<<40; v = v*2 + int64(r.Intn(3)) + 1 {
+		b := bucketOf(v)
+		if b < prev {
+			t.Fatalf("bucketOf not monotonic: bucketOf(%d) = %d < %d", v, b, prev)
+		}
+		prev = b
+		upper := bucketUpper(b)
+		if upper < v {
+			t.Fatalf("bucketUpper(%d) = %d < value %d", b, upper, v)
+		}
+		if b > 0 && bucketUpper(b-1) >= v {
+			t.Fatalf("value %d fits bucket %d but mapped to %d", v, b-1, b)
+		}
+	}
+}
+
+// TestHistogramQuantiles checks quantiles against a known distribution
+// within the histogram's ~6% relative error bound.
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	// 1ms..1000ms uniformly: the q-quantile is ~q*1000ms.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("Count = %d, want 1000", h.Count())
+	}
+	if h.Max() != time.Second {
+		t.Fatalf("Max = %v, want 1s", h.Max())
+	}
+	for _, tc := range []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.95, 950 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+		{1.00, 1000 * time.Millisecond},
+	} {
+		got := h.Quantile(tc.q)
+		if got < tc.want {
+			t.Errorf("Quantile(%g) = %v, below true quantile %v", tc.q, got, tc.want)
+		}
+		if float64(got) > float64(tc.want)*1.07 {
+			t.Errorf("Quantile(%g) = %v, more than 7%% above %v", tc.q, got, tc.want)
+		}
+	}
+	mean := h.Mean()
+	if mean < 480*time.Millisecond || mean > 520*time.Millisecond {
+		t.Errorf("Mean = %v, want ~500ms", mean)
+	}
+}
+
+func TestHistogramEmptyAndClamping(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.99) != 0 || h.Mean() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	h.Observe(-time.Second) // clamped to zero, not a panic
+	h.Observe(5 * time.Microsecond)
+	if got := h.Quantile(-1); got != 0 {
+		t.Fatalf("Quantile(-1) = %v, want 0 (clamped to min sample)", got)
+	}
+	if got := h.Quantile(2); got != 5*time.Microsecond {
+		t.Fatalf("Quantile(2) = %v, want 5µs (clamped to max)", got)
+	}
+}
+
+func TestMetricsObserve(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("/v1/offers", time.Millisecond, true)
+	m.Observe("/v1/offers", 2*time.Millisecond, false)
+	m.Observe("/v1/schedule", 3*time.Millisecond, true)
+	paths := m.Paths()
+	if len(paths) != 2 || paths[0] != "/v1/offers" || paths[1] != "/v1/schedule" {
+		t.Fatalf("Paths = %v", paths)
+	}
+	total, failed := m.Requests()
+	if total != 3 || failed != 1 {
+		t.Fatalf("Requests = (%d, %d), want (3, 1)", total, failed)
+	}
+}

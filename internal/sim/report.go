@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// RoundReport is one intraday re-dispatch round.
+type RoundReport struct {
+	// At is the round's virtual time in slots.
+	At float64 `json:"at"`
+	// Kind is what triggered the round: periodic, demand-response, or
+	// final.
+	Kind string `json:"kind"`
+	// Offers is how many stored offers the round scheduled.
+	Offers int `json:"offers"`
+	// Groups is the number of aggregates the round scheduled.
+	Groups int `json:"groups"`
+	// Prosumers is the number of disaggregated constituent assignments.
+	Prosumers int `json:"prosumers"`
+	// TargetLevel is the flat target the round tracked (server-derived
+	// on the first round).
+	TargetLevel int64 `json:"targetLevel"`
+	// Imbalance is the schedule's L1 distance from the target.
+	Imbalance float64 `json:"imbalance"`
+	// PeakLoad is the schedule's maximum absolute per-slot load.
+	PeakLoad int64 `json:"peakLoad"`
+	// Cost is the schedule's energy cost against the (possibly spiked)
+	// day-ahead price curve.
+	Cost float64 `json:"cost"`
+	// NextTarget is the feedback-adjusted target fed into the next
+	// round.
+	NextTarget int64 `json:"nextTarget"`
+}
+
+// ZoneReport is the final capacity check of one grid zone.
+type ZoneReport struct {
+	// Zone is the zone label ("z00"…).
+	Zone string `json:"zone"`
+	// Offers is how many distinct offers the zone accumulated.
+	Offers int `json:"offers"`
+	// Capacity is the per-zone feeder capacity checked against.
+	Capacity int64 `json:"capacity"`
+	// PeakHi is the zone's worst-case consumption peak over the
+	// horizon (upper edge of grid.FeasibleBand).
+	PeakHi int64 `json:"peakHi"`
+	// PeakLo is the zone's worst-case production peak (magnitude of
+	// the band's lower edge).
+	PeakLo int64 `json:"peakLo"`
+	// ViolatedSlots counts slots where PeakHi exceeds Capacity.
+	ViolatedSlots int `json:"violatedSlots"`
+	// WorstExcess is the largest over-capacity margin across those
+	// slots.
+	WorstExcess int64 `json:"worstExcess"`
+}
+
+// EndpointReport is one endpoint's client-side latency summary.
+type EndpointReport struct {
+	Path     string  `json:"path"`
+	Requests int64   `json:"requests"`
+	Failed   int64   `json:"failed"`
+	P50Ms    float64 `json:"p50Ms"`
+	P95Ms    float64 `json:"p95Ms"`
+	P99Ms    float64 `json:"p99Ms"`
+	MaxMs    float64 `json:"maxMs"`
+	MeanMs   float64 `json:"meanMs"`
+	// RPS is the endpoint's request throughput over the run's wall
+	// time.
+	RPS float64 `json:"rps"`
+}
+
+// Report is one simulation or load-generation run's result. The
+// simulation-logic fields (everything Deterministic returns) are
+// byte-identical for a fixed seed and scenario; the latency fields are
+// wall-clock measurements of the flexd under test and vary run to run.
+type Report struct {
+	Scenario        string        `json:"scenario"`
+	Mode            string        `json:"mode"` // "closed" or "open"
+	Seed            int64         `json:"seed"`
+	Slots           int           `json:"slots,omitempty"`
+	Horizon         int           `json:"horizon,omitempty"`
+	WallSeconds     float64       `json:"wallSeconds"`
+	OffersSubmitted int           `json:"offersSubmitted"`
+	Replaced        int           `json:"replaced"`
+	StoredFinal     int           `json:"storedFinal"`
+	Rounds          []RoundReport `json:"rounds,omitempty"`
+	Zones           []ZoneReport  `json:"zones,omitempty"`
+	TraceEvents     int           `json:"traceEvents,omitempty"`
+	// TraceDigest is the FNV-64a hash of the event trace — two runs
+	// with the same seed and scenario must agree on it.
+	TraceDigest string           `json:"traceDigest,omitempty"`
+	Requests    int64            `json:"requests"`
+	Failed      int64            `json:"failed"`
+	Endpoints   []EndpointReport `json:"endpoints"`
+
+	trace []string
+}
+
+// Trace returns the run's event-trace lines (closed loop only).
+func (rep *Report) Trace() []string { return rep.trace }
+
+// fillEndpoints summarizes the client metrics into the report.
+func (rep *Report) fillEndpoints(m *Metrics, wall time.Duration) {
+	if m == nil {
+		return
+	}
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	for _, p := range m.Paths() {
+		e := m.Endpoint(p)
+		er := EndpointReport{
+			Path:     p,
+			Requests: e.Hist.Count(),
+			Failed:   e.Failed.Load(),
+			P50Ms:    ms(e.Hist.Quantile(0.50)),
+			P95Ms:    ms(e.Hist.Quantile(0.95)),
+			P99Ms:    ms(e.Hist.Quantile(0.99)),
+			MaxMs:    ms(e.Hist.Max()),
+			MeanMs:   ms(e.Hist.Mean()),
+		}
+		if s := wall.Seconds(); s > 0 {
+			er.RPS = float64(er.Requests) / s
+		}
+		rep.Endpoints = append(rep.Endpoints, er)
+		rep.Requests += er.Requests
+		rep.Failed += er.Failed
+	}
+}
+
+// deterministicReport is the seed-reproducible subset of a Report: the
+// simulation logic without the wall-clock latency measurements. Two
+// closed-loop runs with the same seed, scenario and slot count must
+// produce byte-identical JSON encodings of it — the determinism
+// oracle's contract.
+type deterministicReport struct {
+	Scenario        string        `json:"scenario"`
+	Seed            int64         `json:"seed"`
+	Slots           int           `json:"slots"`
+	Horizon         int           `json:"horizon"`
+	OffersSubmitted int           `json:"offersSubmitted"`
+	Replaced        int           `json:"replaced"`
+	StoredFinal     int           `json:"storedFinal"`
+	Rounds          []RoundReport `json:"rounds"`
+	Zones           []ZoneReport  `json:"zones"`
+	TraceEvents     int           `json:"traceEvents"`
+	TraceDigest     string        `json:"traceDigest"`
+}
+
+// Deterministic returns the canonical JSON of the report's
+// seed-reproducible subset.
+func (rep *Report) Deterministic() []byte {
+	data, err := json.MarshalIndent(deterministicReport{
+		Scenario:        rep.Scenario,
+		Seed:            rep.Seed,
+		Slots:           rep.Slots,
+		Horizon:         rep.Horizon,
+		OffersSubmitted: rep.OffersSubmitted,
+		Replaced:        rep.Replaced,
+		StoredFinal:     rep.StoredFinal,
+		Rounds:          rep.Rounds,
+		Zones:           rep.Zones,
+		TraceEvents:     rep.TraceEvents,
+		TraceDigest:     rep.TraceDigest,
+	}, "", "  ")
+	if err != nil {
+		panic(fmt.Sprintf("sim: encoding deterministic report: %v", err))
+	}
+	return data
+}
+
+// WriteJSON writes the full report as indented JSON.
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteTable writes the human-readable run summary: the headline
+// counters, the per-endpoint latency table, and the round and zone
+// tables when present.
+func (rep *Report) WriteTable(w io.Writer) error {
+	p := func(format string, args ...any) {
+		fmt.Fprintf(w, format+"\n", args...)
+	}
+	p("scenario   %s (%s loop, seed %d)", rep.Scenario, rep.Mode, rep.Seed)
+	if rep.Slots > 0 {
+		p("window     %d slots, horizon %d", rep.Slots, rep.Horizon)
+	}
+	p("wall       %.2fs", rep.WallSeconds)
+	p("offers     %d submitted (%d replaced), %d stored at end", rep.OffersSubmitted, rep.Replaced, rep.StoredFinal)
+	p("requests   %d total, %d failed", rep.Requests, rep.Failed)
+	if rep.TraceDigest != "" {
+		p("trace      %d events, digest %s", rep.TraceEvents, rep.TraceDigest)
+	}
+	if len(rep.Endpoints) > 0 {
+		p("")
+		p("%-14s %9s %7s %9s %9s %9s %9s %9s", "endpoint", "requests", "failed", "p50", "p95", "p99", "max", "req/s")
+		for _, e := range rep.Endpoints {
+			p("%-14s %9d %7d %8.2fms %8.2fms %8.2fms %8.2fms %9.1f",
+				e.Path, e.Requests, e.Failed, e.P50Ms, e.P95Ms, e.P99Ms, e.MaxMs, e.RPS)
+		}
+	}
+	if len(rep.Rounds) > 0 {
+		p("")
+		p("%-7s %-16s %7s %7s %10s %12s %9s %12s %10s", "t", "round", "offers", "groups", "target", "imbalance", "peak", "cost", "next")
+		for _, r := range rep.Rounds {
+			p("%-7.2f %-16s %7d %7d %10d %12.1f %9d %12.2f %10d",
+				r.At, r.Kind, r.Offers, r.Groups, r.TargetLevel, r.Imbalance, r.PeakLoad, r.Cost, r.NextTarget)
+		}
+	}
+	if len(rep.Zones) > 0 {
+		p("")
+		p("%-6s %7s %9s %9s %9s %9s %9s", "zone", "offers", "capacity", "peakHi", "peakLo", "violated", "excess")
+		for _, z := range rep.Zones {
+			p("%-6s %7d %9d %9d %9d %9d %9d",
+				z.Zone, z.Offers, z.Capacity, z.PeakHi, z.PeakLo, z.ViolatedSlots, z.WorstExcess)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,239 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"flexmeasures/internal/workload"
+)
+
+// Redispatch configures the scenario's intraday scheduling loop.
+type Redispatch struct {
+	// Every runs a scheduling round every this many slots (0: only the
+	// final round).
+	Every int
+	// Horizon is how far past the simulated window the scheduling
+	// horizon — and the price curve — extends (0: 48 slots, two days,
+	// enough for every generator's latest offer to fit).
+	Horizon int
+	// Gain is the target feedback gain: the next round's flat target
+	// moves toward the delivered load by gain × the mean per-slot
+	// deviation (0: 0.5).
+	Gain float64
+	// PriceSpike, when set, is a demand-response event: the price
+	// curve is multiplied over a window mid-run and a dispatch round
+	// fires immediately against the new prices.
+	PriceSpike *PriceSpike
+}
+
+// PriceSpike is a demand-response price event.
+type PriceSpike struct {
+	// At is the slot the spike starts; the event fires there.
+	At int
+	// Len is the spike's length in slots.
+	Len int
+	// Factor multiplies the spot price over [At, At+Len).
+	Factor float64
+}
+
+// ZoneSpec configures grid-zone stamping and the capacity check.
+type ZoneSpec struct {
+	// Zones stamps each offer with one of this many zones, drawn
+	// skewed (zone 0 hottest) via workload.StampZones — the shard
+	// router's preferred key, so flexd -shards keeps a zone's offers
+	// on one engine shard. 0 disables stamping.
+	Zones int
+	// Capacity, when positive, is the per-zone feeder capacity the
+	// final zone check compares each zone's feasible peak
+	// (grid.FeasibleBand) against.
+	Capacity int64
+}
+
+// Scenario is one composable city-scale workload: arrival waves, a
+// re-dispatch loop and an optional zone layer. Scenarios are plain Go
+// values — a new one is a struct literal handed to Register.
+type Scenario struct {
+	// Name identifies the scenario (flexsim -scenario).
+	Name string
+	// Description is one line for flexsim -list.
+	Description string
+	// Start is the first simulated slot, in day-hours (a scenario
+	// about a morning wave starts shortly before it so short runs
+	// still hit the wave).
+	Start int
+	// DefaultSlots is the virtual window a duration-less run
+	// simulates.
+	DefaultSlots int
+	// Waves are the scenario's arrival processes.
+	Waves []Wave
+	// Redispatch configures the closed re-dispatch loop.
+	Redispatch Redispatch
+	// Zones configures zone stamping and the capacity check.
+	Zones ZoneSpec
+}
+
+// validate rejects scenarios the runner cannot execute.
+func (sc Scenario) validate() error {
+	if sc.Name == "" {
+		return fmt.Errorf("sim: scenario has no name")
+	}
+	if len(sc.Waves) == 0 {
+		return fmt.Errorf("sim: scenario %q has no arrival waves", sc.Name)
+	}
+	if sc.Start < 0 {
+		return fmt.Errorf("sim: scenario %q: negative start slot %d", sc.Name, sc.Start)
+	}
+	for _, w := range sc.Waves {
+		if w.Rate == nil {
+			return fmt.Errorf("sim: scenario %q: wave %q has no rate", sc.Name, w.Name)
+		}
+		if err := w.Mix.Validate(); err != nil {
+			return fmt.Errorf("sim: scenario %q: wave %q: %w", sc.Name, w.Name, err)
+		}
+	}
+	return nil
+}
+
+var (
+	regMu    sync.Mutex
+	registry = make(map[string]Scenario)
+)
+
+// Register adds a scenario to the registry flexsim resolves -scenario
+// against. Registering a duplicate or invalid scenario errors.
+func Register(sc Scenario) error {
+	if err := sc.validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[sc.Name]; dup {
+		return fmt.Errorf("sim: scenario %q already registered", sc.Name)
+	}
+	registry[sc.Name] = sc
+	return nil
+}
+
+// MustRegister is Register for package init blocks.
+func MustRegister(sc Scenario) {
+	if err := Register(sc); err != nil {
+		panic(err)
+	}
+}
+
+// Scenarios lists every registered scenario, sorted by name.
+func Scenarios() []Scenario {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]Scenario, 0, len(registry))
+	for _, sc := range registry {
+		out = append(out, sc)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup resolves a scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	sc, ok := registry[name]
+	return sc, ok
+}
+
+// The built-in scenario catalogue. Each is a struct literal; new
+// scenarios are one more MustRegister.
+func init() {
+	evMix := workload.Mix{workload.EV: 1}
+	applianceMix := workload.Mix{
+		workload.Dishwasher:   0.4,
+		workload.Refrigerator: 0.4,
+		workload.HeatPump:     0.2,
+	}
+
+	// ev-morning: the commuter wave. EVs reach office chargers in a
+	// Gaussian burst around 07:30, over a small appliance baseline;
+	// the aggregator re-dispatches every 4 slots as the fleet grows.
+	MustRegister(Scenario{
+		Name:         "ev-morning",
+		Description:  "morning EV commuter wave over an appliance baseline, 4-slot re-dispatch",
+		Start:        5,
+		DefaultSlots: 12,
+		Waves: []Wave{
+			{Name: "ev", Mix: evMix, Rate: Daily(Peak(7.5, 1.5, 40)), Churn: 0.15},
+			{Name: "base", Mix: applianceMix, Rate: Flat(4)},
+		},
+		Redispatch: Redispatch{Every: 4},
+	})
+
+	// ev-evening: the home-charging wave, peaking around 18:30, with
+	// more churn (households re-plug after errands).
+	MustRegister(Scenario{
+		Name:         "ev-evening",
+		Description:  "evening home-charging EV wave, churny, 4-slot re-dispatch",
+		Start:        16,
+		DefaultSlots: 10,
+		Waves: []Wave{
+			{Name: "ev", Mix: evMix, Rate: Daily(Peak(18.5, 2, 35)), Churn: 0.3},
+			{Name: "base", Mix: applianceMix, Rate: Flat(5)},
+		},
+		Redispatch: Redispatch{Every: 4},
+	})
+
+	// demand-response: a steady mixed population hit by an 8am price
+	// spike (spot ×3 for 2 slots). The spike event re-dispatches
+	// immediately, so the rounds before and after it show how much
+	// tracking cost the fleet's flexibility absorbs.
+	MustRegister(Scenario{
+		Name:         "demand-response",
+		Description:  "steady mixed fleet with a 3x price spike at 08:00 triggering re-dispatch",
+		Start:        5,
+		DefaultSlots: 10,
+		Waves: []Wave{
+			{Name: "fleet", Mix: workload.ConsumptionMix(), Rate: Flat(25), Churn: 0.1},
+		},
+		Redispatch: Redispatch{
+			Every:      3,
+			PriceSpike: &PriceSpike{At: 8, Len: 2, Factor: 3},
+		},
+	})
+
+	// zone-stress: a heavy mixed population stamped over 6 skewed
+	// zones (zone z00 hottest — the few-big-many-small shape), with a
+	// per-zone feeder capacity the final check sweeps
+	// grid.FeasibleBand against. Run against flexd -shards N to
+	// exercise zone routing.
+	MustRegister(Scenario{
+		Name:         "zone-stress",
+		Description:  "zone-skewed heavy fleet vs per-zone feeder capacity (run with flexd -shards)",
+		Start:        0,
+		DefaultSlots: 24,
+		Waves: []Wave{
+			{Name: "city", Mix: workload.DefaultMix(), Rate: Daily(Compose(Flat(15), Peak(8, 2, 25), Peak(19, 2, 30))), Churn: 0.1},
+		},
+		Redispatch: Redispatch{Every: 6},
+		Zones:      ZoneSpec{Zones: 6, Capacity: 1200},
+	})
+
+	// city-day: everything at once — morning and evening EV waves,
+	// midday solar, an appliance baseline, zones, and an evening
+	// demand-response event. The kitchen-sink default for soak runs.
+	MustRegister(Scenario{
+		Name:         "city-day",
+		Description:  "full day: EV waves + solar + baseline + zones + evening price spike",
+		Start:        0,
+		DefaultSlots: 24,
+		Waves: []Wave{
+			{Name: "ev-am", Mix: evMix, Rate: Daily(Peak(7.5, 1.5, 25)), Churn: 0.15},
+			{Name: "ev-pm", Mix: evMix, Rate: Daily(Peak(18.5, 2, 25)), Churn: 0.3},
+			{Name: "solar", Mix: workload.Mix{workload.SolarPanel: 1}, Rate: Daily(Peak(12, 2.5, 10))},
+			{Name: "base", Mix: applianceMix, Rate: Flat(6)},
+		},
+		Redispatch: Redispatch{
+			Every:      6,
+			PriceSpike: &PriceSpike{At: 19, Len: 2, Factor: 2.5},
+		},
+		Zones: ZoneSpec{Zones: 4, Capacity: 4000},
+	})
+}

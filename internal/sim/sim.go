@@ -1,0 +1,410 @@
+// Package sim is the city-scale simulation harness: a deterministic,
+// seedable, discrete-event closed-loop simulator (and open-loop load
+// generator, see loadgen.go) that drives a real flexd over HTTP.
+//
+// The closed loop composes three strands the serving stack previously
+// left unwired:
+//
+//   - time-varying offer arrival processes built on internal/workload
+//     (morning/evening EV waves, stochastic baselines, churn that
+//     re-submits under the same offer ID);
+//   - intraday re-dispatch against internal/market prices: the loop
+//     periodically POSTs /v1/schedule, scores the returned load
+//     against the price curve, and feeds the measured imbalance back
+//     into the next round's target level;
+//   - internal/grid constraint scenarios: zone-stamped populations
+//     (exercising flexd -shards zone routing) checked against
+//     per-zone feeder capacity via grid.FeasibleBand.
+//
+// Virtual time is measured in slots (one hour, matching workload);
+// the event queue is ordered by (time, insertion sequence) and every
+// random draw happens in one deterministic pass before the first
+// event fires, so a run's event trace — and the deterministic half of
+// its report — is byte-identical for a fixed seed, pinned by
+// TestClosedLoopDeterministic. Request latencies are wall-clock
+// measurements of the real flexd and are reported separately.
+package sim
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/grid"
+	"flexmeasures/internal/market"
+	"flexmeasures/internal/workload"
+)
+
+// event is one scheduled simulation action.
+type event struct {
+	at   float64
+	seq  int
+	name string
+	run  func(ctx context.Context) error
+}
+
+// eventQueue is a min-heap over (at, seq): virtual time first,
+// insertion order as the deterministic tie-break.
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// ErrTooManyFailures aborts a run when the server stops answering.
+var ErrTooManyFailures = errors.New("sim: too many consecutive request failures")
+
+// maxConsecutiveFailures is the abort threshold: a dead or unreachable
+// flexd fails every request, and retrying for the rest of a long
+// scenario would only bury the first error.
+const maxConsecutiveFailures = 25
+
+// Run is one closed-loop simulation in progress.
+type Run struct {
+	sc     Scenario
+	client *Client
+	rng    *rand.Rand
+	seed   int64
+	slots  int
+
+	now   float64
+	seq   int
+	queue eventQueue
+	trace []string
+
+	horizon int
+	prices  market.PriceCurve
+	level   int64 // current flat target level; −1 lets the server derive it
+
+	offersSubmitted int
+	replaced        int
+	stored          int
+	consecFails     int64
+	byZone          map[string][]*flexoffer.FlexOffer
+
+	rounds []RoundReport
+	zones  []ZoneReport
+}
+
+// tracef appends one event-trace line stamped with the virtual time.
+// Everything interpolated here must be deterministic for a fixed seed:
+// the trace is the determinism oracle.
+func (r *Run) tracef(format string, args ...any) {
+	r.trace = append(r.trace, fmt.Sprintf("t=%09.4f ", r.now)+fmt.Sprintf(format, args...))
+}
+
+// push schedules an event at virtual time at.
+func (r *Run) push(at float64, name string, fn func(ctx context.Context) error) {
+	r.seq++
+	heap.Push(&r.queue, &event{at: at, seq: r.seq, name: name, run: fn})
+}
+
+// ClosedLoop runs the scenario as a deterministic discrete-event
+// simulation over the given number of virtual slots, driving the flexd
+// behind client. The store is reset first so runs are reproducible.
+func ClosedLoop(ctx context.Context, sc Scenario, client *Client, seed int64, slots int) (*Report, error) {
+	if err := sc.validate(); err != nil {
+		return nil, err
+	}
+	if slots < 1 {
+		return nil, fmt.Errorf("sim: slots must be at least 1, got %d", slots)
+	}
+	if client.Metrics == nil {
+		client.Metrics = NewMetrics()
+	}
+	r := &Run{
+		sc:     sc,
+		client: client,
+		rng:    rand.New(rand.NewSource(seed)),
+		seed:   seed,
+		slots:  slots,
+		level:  -1,
+		byZone: make(map[string][]*flexoffer.FlexOffer),
+	}
+	start := time.Now()
+	if err := r.prepare(); err != nil {
+		return nil, err
+	}
+	if err := client.Reset(ctx); err != nil {
+		return nil, fmt.Errorf("sim: resetting store: %w", err)
+	}
+	r.tracef("reset store")
+	end := float64(sc.Start + slots)
+	for r.queue.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		e := heap.Pop(&r.queue).(*event)
+		if e.at > end {
+			break
+		}
+		r.now = e.at
+		if err := e.run(ctx); err != nil {
+			return nil, fmt.Errorf("sim: event %s at t=%.4f: %w", e.name, e.at, err)
+		}
+	}
+	r.now = end
+	if err := r.finish(ctx); err != nil {
+		return nil, err
+	}
+	return r.report("closed", time.Since(start)), nil
+}
+
+// prepare makes every random draw of the run — prices, arrivals, zones
+// — in one deterministic pass, then loads the event queue.
+func (r *Run) prepare() error {
+	rd := r.sc.Redispatch
+	extra := rd.Horizon
+	if extra <= 0 {
+		extra = 48
+	}
+	r.horizon = r.sc.Start + r.slots + extra
+	r.prices = workload.DayAheadPrices(r.rng, r.horizon)
+
+	arrivals, err := materialize(r.rng, r.sc.Waves, r.sc.Start, r.slots)
+	if err != nil {
+		return err
+	}
+	if k := r.sc.Zones.Zones; k > 0 {
+		// Stamp fresh arrivals in arrival order; churn re-submissions
+		// inherit their original offer's zone by ID so a device cannot
+		// hop zones when it re-plugs.
+		var fresh []*flexoffer.FlexOffer
+		for _, a := range arrivals {
+			if !a.churn {
+				fresh = append(fresh, a.offer)
+			}
+		}
+		workload.StampZones(r.rng, fresh, k)
+		zoneByID := make(map[string]string, len(fresh))
+		for _, f := range fresh {
+			zoneByID[f.ID] = f.Zone
+		}
+		for _, a := range arrivals {
+			if a.churn {
+				a.offer.Zone = zoneByID[a.offer.ID]
+			}
+		}
+	}
+	for _, a := range arrivals {
+		a := a
+		r.push(a.at, "arrival", func(ctx context.Context) error { return r.arrive(ctx, a) })
+	}
+
+	if rd.Every > 0 {
+		for t := r.sc.Start + rd.Every; t < r.sc.Start+r.slots; t += rd.Every {
+			at := float64(t)
+			r.push(at, "redispatch", func(ctx context.Context) error { return r.redispatch(ctx, "periodic") })
+		}
+	}
+	if sp := rd.PriceSpike; sp != nil {
+		at := float64(sp.At)
+		r.push(at, "price-spike", func(ctx context.Context) error { return r.spike(ctx, *sp) })
+	}
+	return nil
+}
+
+// arrive submits one offer to flexd and traces the outcome. Request
+// failures are tolerated up to maxConsecutiveFailures so a transient
+// 429/503 shows up in the failure counts without killing the run.
+func (r *Run) arrive(ctx context.Context, a arrival) error {
+	res, err := r.client.PushOffer(ctx, a.offer)
+	if err != nil {
+		r.consecFails++
+		r.tracef("arrival wave=%s id=%s churn=%t FAILED", a.wave, a.offer.ID, a.churn)
+		if r.consecFails >= maxConsecutiveFailures {
+			return fmt.Errorf("%w: last: %v", ErrTooManyFailures, err)
+		}
+		return nil
+	}
+	r.consecFails = 0
+	r.offersSubmitted++
+	r.replaced += res.Replaced
+	r.stored = res.Stored
+	if a.churn {
+		// A churn re-submission replaces the stored offer under the
+		// same ID; the zone bookkeeping below already holds the ID.
+	} else {
+		r.byZone[a.offer.Zone] = append(r.byZone[a.offer.Zone], a.offer)
+	}
+	r.tracef("arrival wave=%s id=%s dev=%s zone=%q churn=%t replaced=%d stored=%d",
+		a.wave, a.offer.ID, deviceOf(a.offer.ID), a.offer.Zone, a.churn, res.Replaced, res.Stored)
+	return nil
+}
+
+// deviceOf recovers the wave label prefix of a generated offer ID for
+// the trace (IDs are "<wave>-<waveIdx>-<seq>").
+func deviceOf(id string) string {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '-' {
+			for j := i - 1; j >= 0; j-- {
+				if id[j] == '-' {
+					return id[:j]
+				}
+			}
+		}
+	}
+	return id
+}
+
+// redispatch runs one intraday scheduling round: POST /v1/schedule,
+// score the returned load against the price curve, and move the next
+// round's target toward the delivered load by the feedback gain —
+// the closed part of the loop.
+func (r *Run) redispatch(ctx context.Context, kind string) error {
+	if r.stored == 0 {
+		r.tracef("round kind=%s skipped: no offers stored", kind)
+		return nil
+	}
+	resp, err := r.client.Schedule(ctx, r.horizon, r.level)
+	if err != nil {
+		r.consecFails++
+		r.tracef("round kind=%s FAILED", kind)
+		if r.consecFails >= maxConsecutiveFailures {
+			return fmt.Errorf("%w: last: %v", ErrTooManyFailures, err)
+		}
+		return nil
+	}
+	r.consecFails = 0
+
+	var cost, loadSum float64
+	for i, v := range resp.Load.Values {
+		cost += float64(v) * r.prices.Lerp(float64(resp.Load.Start+i))
+		loadSum += float64(v)
+	}
+	meanDev := (loadSum - float64(resp.TargetLevel)*float64(resp.Horizon)) / float64(resp.Horizon)
+	gain := r.sc.Redispatch.Gain
+	if gain == 0 {
+		gain = 0.5
+	}
+	next := resp.TargetLevel + int64(math.Round(gain*meanDev))
+	if next < 0 {
+		next = 0
+	}
+	prosumers := resp.Prosumers
+	round := RoundReport{
+		At:          r.now,
+		Kind:        kind,
+		Offers:      resp.Offers,
+		Groups:      resp.Aggregates,
+		Prosumers:   prosumers,
+		TargetLevel: resp.TargetLevel,
+		Imbalance:   resp.Imbalance,
+		PeakLoad:    resp.PeakLoad,
+		Cost:        cost,
+		NextTarget:  next,
+	}
+	r.rounds = append(r.rounds, round)
+	r.level = next
+	r.tracef("round kind=%s offers=%d groups=%d prosumers=%d target=%d imbalance=%g peak=%d cost=%.4f next=%d",
+		kind, resp.Offers, resp.Aggregates, prosumers, resp.TargetLevel, resp.Imbalance, resp.PeakLoad, cost, next)
+	return nil
+}
+
+// spike applies a demand-response price event — the spot price
+// multiplied over a window — and immediately re-dispatches against the
+// new curve.
+func (r *Run) spike(ctx context.Context, sp PriceSpike) error {
+	hi := sp.At + sp.Len
+	if hi > len(r.prices) {
+		hi = len(r.prices)
+	}
+	for t := sp.At; t < hi; t++ {
+		if t >= 0 {
+			r.prices[t] *= sp.Factor
+		}
+	}
+	r.tracef("price-spike at=%d len=%d factor=%g", sp.At, sp.Len, sp.Factor)
+	return r.redispatch(ctx, "demand-response")
+}
+
+// finish runs the final dispatch round and the zone-capacity check.
+func (r *Run) finish(ctx context.Context) error {
+	if err := r.redispatch(ctx, "final"); err != nil {
+		return err
+	}
+	if capacity := r.sc.Zones.Capacity; capacity > 0 {
+		zones := make([]string, 0, len(r.byZone))
+		for z := range r.byZone {
+			zones = append(zones, z)
+		}
+		sort.Strings(zones)
+		for _, z := range zones {
+			offers := r.byZone[z]
+			lo, hi := grid.FeasibleBand(offers, 0, r.horizon)
+			zr := ZoneReport{Zone: z, Offers: len(offers), Capacity: capacity}
+			for t, h := range hi {
+				if h > zr.PeakHi {
+					zr.PeakHi = h
+				}
+				if -lo[t] > zr.PeakLo {
+					zr.PeakLo = -lo[t]
+				}
+				if h > capacity {
+					zr.ViolatedSlots++
+					if h-capacity > zr.WorstExcess {
+						zr.WorstExcess = h - capacity
+					}
+				}
+			}
+			r.zones = append(r.zones, zr)
+			r.tracef("zone=%q offers=%d peakHi=%d peakLo=%d capacity=%d violatedSlots=%d worstExcess=%d",
+				z, zr.Offers, zr.PeakHi, zr.PeakLo, capacity, zr.ViolatedSlots, zr.WorstExcess)
+		}
+	}
+	return nil
+}
+
+// report assembles the run's Report.
+func (r *Run) report(mode string, wall time.Duration) *Report {
+	rep := &Report{
+		Scenario:        r.sc.Name,
+		Mode:            mode,
+		Seed:            r.seed,
+		Slots:           r.slots,
+		Horizon:         r.horizon,
+		WallSeconds:     wall.Seconds(),
+		OffersSubmitted: r.offersSubmitted,
+		Replaced:        r.replaced,
+		StoredFinal:     r.stored,
+		Rounds:          r.rounds,
+		Zones:           r.zones,
+		TraceEvents:     len(r.trace),
+		TraceDigest:     traceDigest(r.trace),
+		trace:           r.trace,
+	}
+	rep.fillEndpoints(r.client.Metrics, wall)
+	return rep
+}
+
+// traceDigest hashes the event trace (FNV-64a over the lines) so two
+// runs can be compared without shipping the full trace.
+func traceDigest(lines []string) string {
+	h := fnv.New64a()
+	for _, l := range lines {
+		_, _ = h.Write([]byte(l))
+		_, _ = h.Write([]byte{'\n'})
+	}
+	return fmt.Sprintf("%016x", h.Sum64())
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/market"
@@ -254,33 +255,66 @@ func ConsumptionMix() Mix {
 	return Mix{EV: 0.35, HeatPump: 0.25, Dishwasher: 0.25, Refrigerator: 0.15}
 }
 
+// Validate checks the mix is usable: no negative weights and a
+// positive total.
+func (m Mix) Validate() error {
+	var total float64
+	for _, w := range m {
+		if w < 0 {
+			return fmt.Errorf("%w: negative weight", ErrBadMix)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return ErrBadMix
+	}
+	return nil
+}
+
+// Sample draws one device class from the mix, weighted by the mix's
+// weights. It is the sampling step Population runs per offer, exported
+// so arrival processes (the simulation harness) can draw device classes
+// one at a time from the same distribution.
+func (m Mix) Sample(r *rand.Rand) (Device, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	var total float64
+	for _, w := range m {
+		total += w
+	}
+	x := r.Float64() * total
+	for _, d := range AllDevices() {
+		x -= m[d]
+		if x < 0 {
+			return d, nil
+		}
+	}
+	// Float round-off can leave x at exactly 0 after the loop; fall
+	// back to the last device with positive weight.
+	devices := AllDevices()
+	for i := len(devices) - 1; i >= 0; i-- {
+		if m[devices[i]] > 0 {
+			return devices[i], nil
+		}
+	}
+	return 0, ErrBadMix
+}
+
 // Population samples n flex-offers from the mix. Offers are spread over
 // the requested number of days by shifting whole-day offsets.
 func Population(r *rand.Rand, n int, days int, mix Mix) ([]*flexoffer.FlexOffer, error) {
 	if days < 1 {
 		days = 1
 	}
-	var total float64
-	for _, w := range mix {
-		if w < 0 {
-			return nil, fmt.Errorf("%w: negative weight", ErrBadMix)
-		}
-		total += w
+	if err := mix.Validate(); err != nil {
+		return nil, err
 	}
-	if total <= 0 {
-		return nil, ErrBadMix
-	}
-	devices := AllDevices()
 	out := make([]*flexoffer.FlexOffer, 0, n)
 	for len(out) < n {
-		x := r.Float64() * total
-		var chosen Device
-		for _, d := range devices {
-			x -= mix[d]
-			if x < 0 {
-				chosen = d
-				break
-			}
+		chosen, err := mix.Sample(r)
+		if err != nil {
+			return nil, err
 		}
 		f, err := Generate(r, chosen)
 		if err != nil {
@@ -295,6 +329,55 @@ func Population(r *rand.Rand, n int, days int, mix Mix) ([]*flexoffer.FlexOffer,
 		out = append(out, f)
 	}
 	return out, nil
+}
+
+// GenerateAt creates one flex-offer of the given device class anchored
+// at an arrival slot: the offer is generated with its usual day-0 shape
+// (so durations, power bands and totals keep the device semantics) and
+// then shifted so its start window opens at slot plus a small plug-in
+// lag of 0–2 slots. It is the per-arrival hook of the simulation
+// harness: a device arriving at virtual time t produces an offer that
+// wants to run shortly after t.
+func GenerateAt(r *rand.Rand, d Device, slot int) (*flexoffer.FlexOffer, error) {
+	if slot < 0 {
+		return nil, fmt.Errorf("workload: arrival slot must be non-negative, got %d", slot)
+	}
+	f, err := Generate(r, d)
+	if err != nil {
+		return nil, err
+	}
+	lag := r.Intn(3)
+	shifted, err := f.Shift(slot + lag - f.EarliestStart)
+	if err != nil {
+		return nil, err
+	}
+	return shifted, nil
+}
+
+// StampZones assigns each offer a grid zone "z00"…, drawn from a skewed
+// distribution over k zones — zone i has weight ∝ 1/(i+1), the
+// few-big-many-small shape of real grid zones. Zone assignment consumes
+// only the given RNG, so callers (flexgen, the simulation harness) can
+// decouple the zone stream from the offer stream by seeding it
+// separately. k < 1 leaves the offers untouched.
+func StampZones(r *rand.Rand, offers []*flexoffer.FlexOffer, k int) {
+	if k < 1 {
+		return
+	}
+	cum := make([]float64, k)
+	total := 0.0
+	for i := range cum {
+		total += 1 / float64(i+1)
+		cum[i] = total
+	}
+	for _, f := range offers {
+		x := r.Float64() * total
+		zone := sort.SearchFloat64s(cum, x)
+		if zone >= k {
+			zone = k - 1
+		}
+		f.Zone = fmt.Sprintf("z%02d", zone)
+	}
 }
 
 // WindProfile returns a synthetic wind-production target series over the

@@ -196,3 +196,149 @@ func TestDayAheadPricesShape(t *testing.T) {
 		t.Errorf("evening mean %.1f not above night mean %.1f", evening/float64(nE), night/float64(nN))
 	}
 }
+
+// TestMixSampleMatchesWeights checks Sample respects the mix: devices
+// with zero weight never appear, devices with positive weight all do
+// over enough draws.
+func TestMixSampleMatchesWeights(t *testing.T) {
+	mix := Mix{EV: 1, Dishwasher: 3}
+	r := rand.New(rand.NewSource(5))
+	seen := map[Device]int{}
+	for i := 0; i < 2000; i++ {
+		d, err := mix.Sample(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[d]++
+	}
+	if len(seen) != 2 || seen[EV] == 0 || seen[Dishwasher] == 0 {
+		t.Fatalf("sampled devices = %v, want only EV and Dishwasher", seen)
+	}
+	if seen[Dishwasher] < seen[EV] {
+		t.Errorf("Dishwasher (weight 3) drawn %d times, EV (weight 1) %d times", seen[Dishwasher], seen[EV])
+	}
+	if _, err := (Mix{}).Sample(r); !errors.Is(err, ErrBadMix) {
+		t.Errorf("empty mix Sample error = %v, want ErrBadMix", err)
+	}
+	if _, err := (Mix{EV: -1}).Sample(r); !errors.Is(err, ErrBadMix) {
+		t.Errorf("negative mix Sample error = %v, want ErrBadMix", err)
+	}
+}
+
+// TestPopulationDeterministic pins the arrival-process contract the
+// simulation harness relies on: the same seed reproduces the same
+// population, offer by offer.
+func TestPopulationDeterministic(t *testing.T) {
+	gen := func(seed int64) []*flexoffer.FlexOffer {
+		r := rand.New(rand.NewSource(seed))
+		offers, err := Population(r, 500, 3, DefaultMix())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return offers
+	}
+	a, b := gen(42), gen(42)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID || !a[i].Equal(b[i]) {
+			t.Fatalf("offer %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if c := gen(43); len(c) == len(a) {
+		same := true
+		for i := range c {
+			if !c[i].Equal(a[i]) {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical populations")
+		}
+	}
+}
+
+// TestGenerateAtAnchorsArrival checks GenerateAt opens the offer's
+// start window at the arrival slot plus at most the plug-in lag, for
+// every device class, and that it is deterministic under a fixed seed.
+func TestGenerateAtAnchorsArrival(t *testing.T) {
+	for _, d := range AllDevices() {
+		r := rand.New(rand.NewSource(11))
+		for i := 0; i < 50; i++ {
+			slot := r.Intn(200)
+			f, err := GenerateAt(r, d, slot)
+			if err != nil {
+				t.Fatalf("%v at %d: %v", d, slot, err)
+			}
+			if err := f.Validate(); err != nil {
+				t.Fatalf("%v at %d: invalid offer: %v", d, slot, err)
+			}
+			if f.EarliestStart < slot || f.EarliestStart > slot+2 {
+				t.Fatalf("%v at %d: earliest start %d outside [slot, slot+2]", d, slot, f.EarliestStart)
+			}
+		}
+	}
+	if _, err := GenerateAt(rand.New(rand.NewSource(1)), EV, -1); err == nil {
+		t.Fatal("negative slot accepted")
+	}
+	a, _ := GenerateAt(rand.New(rand.NewSource(9)), EV, 30)
+	b, _ := GenerateAt(rand.New(rand.NewSource(9)), EV, 30)
+	if !a.Equal(b) || a.ID != b.ID {
+		t.Fatalf("GenerateAt not deterministic: %v vs %v", a, b)
+	}
+}
+
+// TestStampZonesSkewedDeterministic checks zone stamping covers k zones
+// with a skew towards low indices and reproduces exactly under a fixed
+// seed.
+func TestStampZonesSkewedDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	offers, err := Population(r, 2000, 1, DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	StampZones(rand.New(rand.NewSource(8)), offers, 4)
+	counts := map[string]int{}
+	for _, f := range offers {
+		counts[f.Zone]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("zones = %v, want 4 distinct", counts)
+	}
+	if counts["z00"] <= counts["z03"] {
+		t.Errorf("zone skew missing: z00=%d z03=%d", counts["z00"], counts["z03"])
+	}
+	again := make([]string, len(offers))
+	for i, f := range offers {
+		again[i] = f.Zone
+		f.Zone = ""
+	}
+	StampZones(rand.New(rand.NewSource(8)), offers, 4)
+	for i, f := range offers {
+		if f.Zone != again[i] {
+			t.Fatalf("offer %d: zone %q then %q under the same seed", i, again[i], f.Zone)
+		}
+	}
+	// k < 1 must leave offers untouched.
+	StampZones(rand.New(rand.NewSource(8)), offers, 0)
+	if offers[0].Zone != again[0] {
+		t.Error("StampZones with k=0 modified offers")
+	}
+}
+
+// TestDayAheadPricesDeterministic pins the price-curve generator the
+// scenario loops re-dispatch against.
+func TestDayAheadPricesDeterministic(t *testing.T) {
+	a := DayAheadPrices(rand.New(rand.NewSource(6)), 96)
+	b := DayAheadPrices(rand.New(rand.NewSource(6)), 96)
+	if len(a) != 96 || len(b) != 96 {
+		t.Fatalf("lengths: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("slot %d: %g vs %g under the same seed", i, a[i], b[i])
+		}
+	}
+}
