@@ -24,8 +24,13 @@
 // aggregate→schedule→disaggregate batch against the streaming pipeline
 // (verifying identical output again):
 //
-//	flexbench -sched 1000             # legacy vs incremental + batch vs streaming
+// and finally the full engine pipeline with tracing absent, disabled
+// and enabled (interleaved best-of-3), pinning both the overhead and
+// that tracing never changes a schedule:
+//
+//	flexbench -sched 1000             # legacy vs incremental + batch vs streaming + tracing overhead
 //	flexbench -sched 1000 -workers 4  # pin the pipeline worker-pool size
+//	flexbench -sched 1000 -trace      # also print the recorded span tree
 //
 // -engine measures what the Engine's persistent worker pool buys over
 // the legacy execution model, which spun a goroutine pool up and down
@@ -81,10 +86,12 @@ import (
 
 	flex "flexmeasures"
 	"flexmeasures/internal/aggregate"
+	"flexmeasures/internal/buildinfo"
 	"flexmeasures/internal/experiments"
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/grouping"
 	"flexmeasures/internal/ingest"
+	"flexmeasures/internal/obs"
 	"flexmeasures/internal/persist"
 	"flexmeasures/internal/sched"
 	"flexmeasures/internal/shard"
@@ -111,8 +118,14 @@ func run(args []string) error {
 	scatterN := fs.Int("scatter", 0, "sweep the scatter-gather pipeline over shard counts 1/2/4/8 on N synthetic offers and exit")
 	replayN := fs.Int("replay", 0, "measure WAL append throughput per fsync policy and serial-vs-parallel replay over N synthetic offers and exit")
 	workers := fs.Int("workers", 0, "worker-pool size for -agg / -sched / -engine / -ingest / -group / -scatter / -replay (0: one per CPU)")
+	trace := fs.Bool("trace", false, "with -sched: print the traced pipeline run's span-tree breakdown")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.String("flexbench"))
+		return nil
 	}
 	if *replayN > 0 {
 		return runReplayCompare(os.Stdout, *replayN, *workers)
@@ -124,7 +137,7 @@ func run(args []string) error {
 		return runAggCompare(os.Stdout, *aggN, *workers)
 	}
 	if *schedN > 0 {
-		return runSchedCompare(os.Stdout, *schedN, *workers)
+		return runSchedCompare(os.Stdout, *schedN, *workers, *trace)
 	}
 	if *engineN > 0 {
 		return runEngineCompare(os.Stdout, *engineN, *workers)
@@ -450,7 +463,7 @@ func runScatterCompare(out io.Writer, n, workers int) error {
 // raw fleet, then the materialized aggregate→schedule→disaggregate
 // batch against the streaming pipeline. Both comparisons fail unless
 // the outputs are identical.
-func runSchedCompare(out io.Writer, n, workers int) error {
+func runSchedCompare(out io.Writer, n, workers int, trace bool) error {
 	if workers < 1 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -531,6 +544,90 @@ func runSchedCompare(out io.Writer, n, workers int) error {
 	fmt.Fprintf(out, "streaming (pipeline): %v  (%d workers, %.2fx speedup)\n",
 		streamDur, workers, float64(batchDur)/float64(streamDur))
 	fmt.Fprintln(out, "batch and streaming schedules are identical")
+
+	// Tracing overhead on the full engine pipeline, three ways:
+	// "absent" and "disabled" both run with no trace in the context —
+	// the production path of an untraced request, one nil check per obs
+	// call — so any measured gap between them is the noise floor;
+	// "enabled" attaches a trace recording every stage span. All three
+	// must produce identical schedules.
+	eng := flex.New(flex.WithWorkers(workers), flex.WithSafe(true),
+		flex.WithGrouping(flex.GroupParams(gp)))
+	defer eng.Close()
+	// Best-of-R with a forced GC before each run: a single shot would
+	// charge whichever variant runs later for the heap the earlier ones
+	// grew, drowning the nanosecond-scale difference under GC pauses.
+	// Interleaved best-of-R with a forced GC before every run: running
+	// each variant back-to-back would charge later variants for the heap
+	// earlier ones grew, and always-first variants for cold caches —
+	// either bias dwarfs the nanosecond-scale cost being measured.
+	const reps = 3
+	tracer := obs.NewTracer(4, 8192)
+	one := func(mkTrace func() *obs.Trace) (*flex.PipelineResult, time.Duration, obs.TraceData, error) {
+		runtime.GC()
+		ctx := context.Background()
+		var tr *obs.Trace
+		if mkTrace != nil {
+			tr = mkTrace()
+			ctx = obs.NewContext(ctx, tr)
+		}
+		t0 := time.Now()
+		res, err := eng.Pipeline(ctx, offers, target)
+		d := time.Since(t0)
+		var td obs.TraceData
+		if tr != nil {
+			td = tr.Finish()
+		}
+		return res, d, td, err
+	}
+	// Warm the pool so round one doesn't pay cold-start.
+	if _, err := eng.Pipeline(context.Background(), offers, target); err != nil {
+		return err
+	}
+	variants := []struct {
+		name    string
+		mkTrace func() *obs.Trace
+		res     *flex.PipelineResult
+		best    time.Duration
+		td      obs.TraceData
+	}{
+		{name: "absent"},
+		{name: "disabled"},
+		{name: "enabled", mkTrace: func() *obs.Trace { return tracer.Start("flexbench-sched") }},
+	}
+	for i := range variants {
+		variants[i].best = time.Duration(1<<63 - 1)
+	}
+	for r := 0; r < reps; r++ {
+		for i := range variants {
+			v := &variants[i]
+			res, d, td, err := one(v.mkTrace)
+			if err != nil {
+				return err
+			}
+			if d < v.best {
+				v.res, v.best, v.td = res, d, td
+			}
+		}
+	}
+	absentRes, absentDur := variants[0].res, variants[0].best
+	disabledRes, disabledDur := variants[1].res, variants[1].best
+	enabledRes, enabledDur, td := variants[2].res, variants[2].best, variants[2].td
+	for name, res := range map[string]*flex.PipelineResult{"disabled": disabledRes, "enabled": enabledRes} {
+		if !reflect.DeepEqual(absentRes.AggregateSchedule.Assignments, res.AggregateSchedule.Assignments) ||
+			!absentRes.Load.Equal(res.Load) {
+			return fmt.Errorf("tracing-%s pipeline diverged from the untraced one", name)
+		}
+	}
+	fmt.Fprintf(out, "engine pipeline, tracing absent:   %v\n", absentDur)
+	fmt.Fprintf(out, "engine pipeline, tracing disabled: %v  (%+.1f%% vs absent)\n",
+		disabledDur, 100*(float64(disabledDur)/float64(absentDur)-1))
+	fmt.Fprintf(out, "engine pipeline, tracing enabled:  %v  (%+.1f%% vs absent, %d spans)\n",
+		enabledDur, 100*(float64(enabledDur)/float64(absentDur)-1), len(td.Spans))
+	fmt.Fprintln(out, "traced and untraced schedules are identical")
+	if trace {
+		fmt.Fprintln(out, td.Tree())
+	}
 	return nil
 }
 
@@ -568,7 +665,7 @@ func runReplayCompare(out io.Writer, n, workers int) error {
 			if end > len(offers) {
 				end = len(offers)
 			}
-			if _, _, err := w.Add(offers[off:end]); err != nil {
+			if _, _, err := w.Add(context.Background(), offers[off:end]); err != nil {
 				w.Close()
 				return 0, err
 			}
@@ -594,7 +691,7 @@ func runReplayCompare(out io.Writer, n, workers int) error {
 	}
 
 	live := persist.NewMemory(r)
-	if _, _, err := live.Add(offers); err != nil {
+	if _, _, err := live.Add(context.Background(), offers); err != nil {
 		return err
 	}
 	replay := func(ex flex.Executor) (*persist.WALStore, time.Duration, error) {

@@ -64,7 +64,7 @@ func TestRunAllWithCheck(t *testing.T) {
 
 func TestRunSchedCompare(t *testing.T) {
 	var buf bytes.Buffer
-	if err := runSchedCompare(&buf, 500, 4); err != nil {
+	if err := runSchedCompare(&buf, 500, 4, false); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()

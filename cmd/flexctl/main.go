@@ -30,6 +30,7 @@ import (
 
 	flex "flexmeasures"
 	"flexmeasures/internal/aggregate"
+	"flexmeasures/internal/buildinfo"
 	"flexmeasures/internal/core"
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/render"
@@ -51,6 +52,9 @@ func run(args []string, out io.Writer) error {
 	}
 	cmd, rest := args[0], args[1:]
 	switch cmd {
+	case "version", "-version", "--version":
+		fmt.Fprintln(out, buildinfo.String("flexctl"))
+		return nil
 	case "push":
 		return cmdPush(rest, out)
 	case "validate":

@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"time"
 
+	"flexmeasures/internal/obs"
 	"flexmeasures/internal/server"
 )
 
@@ -179,6 +180,9 @@ func pushOnce(ctx context.Context, c *http.Client, url string, body []byte) (res
 		return nil, false, err
 	}
 	req.Header.Set("Content-Type", "application/x-ndjson")
+	// A fresh ID per attempt: retries of one batch then show up as
+	// separate traces server-side instead of colliding in the ring.
+	req.Header.Set("X-Request-Id", obs.NewRequestID())
 	resp, err := c.Do(req)
 	if err != nil {
 		// Transport-level failure (refused, reset, DNS): retriable

@@ -39,6 +39,16 @@
 //	GET    /v1/measures   the paper's measures (?norm=l1|l2|linf)
 //	GET    /healthz       liveness probe (503 once draining)
 //	GET    /metrics       Prometheus text metrics (per-shard labels)
+//	GET    /debug/traces  recent request traces with per-stage spans (?n)
+//
+// Every request is traced end to end: stage spans (decode, sort, pack,
+// per-shard aggregation, placement, disaggregation, WAL append/fsync,
+// pool queue-wait) land in /debug/traces and the
+// flexd_stage_seconds{stage,shard} histograms, requests log one
+// structured JSON line each (WARN with the span tree past
+// -slow-request), and -debug-addr opens a side listener with
+// net/http/pprof. Tracing costs one atomic slot claim per span;
+// -trace-ring -1 switches it off entirely.
 //
 // A /v1/schedule response is byte-identical to `flexctl schedule
 // -pipeline -json` over the same offers and parameters — the service
@@ -55,14 +65,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	flex "flexmeasures"
+	"flexmeasures/internal/buildinfo"
+	"flexmeasures/internal/obs"
 	"flexmeasures/internal/persist"
 	"flexmeasures/internal/server"
 	"flexmeasures/internal/shard"
@@ -93,8 +106,17 @@ func run(args []string) error {
 	snapEvery := fs.Int("snapshot-every", 0, "records between snapshot+compaction (0: 100000, negative: never)")
 	idleTimeout := fs.Duration("idle-timeout", 2*time.Minute, "keep-alive connection idle timeout")
 	writeTimeout := fs.Duration("write-timeout", time.Minute, "per-write stall timeout for responses (0: none)")
+	traceRing := fs.Int("trace-ring", 0, "completed traces retained for /debug/traces (0: 64, negative: tracing off)")
+	slowReq := fs.Duration("slow-request", time.Second, "log requests at least this slow at WARN with their span tree (0: never)")
+	logLevel := fs.String("log-level", "info", `structured log level: "debug", "info", "warn" or "error"`)
+	debugAddr := fs.String("debug-addr", "", "extra listener for net/http/pprof and /debug/traces (empty: off)")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Println(buildinfo.String("flexd"))
+		return nil
 	}
 	if *shards < 1 {
 		return fmt.Errorf("-shards must be at least 1, got %d", *shards)
@@ -115,6 +137,21 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		return fmt.Errorf("-log-level: %w", err)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	// The tracer is the process-wide observability hub: per-request
+	// traces land in its ring (served by /debug/traces) and every stage
+	// span feeds its metrics sink, which /metrics renders as the
+	// flexd_stage_seconds families. The WAL shares the same sink so
+	// background fsyncs are counted alongside request-path ones.
+	var tracer *obs.Tracer
+	if *traceRing >= 0 {
+		tracer = obs.NewTracer(*traceRing, 0)
+	}
 
 	se := flex.NewSharded(*shards,
 		flex.WithWorkers(*workers),
@@ -133,6 +170,7 @@ func run(args []string) error {
 			SegmentBytes:  *segBytes,
 			SnapshotEvery: *snapEvery,
 			Executor:      se.Executor(),
+			Metrics:       tracer.Metrics(),
 		})
 		if err != nil {
 			return err
@@ -142,8 +180,14 @@ func run(args []string) error {
 		// its replay borrowed.
 		defer wal.Close()
 		st := wal.Stats()
-		log.Printf("flexd: replayed %s: %d snapshot + %d log records (%d segments, %d bytes, %d torn bytes dropped) in %s",
-			*dataDir, st.SnapshotRecords, st.Records, st.Segments, st.Bytes, st.DroppedBytes, st.Duration.Round(time.Millisecond))
+		logger.Info("replayed WAL",
+			"dir", *dataDir,
+			"snapshot_records", st.SnapshotRecords,
+			"log_records", st.Records,
+			"segments", st.Segments,
+			"bytes", st.Bytes,
+			"torn_bytes_dropped", st.DroppedBytes,
+			"duration", st.Duration.Round(time.Millisecond))
 		store = wal
 	}
 
@@ -153,7 +197,28 @@ func run(args []string) error {
 		IngestBlockBytes:   *block,
 		Store:              store,
 		StreamWriteTimeout: *writeTimeout,
+		Tracer:             tracer,
+		Logger:             logger,
+		SlowRequest:        *slowReq,
 	})
+
+	// The debug listener is a separate address on purpose: pprof and
+	// raw traces stay off the service port, so exposing :8080 through a
+	// load balancer never exposes profiling.
+	if *debugAddr != "" {
+		dbg := &http.Server{
+			Addr:              *debugAddr,
+			Handler:           debugMux(srv),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("debug listener failed", "addr", *debugAddr, "error", err)
+			}
+		}()
+		defer dbg.Close()
+		logger.Info("debug listener on", "addr", *debugAddr)
+	}
 
 	// WriteTimeout is safe for streamed /v1/schedule bodies because the
 	// handler pushes the deadline forward on every write (see
@@ -173,7 +238,9 @@ func run(args []string) error {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
 	poolWorkers, _ := se.PoolStats()
-	log.Printf("flexd: serving on %s (%d shards, %d pool workers)", *addr, se.Shards(), poolWorkers)
+	logger.Info("serving",
+		"addr", *addr, "shards", se.Shards(), "pool_workers", poolWorkers,
+		"version", buildinfo.Version)
 
 	select {
 	case err := <-errc:
@@ -185,7 +252,7 @@ func run(args []string) error {
 	// finish within the deadline. The engines close last (deferred),
 	// after no request can still be using their pools.
 	srv.MarkDraining()
-	log.Printf("flexd: draining (deadline %s)", *drain)
+	logger.Info("draining", "deadline", *drain)
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
@@ -194,6 +261,20 @@ func run(args []string) error {
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("flexd: drained")
+	logger.Info("drained")
 	return nil
+}
+
+// debugMux builds the -debug-addr handler: the standard pprof pages
+// plus the service's own /debug/traces, so a profiling session and the
+// trace ring are reachable without touching the service port.
+func debugMux(srv http.Handler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /debug/traces", srv)
+	return mux
 }

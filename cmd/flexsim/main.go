@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"flexmeasures/internal/buildinfo"
 	"flexmeasures/internal/sim"
 )
 
@@ -61,8 +62,13 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	jsonOut := fs.Bool("json", false, "emit the full report as JSON instead of the summary table")
 	trace := fs.Bool("trace", false, "closed loop: dump the event trace before the report")
 	list := fs.Bool("list", false, "list registered scenarios and exit")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("flexsim"))
+		return nil
 	}
 	if *list {
 		for _, sc := range sim.Scenarios() {

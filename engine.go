@@ -9,6 +9,7 @@ import (
 	"flexmeasures/internal/aggregate"
 	"flexmeasures/internal/core"
 	"flexmeasures/internal/grouping"
+	"flexmeasures/internal/obs"
 	"flexmeasures/internal/pool"
 	"flexmeasures/internal/sched"
 	"flexmeasures/internal/timeseries"
@@ -350,6 +351,8 @@ func (e *Engine) Schedule(ctx context.Context, offers []*FlexOffer, target Serie
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, sp := obs.Start(ctx, obs.StageSchedule)
+	defer sp.End()
 	return sched.Schedule(offers, target, sched.Options{
 		PeakCap: o.peakCap,
 		Order:   o.placement,
@@ -449,6 +452,14 @@ func (e *Engine) pipeline(ctx context.Context, offers []*FlexOffer, target Serie
 	if err != nil {
 		return nil, err
 	}
+	// ScheduleStream returns once the last group is placed; the
+	// producer closes the stream (ending its aggregate span first)
+	// just after delivering it. Draining the already-exhausted channel
+	// waits for that close, so a finished trace never reports the
+	// aggregation stage of a successful pipeline as still running.
+	for range items {
+	}
+	obs.AddGroups(ctx, n)
 	if err := ctx.Err(); err != nil {
 		// A cancellation racing the end of the group stream could
 		// deliver a truncated-but-consistent prefix; never present one

@@ -9,6 +9,7 @@ import (
 
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/grouping"
+	"flexmeasures/internal/obs"
 	"flexmeasures/internal/pool"
 )
 
@@ -89,6 +90,18 @@ func (pp ParallelParams) forEach(n int, fn func(int)) {
 		return
 	}
 	pool.Run(n, pp.Workers, pp.BatchSize, fn)
+}
+
+// forEachCtx is forEach with the request context threaded through, so
+// a context-aware pool records pool_queue spans for the helpers it
+// enlists. Executors that predate pool.CtxExecutor — and the
+// per-call spin-up fallback — run exactly as before.
+func (pp ParallelParams) forEachCtx(ctx context.Context, n int, fn func(int)) {
+	if ce, ok := pp.Pool.(pool.CtxExecutor); ok {
+		ce.ForEachCtx(ctx, n, pp.Workers, pp.BatchSize, fn)
+		return
+	}
+	pp.forEach(n, fn)
 }
 
 // GroupError reports the failure of one group in a batched aggregation,
@@ -204,10 +217,12 @@ func aggregateGroupsParallel(ctx context.Context, groups [][]*flexoffer.FlexOffe
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.Start(ctx, obs.StageAggregate)
+	defer sp.End()
 	errSlots := make([]*GroupError, n)
 	var failed atomic.Bool
 	done := ctx.Done()
-	pp.forEach(n, func(i int) {
+	pp.forEachCtx(ctx, n, func(i int) {
 		if pp.ErrorMode == FirstError && failed.Load() {
 			return
 		}
@@ -312,10 +327,16 @@ func streamGroups(ctx context.Context, groups [][]*flexoffer.FlexOffer, agg func
 		return ch, 0
 	}
 	done := ctx.Done()
+	// The aggregate span covers the whole fan-out; it is started here
+	// (not inside the goroutine) so it nests under the caller's span,
+	// and ended before the channel closes — defers run LIFO — so a
+	// consumer that drains the stream observes a completed span.
+	sctx, sp := obs.Start(ctx, obs.StageAggregate)
 	go func() {
 		defer close(ch)
+		defer sp.End()
 		var failed atomic.Bool
-		pp.forEach(n, func(i int) {
+		pp.forEachCtx(sctx, n, func(i int) {
 			if pp.ErrorMode == FirstError && failed.Load() {
 				return
 			}
@@ -356,10 +377,12 @@ func DisaggregateAllParallel(ctx context.Context, ags []*Aggregated, assignments
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.Start(ctx, obs.StageDisaggregate)
+	defer sp.End()
 	errSlots := make([]*GroupError, n)
 	var failed atomic.Bool
 	done := ctx.Done()
-	pp.forEach(n, func(i int) {
+	pp.forEachCtx(ctx, n, func(i int) {
 		if pp.ErrorMode == FirstError && failed.Load() {
 			return
 		}
@@ -469,8 +492,13 @@ func streamGrouper(ctx context.Context, offers []*flexoffer.FlexOffer, g groupin
 		poke()
 	}()
 	done := ctx.Done()
+	// One aggregate span covers the whole aggregation side of the
+	// stream, batches included; ended before the item channel closes
+	// (LIFO defers) so a draining consumer sees it completed.
+	sctx, sp := obs.Start(ctx, obs.StageAggregate)
 	go func() {
 		defer close(ch)
+		defer sp.End()
 		var failed atomic.Bool
 		for {
 			mu.Lock()
@@ -494,7 +522,7 @@ func streamGrouper(ctx context.Context, offers []*flexoffer.FlexOffer, g groupin
 			for _, r := range runs[1:] {
 				groups = append(groups, r.groups...)
 			}
-			pp.forEach(len(groups), func(j int) {
+			pp.forEachCtx(sctx, len(groups), func(j int) {
 				if pp.ErrorMode == FirstError && failed.Load() {
 					return
 				}

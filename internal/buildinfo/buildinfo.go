@@ -1,0 +1,22 @@
+// Package buildinfo holds the version string stamped into every flexd
+// binary. It exists so cmd/flexd, cmd/flexctl, cmd/flexsim and
+// cmd/flexbench share one -version implementation and one ldflags
+// injection point:
+//
+//	go build -ldflags "-X flexmeasures/internal/buildinfo.Version=v1.2.3" ./cmd/...
+//
+// An unstamped build reports "dev".
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version is the build's version string, overridden at link time.
+var Version = "dev"
+
+// String renders the one-line -version output for binary name.
+func String(name string) string {
+	return fmt.Sprintf("%s %s (%s)", name, Version, runtime.Version())
+}

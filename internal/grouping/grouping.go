@@ -20,6 +20,7 @@ import (
 	"sort"
 
 	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/obs"
 )
 
 // Grouper partitions offers into aggregation-compatible groups. The
@@ -52,16 +53,30 @@ type Params struct {
 // constituent order inside each group follows the sort. This is the
 // oracle the Sharded grouper is property-tested against.
 func Group(offers []*flexoffer.FlexOffer, p Params) [][]*flexoffer.FlexOffer {
+	return groupTraced(context.Background(), offers, p)
+}
+
+// groupTraced is the serial threshold grouper with its two phases —
+// the stable key sort and the greedy pack — wrapped in group_sort and
+// group_pack spans, so the serial path (small inputs, one worker)
+// reports the same stage breakdown as the sharded one. Output is
+// identical to Group for every input.
+func groupTraced(ctx context.Context, offers []*flexoffer.FlexOffer, p Params) [][]*flexoffer.FlexOffer {
 	if len(offers) == 0 {
 		return nil
 	}
+	_, ssp := obs.Start(ctx, obs.StageGroupSort)
 	ests, tfs := keysOf(offers)
 	perm := sortedPerm(ests, tfs)
 	sorted := make([]*flexoffer.FlexOffer, len(offers))
 	for i, pi := range perm {
 		sorted[i] = offers[pi]
 	}
-	return pack(sorted, tfsOf(tfs, perm), p)
+	sortedTF := tfsOf(tfs, perm)
+	ssp.End()
+	_, psp := obs.Start(ctx, obs.StageGroupPack)
+	defer psp.End()
+	return pack(sorted, sortedTF, p)
 }
 
 // Threshold is the Grouper adapter of the serial threshold strategy.
@@ -71,9 +86,9 @@ type Threshold struct {
 	Params Params
 }
 
-// Group implements Grouper.
-func (t Threshold) Group(_ context.Context, offers []*flexoffer.FlexOffer) ([][]*flexoffer.FlexOffer, error) {
-	return Group(offers, t.Params), nil
+// Group implements Grouper. The context is used only for tracing.
+func (t Threshold) Group(ctx context.Context, offers []*flexoffer.FlexOffer) ([][]*flexoffer.FlexOffer, error) {
+	return groupTraced(ctx, offers, t.Params), nil
 }
 
 // keysOf derives the sort keys — earliest start and time flexibility —

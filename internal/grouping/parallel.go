@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/obs"
 	"flexmeasures/internal/pool"
 )
 
@@ -127,12 +128,14 @@ func (s *Sharded) Group(ctx context.Context, offers []*flexoffer.FlexOffer) ([][
 		return nil, nil
 	}
 	if len(offers) < s.minOffers() {
-		return Group(offers, s.Params), nil
+		return groupTraced(ctx, offers, s.Params), nil
 	}
-	p := s.plan(offers)
+	p := s.plan(ctx, offers)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, psp := obs.Start(ctx, obs.StageGroupPack)
+	defer psp.End()
 	if len(p.ends) == 1 {
 		// Fallback: one EST-connected run — every adjacent gap is
 		// within the tolerance, so greedy packing is inherently
@@ -178,11 +181,11 @@ func (s *Sharded) GroupStream(ctx context.Context, offers []*flexoffer.FlexOffer
 	}
 	if len(offers) < s.minOffers() {
 		ch := make(chan Batch, 1)
-		ch <- Batch{Groups: Group(offers, s.Params)}
+		ch <- Batch{Groups: groupTraced(ctx, offers, s.Params)}
 		close(ch)
 		return ch
 	}
-	p := s.plan(offers)
+	p := s.plan(ctx, offers)
 	ch := make(chan Batch, len(p.ends))
 	results := make([][][]*flexoffer.FlexOffer, len(p.ends))
 	ready := make([]chan struct{}, len(p.ends))
@@ -190,6 +193,10 @@ func (s *Sharded) GroupStream(ctx context.Context, offers []*flexoffer.FlexOffer
 		ready[k] = make(chan struct{})
 	}
 	done := ctx.Done()
+	// The pack span covers shard packing through the delivery of the
+	// last batch; the forwarder ends it before closing the channel
+	// (LIFO defers) so a draining consumer sees it completed.
+	_, psp := obs.Start(ctx, obs.StageGroupPack)
 	go func() {
 		s.forEach(len(p.ends), 0, func(k int) {
 			defer close(ready[k])
@@ -204,6 +211,7 @@ func (s *Sharded) GroupStream(ctx context.Context, offers []*flexoffer.FlexOffer
 	}()
 	go func() {
 		defer close(ch)
+		defer psp.End()
 		offset := 0
 		for k := range p.ends {
 			select {
@@ -239,8 +247,11 @@ func (p *shardPlan) startOf(k int) int {
 }
 
 // plan derives keys, sorts, and cuts the sorted order into shards at
-// every earliest-start gap wider than the tolerance.
-func (s *Sharded) plan(offers []*flexoffer.FlexOffer) *shardPlan {
+// every earliest-start gap wider than the tolerance. The whole phase
+// is one group_sort span; the ctx is used only for tracing.
+func (s *Sharded) plan(ctx context.Context, offers []*flexoffer.FlexOffer) *shardPlan {
+	_, sp := obs.Start(ctx, obs.StageGroupSort)
+	defer sp.End()
 	n := len(offers)
 	ests := make([]int, n)
 	tfs := make([]int, n)

@@ -35,6 +35,7 @@ import (
 
 	"flexmeasures/internal/aggregate"
 	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/obs"
 	"flexmeasures/internal/pool"
 )
 
@@ -142,6 +143,8 @@ type span struct {
 // record (CollectAll); a cancelled ctx is honored between blocks and
 // between records.
 func DecodeNDJSON(ctx context.Context, r io.Reader, p Params) ([]*flexoffer.FlexOffer, error) {
+	ctx, sp := obs.Start(ctx, obs.StageIngestDecode)
+	defer sp.End()
 	blockBytes := p.BlockBytes
 	if blockBytes < 1 {
 		blockBytes = 1 << 20
@@ -338,7 +341,9 @@ func decodeBlock(ctx context.Context, data []byte, spans []span, recBase, lnBase
 		}
 		offers[i] = f
 	}
-	if p.Pool != nil {
+	if ce, ok := p.Pool.(pool.CtxExecutor); ok {
+		ce.ForEachCtx(ctx, n, p.Workers, 0, fn)
+	} else if p.Pool != nil {
 		p.Pool.ForEach(n, p.Workers, 0, fn)
 	} else {
 		pool.Run(n, p.Workers, 0, fn)

@@ -1,0 +1,244 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestDisabledPathIsInert pins the disabled-path contract: with no
+// trace in the context every obs call is a no-op, nil spans accept
+// End, and the context comes back unchanged (no allocation of a new
+// context on the hot path).
+func TestDisabledPathIsInert(t *testing.T) {
+	ctx := context.Background()
+	ctx2, sp := Start(ctx, StageAggregate)
+	if sp != nil {
+		t.Fatal("Start without a trace returned a span")
+	}
+	if ctx2 != ctx {
+		t.Fatal("Start without a trace allocated a new context")
+	}
+	sp.End() // must not panic
+	RecordSince(ctx, StagePoolQueue, time.Now())
+	AddOffers(ctx, 5)
+	AddGroups(ctx, 5)
+	if got := WithShard(ctx, 3); got != ctx {
+		t.Fatal("WithShard without a trace allocated a new context")
+	}
+	var nilTracer *Tracer
+	if nilTracer.Start("x") != nil {
+		t.Fatal("nil tracer returned a trace")
+	}
+	if nilTracer.Last(10) != nil {
+		t.Fatal("nil tracer returned traces")
+	}
+	nilTracer.Metrics().Observe(StageSchedule, -1, time.Millisecond)
+}
+
+// TestTraceSpanTree pins nesting, shard attributes, counters and the
+// ring: a parent span with two sharded children must come back from
+// Finish with correct Parent indices, and the tracer must serve it
+// newest-first from Last.
+func TestTraceSpanTree(t *testing.T) {
+	tc := NewTracer(4, 16)
+	tr := tc.Start("req-1")
+	ctx := NewContext(context.Background(), tr)
+
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom did not return the installed trace")
+	}
+	pctx, parent := Start(ctx, StageAggregate)
+	for shard := 0; shard < 2; shard++ {
+		_, child := Start(WithShard(pctx, shard), StageGroupSort)
+		child.End()
+	}
+	parent.End()
+	AddOffers(ctx, 10)
+	AddGroups(ctx, 3)
+
+	td := tr.Finish()
+	if td.ID != "req-1" || td.Offers != 10 || td.Groups != 3 {
+		t.Fatalf("trace header wrong: %+v", td)
+	}
+	if len(td.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(td.Spans))
+	}
+	if td.Spans[0].Name != StageAggregate || td.Spans[0].Parent != -1 || td.Spans[0].Shard != -1 {
+		t.Fatalf("parent span wrong: %+v", td.Spans[0])
+	}
+	for i := 1; i <= 2; i++ {
+		if td.Spans[i].Parent != 0 || td.Spans[i].Shard != i-1 || td.Spans[i].DurationNs <= 0 {
+			t.Fatalf("child span %d wrong: %+v", i, td.Spans[i])
+		}
+	}
+	// Second Finish is a no-op.
+	if again := tr.Finish(); again.ID != "" {
+		t.Fatal("second Finish returned data")
+	}
+	last := tc.Last(10)
+	if len(last) != 1 || last[0].ID != "req-1" {
+		t.Fatalf("ring contents wrong: %+v", last)
+	}
+	tree := td.Tree()
+	for _, want := range []string{"req-1", StageAggregate, StageGroupSort + "[shard=1]"} {
+		if !strings.Contains(tree, want) {
+			t.Errorf("tree missing %q:\n%s", want, tree)
+		}
+	}
+}
+
+// TestRingBoundedNewestFirst fills the ring past capacity and checks
+// eviction order.
+func TestRingBoundedNewestFirst(t *testing.T) {
+	tc := NewTracer(3, 4)
+	for _, id := range []string{"a", "b", "c", "d", "e"} {
+		tc.Start(id).Finish()
+	}
+	got := tc.Last(0)
+	if len(got) != 3 || got[0].ID != "e" || got[1].ID != "d" || got[2].ID != "c" {
+		t.Fatalf("ring order wrong: %+v", got)
+	}
+	if one := tc.Last(1); len(one) != 1 || one[0].ID != "e" {
+		t.Fatalf("Last(1) wrong: %+v", one)
+	}
+}
+
+// TestArenaOverflowCountsDropped claims more spans than the arena
+// holds; the excess must be counted, not recorded, and recording must
+// not panic.
+func TestArenaOverflowCountsDropped(t *testing.T) {
+	tc := NewTracer(2, 4)
+	tr := tc.Start("")
+	ctx := NewContext(context.Background(), tr)
+	for i := 0; i < 10; i++ {
+		_, sp := Start(ctx, StageSchedule)
+		sp.End()
+	}
+	td := tr.Finish()
+	if len(td.Spans) != 4 || td.DroppedSpans != 6 {
+		t.Fatalf("got %d spans, %d dropped; want 4 and 6", len(td.Spans), td.DroppedSpans)
+	}
+	if td.ID == "" {
+		t.Fatal("generated request ID is empty")
+	}
+}
+
+// TestRecordSince pins the retroactive-span path used for pool
+// queue-wait: the span must cover t0..now.
+func TestRecordSince(t *testing.T) {
+	tc := NewTracer(2, 4)
+	tr := tc.Start("r")
+	ctx := NewContext(context.Background(), tr)
+	t0 := time.Now().Add(-5 * time.Millisecond)
+	RecordSince(ctx, StagePoolQueue, t0)
+	td := tr.Finish()
+	if len(td.Spans) != 1 {
+		t.Fatalf("got %d spans, want 1", len(td.Spans))
+	}
+	if d := td.Spans[0].DurationNs; d < int64(4*time.Millisecond) {
+		t.Fatalf("queue-wait span too short: %v", time.Duration(d))
+	}
+}
+
+// TestMetricsSeries pins the exposition snapshot: deterministic
+// ordering, shard -1 first, cumulative totals.
+func TestMetricsSeries(t *testing.T) {
+	m := NewMetrics()
+	m.Observe(StageSchedule, -1, 2*time.Millisecond)
+	m.Observe(StageAggregate, 1, time.Millisecond)
+	m.Observe(StageAggregate, 0, time.Millisecond)
+	m.Observe(StageAggregate, 0, 3*time.Second)
+	s := m.Series()
+	if len(s) != 3 {
+		t.Fatalf("got %d series, want 3", len(s))
+	}
+	if s[0].Stage != StageAggregate || s[0].Shard != 0 || s[0].Total != 2 {
+		t.Fatalf("series[0] wrong: %+v", s[0])
+	}
+	if s[1].Stage != StageAggregate || s[1].Shard != 1 {
+		t.Fatalf("series[1] wrong: %+v", s[1])
+	}
+	if s[2].Stage != StageSchedule || s[2].Shard != -1 {
+		t.Fatalf("series[2] wrong: %+v", s[2])
+	}
+	var n int64
+	for _, c := range s[0].Counts {
+		n += c
+	}
+	if n != s[0].Total {
+		t.Fatalf("bucket counts sum to %d, total %d", n, s[0].Total)
+	}
+	if s[0].Sum < 3.0 {
+		t.Fatalf("sum %v, want >= 3s", s[0].Sum)
+	}
+}
+
+// TestTraceConcurrentHammer drives one trace from 12 goroutines
+// starting, ending and retro-recording spans while another goroutine
+// finishes the trace mid-flight — the -race exercise for the arena's
+// publish protocol. No assertion beyond "no race, no panic, sane
+// output".
+func TestTraceConcurrentHammer(t *testing.T) {
+	tc := NewTracer(8, 64)
+	for round := 0; round < 20; round++ {
+		tr := tc.Start("")
+		ctx := NewContext(context.Background(), tr)
+		var wg sync.WaitGroup
+		for g := 0; g < 12; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; i < 10; i++ {
+					sctx, sp := Start(WithShard(ctx, g%4), StageAggregate)
+					_, child := Start(sctx, StagePoolQueue)
+					child.End()
+					sp.End()
+					AddOffers(ctx, 1)
+				}
+			}(g)
+		}
+		if round%2 == 0 {
+			tr.Finish() // race Finish against in-flight spans
+		}
+		wg.Wait()
+		td := tr.Finish()
+		_ = td.Tree()
+	}
+	if len(tc.Last(0)) != 8 {
+		t.Fatalf("ring should be full, got %d", len(tc.Last(0)))
+	}
+}
+
+// BenchmarkStartEndDisabled measures the disabled path: a context
+// lookup plus a nil check. This is the overhead every pipeline stage
+// pays when tracing is off.
+func BenchmarkStartEndDisabled(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, sp := Start(ctx, StageSchedule)
+		sp.End()
+	}
+}
+
+// BenchmarkStartEndEnabled measures the enabled path: one atomic slot
+// claim, field writes, and a histogram observe on End.
+func BenchmarkStartEndEnabled(b *testing.B) {
+	tc := NewTracer(4, 1<<20)
+	tr := tc.Start("bench")
+	ctx := NewContext(context.Background(), tr)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%(1<<19) == 0 { // fresh arena before overflow
+			tr.Finish()
+			tr = tc.Start("bench")
+			ctx = NewContext(context.Background(), tr)
+		}
+		_, sp := Start(ctx, StageSchedule)
+		sp.End()
+	}
+}

@@ -117,15 +117,15 @@ func TestCrashMatrix(t *testing.T) {
 				muts = append(muts, ms...)
 			}
 			offers := crashFleet(t, 1, 30)
-			apply(w.Add(offers[:12]))
-			mem.Add(offers[:12])
-			apply(w.Add(offers[12:])) // rest of the fleet
-			mem.Add(offers[12:])
-			apply(w.Add(offers[5:9])) // re-ingest: replace records
-			mem.Add(offers[5:9])
+			apply(w.Add(context.Background(), offers[:12]))
+			mem.Add(context.Background(), offers[:12])
+			apply(w.Add(context.Background(), offers[12:])) // rest of the fleet
+			mem.Add(context.Background(), offers[12:])
+			apply(w.Add(context.Background(), offers[5:9])) // re-ingest: replace records
+			mem.Add(context.Background(), offers[5:9])
 			ids := []string{offers[0].ID, offers[20].ID}
-			apply(w.Delete(ids))
-			mem.Delete(ids)
+			apply(w.Delete(context.Background(), ids))
+			mem.Delete(context.Background(), ids)
 			if err := w.Close(); err != nil {
 				t.Fatal(err)
 			}
@@ -241,7 +241,7 @@ func TestCrashDuringSnapshot(t *testing.T) {
 		}
 		offers := crashFleet(t, 2, 30)
 		for i := 0; i+5 <= len(offers); i += 5 {
-			if _, _, err := w.Add(offers[i : i+5]); err != nil {
+			if _, _, err := w.Add(context.Background(), offers[i:i+5]); err != nil {
 				break // degraded mid-scenario: stop writing, like a real server
 			}
 		}

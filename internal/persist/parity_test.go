@@ -2,6 +2,7 @@ package persist_test
 
 import (
 	"bytes"
+	"context"
 	"reflect"
 	"testing"
 
@@ -18,10 +19,10 @@ import (
 func TestWALEngineParity(t *testing.T) {
 	offers := crashFleet(t, 9, 60)
 	ops := func(st persist.Store) {
-		st.Add(offers[:40])
-		st.Add(offers[40:])
-		st.Add(offers[10:20]) // replaces
-		st.Delete([]string{offers[2].ID, offers[45].ID})
+		st.Add(context.Background(), offers[:40])
+		st.Add(context.Background(), offers[40:])
+		st.Add(context.Background(), offers[10:20]) // replaces
+		st.Delete(context.Background(), []string{offers[2].ID, offers[45].ID})
 	}
 
 	var ref []byte

@@ -20,6 +20,8 @@
 package persist
 
 import (
+	"context"
+
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/shard"
 )
@@ -36,14 +38,18 @@ import (
 // Err reports a degraded backend — mutations will be refused, reads
 // keep working — so the serving layer can flip read-only instead of
 // crashing.
+// Mutations carry the request context so a durable backend can attach
+// its WAL-append and fsync latency to the request's trace; a backend
+// must treat the context as observability-only (mutations are never
+// half-cancelled).
 type Store interface {
 	// Add merges decoded offers (see shard.Stores.Add), reporting the
 	// applied mutations and the store size afterwards.
-	Add(offers []*flexoffer.FlexOffer) (muts []shard.Mutation, stored int, err error)
+	Add(ctx context.Context, offers []*flexoffer.FlexOffer) (muts []shard.Mutation, stored int, err error)
 	// Delete removes the identified offers (unknown IDs are skipped).
-	Delete(ids []string) (muts []shard.Mutation, stored int, err error)
+	Delete(ctx context.Context, ids []string) (muts []shard.Mutation, stored int, err error)
 	// Reset empties the store — durably, for backends with a log.
-	Reset() error
+	Reset(ctx context.Context) error
 	// Snapshot returns the immutable per-shard entry lists.
 	Snapshot() [][]shard.Entry
 	// Len returns the total offer count.
@@ -72,19 +78,19 @@ func NewMemory(r shard.Router) *MemStore {
 }
 
 // Add implements Store.
-func (m *MemStore) Add(offers []*flexoffer.FlexOffer) ([]shard.Mutation, int, error) {
+func (m *MemStore) Add(_ context.Context, offers []*flexoffer.FlexOffer) ([]shard.Mutation, int, error) {
 	muts, stored := m.st.Add(offers)
 	return muts, stored, nil
 }
 
 // Delete implements Store.
-func (m *MemStore) Delete(ids []string) ([]shard.Mutation, int, error) {
+func (m *MemStore) Delete(_ context.Context, ids []string) ([]shard.Mutation, int, error) {
 	muts, stored := m.st.Delete(ids)
 	return muts, stored, nil
 }
 
 // Reset implements Store.
-func (m *MemStore) Reset() error {
+func (m *MemStore) Reset(context.Context) error {
 	m.st.Reset()
 	return nil
 }

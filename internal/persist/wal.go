@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -11,6 +12,7 @@ import (
 	"time"
 
 	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/obs"
 	"flexmeasures/internal/pool"
 	"flexmeasures/internal/shard"
 )
@@ -83,6 +85,12 @@ type Options struct {
 	// Executor fans the replay offer decode out across a worker pool
 	// (nil: serial decode).
 	Executor pool.Executor
+	// Metrics, when non-nil, receives wal_append/wal_fsync latency
+	// observations for work that runs outside any request trace —
+	// interval syncs, segment seals, snapshot syncs. Request-path
+	// appends report through the request's trace instead (the two
+	// sinks are the same object when flexd wires its tracer here).
+	Metrics *obs.Metrics
 }
 
 // ReplayStats describes one boot-time recovery.
@@ -422,7 +430,7 @@ func (w *WALStore) closeActiveLocked() error {
 	// Seal the segment: after this no timer will ever sync it again, so
 	// flush it now unless the operator opted out of fsync entirely.
 	if w.o.Fsync != FsyncOff {
-		if err := w.active.Sync(); err != nil {
+		if err := w.timedSync(w.active); err != nil {
 			w.active.Close()
 			w.active = nil
 			return w.fail(fmt.Errorf("persist: syncing %s: %w", w.activeName, err))
@@ -471,10 +479,19 @@ func (w *WALStore) healthyLocked() error {
 // per policy. The store is NOT applied here: log first, apply only
 // after the log accepted the batch, so a failed append leaves memory
 // and disk agreeing (both without the batch).
-func (w *WALStore) appendLocked(muts []shard.Mutation) error {
+func (w *WALStore) appendLocked(ctx context.Context, muts []shard.Mutation) error {
 	if len(muts) == 0 {
 		return nil
 	}
+	t0 := time.Now()
+	ctx, sp := obs.Start(ctx, obs.StageWALAppend)
+	defer func() {
+		if sp != nil {
+			sp.End()
+		} else {
+			w.o.Metrics.Observe(obs.StageWALAppend, -1, time.Since(t0))
+		}
+	}()
 	var buf []byte
 	var err error
 	for _, m := range muts {
@@ -486,8 +503,11 @@ func (w *WALStore) appendLocked(muts []shard.Mutation) error {
 		return w.fail(err)
 	}
 	if w.o.Fsync == FsyncAlways {
-		if err := w.active.Sync(); err != nil {
-			return w.fail(err)
+		s0 := time.Now()
+		serr := w.active.Sync()
+		w.observeSince(ctx, obs.StageWALFsync, s0)
+		if serr != nil {
+			return w.fail(serr)
 		}
 	}
 	w.activeSize += int64(len(buf))
@@ -495,15 +515,39 @@ func (w *WALStore) appendLocked(muts []shard.Mutation) error {
 	return nil
 }
 
-// mutate runs the shared stage → append → apply sequence.
-func (w *WALStore) mutate(stage func() []shard.Mutation) ([]shard.Mutation, int, error) {
+// observeSince files a stage interval either into the request's trace
+// (nesting under the current span) or, without one, directly into the
+// configured metrics sink — the two sinks are the same histograms in
+// a fully wired flexd, so the split only decides whether a span shows
+// up in /debug/traces.
+func (w *WALStore) observeSince(ctx context.Context, stage string, t0 time.Time) {
+	if obs.TraceFrom(ctx) != nil {
+		obs.RecordSince(ctx, stage, t0)
+		return
+	}
+	w.o.Metrics.Observe(stage, -1, time.Since(t0))
+}
+
+// timedSync syncs f, reporting the fsync latency to the metrics sink.
+// For syncs with no request in sight (timers, seals, snapshots).
+func (w *WALStore) timedSync(f File) error {
+	t0 := time.Now()
+	err := f.Sync()
+	w.o.Metrics.Observe(obs.StageWALFsync, -1, time.Since(t0))
+	return err
+}
+
+// mutate runs the shared stage → append → apply sequence. The ctx is
+// observability-only: it attaches the append/fsync latency to the
+// request's trace and is never consulted for cancellation.
+func (w *WALStore) mutate(ctx context.Context, stage func() []shard.Mutation) ([]shard.Mutation, int, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.healthyLocked(); err != nil {
 		return nil, w.st.Len(), err
 	}
 	muts := stage()
-	if err := w.appendLocked(muts); err != nil {
+	if err := w.appendLocked(ctx, muts); err != nil {
 		return nil, w.st.Len(), err
 	}
 	if err := w.st.Apply(muts); err != nil {
@@ -517,26 +561,26 @@ func (w *WALStore) mutate(stage func() []shard.Mutation) ([]shard.Mutation, int,
 // Add stages, logs and applies an ingest batch (see shard.Stores.Add
 // for the routing and last-write-wins rules). On error the batch is
 // neither logged nor applied and the store is degraded.
-func (w *WALStore) Add(offers []*flexoffer.FlexOffer) ([]shard.Mutation, int, error) {
-	return w.mutate(func() []shard.Mutation { return w.st.Stage(offers) })
+func (w *WALStore) Add(ctx context.Context, offers []*flexoffer.FlexOffer) ([]shard.Mutation, int, error) {
+	return w.mutate(ctx, func() []shard.Mutation { return w.st.Stage(offers) })
 }
 
 // Delete stages, logs and applies removal of the identified offers.
-func (w *WALStore) Delete(ids []string) ([]shard.Mutation, int, error) {
-	return w.mutate(func() []shard.Mutation { return w.st.StageDelete(ids) })
+func (w *WALStore) Delete(ctx context.Context, ids []string) ([]shard.Mutation, int, error) {
+	return w.mutate(ctx, func() []shard.Mutation { return w.st.StageDelete(ids) })
 }
 
 // Reset empties the store durably: a reset record lands in the log
 // first — so deleted offers cannot resurrect even if everything after
 // this line is skipped by a crash — then the segment rotates and an
 // empty snapshot compacts the history away.
-func (w *WALStore) Reset() error {
+func (w *WALStore) Reset(ctx context.Context) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if err := w.healthyLocked(); err != nil {
 		return err
 	}
-	if err := w.appendLocked([]shard.Mutation{{Op: shard.OpReset}}); err != nil {
+	if err := w.appendLocked(ctx, []shard.Mutation{{Op: shard.OpReset}}); err != nil {
 		return err
 	}
 	w.st.Reset()
@@ -633,7 +677,7 @@ func (w *WALStore) writeSnapshot(num uint64, parts [][]shard.Entry, seq uint64) 
 				return err
 			}
 		}
-		return f.Sync()
+		return w.timedSync(f)
 	}()
 	if err != nil {
 		_ = w.fs.Remove(join(w.o.Dir, tmp))
@@ -671,7 +715,7 @@ func (w *WALStore) syncLoop() {
 		case <-t.C:
 			w.mu.Lock()
 			if w.active != nil && w.healthyLocked() == nil {
-				if err := w.active.Sync(); err != nil {
+				if err := w.timedSync(w.active); err != nil {
 					_ = w.fail(fmt.Errorf("persist: interval sync of %s: %w", w.activeName, err))
 				}
 			}

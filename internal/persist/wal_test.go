@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -75,19 +76,19 @@ func TestWALRoundtrip(t *testing.T) {
 			w := openTestWAL(t, Options{Dir: dir, Router: r})
 			mem := NewMemory(r)
 			for _, b := range batches(fleet(t, 1, 57), 10) {
-				if _, _, err := w.Add(b); err != nil {
+				if _, _, err := w.Add(context.Background(), b); err != nil {
 					t.Fatal(err)
 				}
-				mem.Add(b)
+				mem.Add(context.Background(), b)
 			}
 			// Re-adding some offers exercises replace records; deleting
 			// exercises delete records.
 			dup := fleet(t, 1, 57)[10:20]
-			w.Add(dup)
-			mem.Add(dup)
+			w.Add(context.Background(), dup)
+			mem.Add(context.Background(), dup)
 			ids := []string{"s1-0003", "s1-0042", "absent"}
-			w.Delete(ids)
-			mem.Delete(ids)
+			w.Delete(context.Background(), ids)
+			mem.Delete(context.Background(), ids)
 			storesEqual(t, w, mem)
 			if err := w.Close(); err != nil {
 				t.Fatal(err)
@@ -123,10 +124,10 @@ func TestWALRotationAndCompaction(t *testing.T) {
 	w := openTestWAL(t, o)
 	mem := NewMemory(r)
 	for _, b := range batches(fleet(t, 2, 90), 7) {
-		if _, _, err := w.Add(b); err != nil {
+		if _, _, err := w.Add(context.Background(), b); err != nil {
 			t.Fatal(err)
 		}
-		mem.Add(b)
+		mem.Add(context.Background(), b)
 	}
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
@@ -173,16 +174,16 @@ func TestWALResetDurable(t *testing.T) {
 	dir := t.TempDir()
 	r := shard.Router{Shards: 2}
 	w := openTestWAL(t, Options{Dir: dir, Router: r})
-	if _, _, err := w.Add(fleet(t, 3, 40)); err != nil {
+	if _, _, err := w.Add(context.Background(), fleet(t, 3, 40)); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.Reset(); err != nil {
+	if err := w.Reset(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	post := fleet(t, 4, 5)
-	w.Add(post)
+	w.Add(context.Background(), post)
 	mem := NewMemory(r)
-	mem.Add(post)
+	mem.Add(context.Background(), post)
 	if err := w.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -223,7 +224,7 @@ func TestWALTornTailTolerated(t *testing.T) {
 	r := shard.Router{Shards: 2}
 	w := openTestWAL(t, Options{Dir: dir, Router: r})
 	offers := fleet(t, 5, 12)
-	if _, _, err := w.Add(offers); err != nil {
+	if _, _, err := w.Add(context.Background(), offers); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
@@ -263,7 +264,7 @@ func TestWALMidLogCorruptionLoud(t *testing.T) {
 	dir := t.TempDir()
 	r := shard.Router{Shards: 2}
 	w := openTestWAL(t, Options{Dir: dir, Router: r})
-	if _, _, err := w.Add(fleet(t, 6, 10)); err != nil {
+	if _, _, err := w.Add(context.Background(), fleet(t, 6, 10)); err != nil {
 		t.Fatal(err)
 	}
 	if err := w.Close(); err != nil {
@@ -303,14 +304,14 @@ func TestWALDegradedOnWriteFailure(t *testing.T) {
 	ffs := &FaultFS{Inner: OS()}
 	w := openTestWAL(t, Options{Dir: dir, Router: r, FS: ffs})
 	first := fleet(t, 7, 8)
-	if _, _, err := w.Add(first); err != nil {
+	if _, _, err := w.Add(context.Background(), first); err != nil {
 		t.Fatal(err)
 	}
 	// Everything from here on fails at the disk.
 	ffs.FailWriteAt = 1
 	ffs.FailSyncAt = 1
 
-	_, _, err := w.Add(fleet(t, 8, 4))
+	_, _, err := w.Add(context.Background(), fleet(t, 8, 4))
 	if !errors.Is(err, ErrDegraded) || !errors.Is(w.Err(), ErrInjected) {
 		t.Fatalf("failed add: err %v, store err %v", err, w.Err())
 	}
@@ -318,13 +319,13 @@ func TestWALDegradedOnWriteFailure(t *testing.T) {
 		t.Fatalf("failed batch applied: len %d, want %d", w.Len(), len(first))
 	}
 	// Sticky: later mutations are refused outright, reads keep serving.
-	if _, _, err := w.Add(fleet(t, 9, 2)); !errors.Is(err, ErrDegraded) {
+	if _, _, err := w.Add(context.Background(), fleet(t, 9, 2)); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("add on degraded store: %v, want ErrDegraded", err)
 	}
-	if _, _, err := w.Delete([]string{"s7-0001"}); !errors.Is(err, ErrDegraded) {
+	if _, _, err := w.Delete(context.Background(), []string{"s7-0001"}); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("delete on degraded store: %v, want ErrDegraded", err)
 	}
-	if err := w.Reset(); !errors.Is(err, ErrDegraded) {
+	if err := w.Reset(context.Background()); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("reset on degraded store: %v, want ErrDegraded", err)
 	}
 	if got := len(shard.Flatten(w.Snapshot())); got != len(first) {
@@ -335,7 +336,7 @@ func TestWALDegradedOnWriteFailure(t *testing.T) {
 	// The failed batch never reached the disk, so a reboot (with the
 	// disk healthy again) serves exactly the pre-failure state.
 	mem := NewMemory(r)
-	mem.Add(first)
+	mem.Add(context.Background(), first)
 	re := openTestWAL(t, Options{Dir: dir, Router: r})
 	defer re.Close()
 	storesEqual(t, re, mem)
@@ -353,10 +354,10 @@ func TestWALDegradedOnSyncFailure(t *testing.T) {
 	ffs := &FaultFS{Inner: OS(), FailSyncAt: 2}
 	w := openTestWAL(t, Options{Dir: dir, Router: r, FS: ffs})
 	first := fleet(t, 10, 6)
-	if _, _, err := w.Add(first); err != nil {
+	if _, _, err := w.Add(context.Background(), first); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := w.Add(fleet(t, 11, 3)); !errors.Is(err, ErrDegraded) {
+	if _, _, err := w.Add(context.Background(), fleet(t, 11, 3)); !errors.Is(err, ErrDegraded) {
 		t.Fatalf("add past sync failure: %v, want ErrDegraded", err)
 	}
 	if w.Len() != len(first) {
@@ -372,7 +373,7 @@ func TestWALFsyncInterval(t *testing.T) {
 		Dir: dir, Router: shard.Router{Shards: 1},
 		FS: ffs, Fsync: FsyncInterval, FsyncInterval: time.Millisecond,
 	})
-	if _, _, err := w.Add(fleet(t, 12, 3)); err != nil {
+	if _, _, err := w.Add(context.Background(), fleet(t, 12, 3)); err != nil {
 		t.Fatal(err)
 	}
 	deadline := time.Now().Add(5 * time.Second)
@@ -410,7 +411,7 @@ func TestWALHammer(t *testing.T) {
 			defer wg.Done()
 			offers := fleet(t, int64(100+g), 120)
 			for _, b := range batches(offers, 6) {
-				if _, _, err := w.Add(b); err != nil {
+				if _, _, err := w.Add(context.Background(), b); err != nil {
 					t.Errorf("writer %d: %v", g, err)
 					return
 				}
@@ -421,7 +422,7 @@ func TestWALHammer(t *testing.T) {
 			for _, f := range offers[:30] {
 				ids = append(ids, f.ID)
 			}
-			if _, _, err := w.Delete(ids); err != nil {
+			if _, _, err := w.Delete(context.Background(), ids); err != nil {
 				t.Errorf("writer %d delete: %v", g, err)
 			}
 		}(g)

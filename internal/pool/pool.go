@@ -25,9 +25,13 @@
 package pool
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"flexmeasures/internal/obs"
 )
 
 // Executor is the index-addressed fan-out interface a *Pool provides:
@@ -40,6 +44,16 @@ import (
 // concrete pool.
 type Executor interface {
 	ForEach(n, workers, batch int, fn func(int))
+}
+
+// CtxExecutor is an Executor that can additionally thread a request
+// context through the fan-out so per-call observability (the
+// pool_queue spans measuring enqueue→start handoff latency) attaches
+// to the right trace. *Pool implements it; callers type-assert and
+// fall back to plain ForEach when the executor predates it.
+type CtxExecutor interface {
+	Executor
+	ForEachCtx(ctx context.Context, n, workers, batch int, fn func(int))
 }
 
 // Pool is a fixed-size set of persistent worker goroutines. The zero
@@ -161,6 +175,58 @@ func (p *Pool) ForEach(n, workers, batch int, fn func(int)) {
 	// caller-side like any other failed enlistment.
 	for h := 0; h < workers-1; h++ {
 		wg.Add(1)
+		if !p.trySubmit(task) {
+			wg.Done()
+			break
+		}
+	}
+	loop()
+	wg.Wait()
+}
+
+// ForEachCtx is ForEach with the request context threaded through so
+// helper enlistment is observable: when ctx carries a trace, each
+// enlisted pool worker records a pool_queue span covering the
+// enqueue→start delta of its task. The pool's task channel is an
+// unbuffered rendezvous — there is no backlog to measure — so the
+// span is the handoff plus scheduler latency: how long the claim sat
+// between being offered and a worker actually starting it. Without a
+// trace in ctx this is exactly ForEach.
+func (p *Pool) ForEachCtx(ctx context.Context, n, workers, batch int, fn func(int)) {
+	if obs.TraceFrom(ctx) == nil {
+		p.ForEach(n, workers, batch, fn)
+		return
+	}
+	if n <= 0 {
+		return
+	}
+	limit := p.Workers()
+	if p == nil || p.closed.Load() {
+		limit = 1
+	}
+	if workers < 1 || workers > limit {
+		workers = limit
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	loop := makeLoop(&cursor, n, normalizeBatch(batch, n, workers), fn)
+	var wg sync.WaitGroup
+	for h := 0; h < workers-1; h++ {
+		wg.Add(1)
+		enq := time.Now()
+		task := func() {
+			defer wg.Done()
+			obs.RecordSince(ctx, obs.StagePoolQueue, enq)
+			loop()
+		}
 		if !p.trySubmit(task) {
 			wg.Done()
 			break

@@ -7,6 +7,7 @@ import (
 
 	"flexmeasures/internal/aggregate"
 	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/obs"
 	"flexmeasures/internal/timeseries"
 )
 
@@ -64,6 +65,11 @@ func ScheduleStream(ctx context.Context, items <-chan aggregate.StreamItem, n in
 	if n <= 0 {
 		return nil, ErrNoOffers
 	}
+	// The schedule span covers placement including the time spent
+	// waiting on the aggregate stream — that wait is the serial
+	// fraction the ROADMAP's scaling work wants visible.
+	_, sp := obs.Start(ctx, obs.StageSchedule)
+	defer sp.End()
 	sr := &StreamResult{
 		Result:     Result{Assignments: make([]flexoffer.Assignment, n)},
 		Aggregates: make([]*aggregate.Aggregated, n),

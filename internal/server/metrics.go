@@ -3,11 +3,16 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"flexmeasures/internal/buildinfo"
+	"flexmeasures/internal/obs"
 )
 
 // Route indices for the request counters. Fixed at compile time so the
@@ -19,6 +24,11 @@ const (
 	routeMeasures
 	routeHealthz
 	routeMetrics
+	routeDebug
+	// routeOther is the shared label for every path outside the route
+	// table — one bucket, so unknown URLs cannot mint unbounded label
+	// values (see Server.ServeHTTP).
+	routeOther
 	numRoutes
 )
 
@@ -31,6 +41,8 @@ var routeNames = [numRoutes]string{
 	routeMeasures:  "/v1/measures",
 	routeHealthz:   "/healthz",
 	routeMetrics:   "/metrics",
+	routeDebug:     "/debug/traces",
+	routeOther:     "other",
 }
 
 // metrics holds the server's counters and gauges. Everything is an
@@ -96,6 +108,10 @@ func (m *metrics) observe(route, code int, d time.Duration) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	write := func(format string, args ...any) { fmt.Fprintf(w, format, args...) }
+
+	write("# HELP flexd_build_info Build metadata; the value is always 1.\n")
+	write("# TYPE flexd_build_info gauge\n")
+	write("flexd_build_info{version=%q,go_version=%q} 1\n", buildinfo.Version, runtime.Version())
 
 	write("# HELP flexd_requests_total Requests served, by route.\n")
 	write("# TYPE flexd_requests_total counter\n")
@@ -192,4 +208,73 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		_, b := s.se.ShardPoolStats(k)
 		write("flexd_shard_pool_busy{shard=\"%d\"} %d\n", k, b)
 	}
+
+	// Pipeline stage latency from the tracer's metrics sink (empty —
+	// HELP/TYPE lines only — until a traced request runs a stage).
+	// Shard-scoped stages (the scatter-gather fan-out) carry a shard
+	// label; request-scoped ones don't.
+	series := s.obsM.Series()
+	write("# HELP flexd_stage_seconds Pipeline stage latency in seconds, by stage (and engine shard for shard-scoped stages).\n")
+	write("# TYPE flexd_stage_seconds histogram\n")
+	for _, ss := range series {
+		labels := fmt.Sprintf("stage=%q,", ss.Stage)
+		if ss.Shard >= 0 {
+			labels = fmt.Sprintf("stage=%q,shard=\"%d\",", ss.Stage, ss.Shard)
+		}
+		writeHistogram(write, "flexd_stage_seconds", labels, ss.Counts, ss.Sum, ss.Total)
+	}
+
+	// Dedicated views of the two stages operators alert on most, summed
+	// across shards so a dashboard needs no label arithmetic.
+	for _, v := range []struct{ name, stage, help string }{
+		{"flexd_pool_queue_seconds", obs.StagePoolQueue,
+			"Worker-pool task queue wait (enqueue to dequeue) in seconds, summed across shards."},
+		{"flexd_wal_fsync_seconds", obs.StageWALFsync,
+			"WAL fsync latency in seconds, request-path and background syncs combined."},
+	} {
+		counts := make([]int64, len(obs.StageBuckets)+1)
+		var sum float64
+		var total int64
+		for _, ss := range series {
+			if ss.Stage != v.stage {
+				continue
+			}
+			for j, c := range ss.Counts {
+				counts[j] += c
+			}
+			sum += ss.Sum
+			total += ss.Total
+		}
+		write("# HELP %s %s\n", v.name, v.help)
+		write("# TYPE %s histogram\n", v.name)
+		writeHistogram(write, v.name, "", counts, sum, total)
+	}
+
+	write("# HELP flexd_offers_ingested_total Offers ingested by traced requests.\n")
+	write("# TYPE flexd_offers_ingested_total counter\n")
+	write("flexd_offers_ingested_total %d\n", s.obsM.Offers())
+	write("# HELP flexd_groups_total Groups formed by traced pipeline runs.\n")
+	write("# TYPE flexd_groups_total counter\n")
+	write("flexd_groups_total %d\n", s.obsM.Groups())
+}
+
+// writeHistogram renders one histogram series over the stage buckets
+// from a non-cumulative bucket snapshot (see obs.Hist.Snapshot),
+// cumulating at render time like the request histograms. labels is the
+// rendered label prefix including its trailing comma, or empty.
+func writeHistogram(write func(string, ...any), name, labels string, counts []int64, sum float64, total int64) {
+	var cum int64
+	for j, le := range obs.StageBuckets {
+		cum += counts[j]
+		write("%s_bucket{%sle=%q} %d\n", name, labels, strconv.FormatFloat(le, 'g', -1, 64), cum)
+	}
+	cum += counts[len(obs.StageBuckets)]
+	write("%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, cum)
+	if labels == "" {
+		write("%s_sum %g\n", name, sum)
+		write("%s_count %d\n", name, total)
+		return
+	}
+	write("%s_sum{%s} %g\n", name, strings.TrimSuffix(labels, ","), sum)
+	write("%s_count{%s} %d\n", name, strings.TrimSuffix(labels, ","), total)
 }

@@ -5,14 +5,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
 	flex "flexmeasures"
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/ingest"
+	"flexmeasures/internal/obs"
 	"flexmeasures/internal/persist"
 	"flexmeasures/internal/shard"
 	"flexmeasures/internal/timeseries"
@@ -49,6 +52,21 @@ type Options struct {
 	// it into a stall bound instead: any response that keeps moving is
 	// safe regardless of size or how long the handler ran first.
 	StreamWriteTimeout time.Duration
+	// Tracer, when non-nil, enables per-request pipeline tracing: every
+	// API request gets a trace (ID taken from X-Request-Id/traceparent
+	// or generated) whose stage spans surface on GET /debug/traces and
+	// in the flexd_stage_seconds metric families. nil disables tracing —
+	// the pipeline's obs calls then cost one nil check each.
+	Tracer *obs.Tracer
+	// Logger, when non-nil, receives one structured line per API
+	// request: trace ID, method, path, status, duration and the
+	// offer/group counts the request touched. /metrics and /healthz log
+	// at Debug so a scraper doesn't drown the stream.
+	Logger *slog.Logger
+	// SlowRequest, when positive, promotes the log line of any request
+	// at least this slow to WARN with the full span tree inlined — the
+	// "why was that one slow" answer without leaving the log stream.
+	SlowRequest time.Duration
 }
 
 // Server is the flexd HTTP service: a long-lived sharded engine, N
@@ -91,6 +109,19 @@ type Server struct {
 	// finish.
 	draining atomic.Bool
 
+	// tracer/logger are the observability hooks from Options; obsM is
+	// the stage-metrics sink — the tracer's when one is installed, a
+	// fresh empty one otherwise, so /metrics always renders the stage
+	// families (with zero samples) and never nil-checks.
+	tracer *obs.Tracer
+	logger *slog.Logger
+	obsM   *obs.Metrics
+
+	// known holds the registered route paths. ServeHTTP normalises any
+	// other path to the shared "other" metrics label before 404ing, so
+	// a scanner walking random URLs cannot mint unbounded label values.
+	known map[string]bool
+
 	mux *http.ServeMux
 }
 
@@ -125,7 +156,13 @@ func NewSharded(se *flex.ShardedEngine, opts Options) *Server {
 		opts:   opts,
 		gate:   make(chan struct{}, opts.MaxInFlight),
 		stores: opts.Store,
+		tracer: opts.Tracer,
+		logger: opts.Logger,
+		obsM:   opts.Tracer.Metrics(),
 		mux:    http.NewServeMux(),
+	}
+	if s.obsM == nil {
+		s.obsM = obs.NewMetrics()
 	}
 	s.m.shardIngest = make([]atomic.Int64, se.Shards())
 	s.mux.HandleFunc("POST /v1/offers", s.route(routeOffers, s.gated(s.handleIngest)))
@@ -136,6 +173,13 @@ func NewSharded(se *flex.ShardedEngine, opts Options) *Server {
 	s.mux.HandleFunc("GET /v1/measures", s.route(routeMeasures, s.gated(s.handleMeasures)))
 	s.mux.HandleFunc("GET /healthz", s.route(routeHealthz, s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.route(routeMetrics, s.handleMetrics))
+	s.mux.HandleFunc("GET /debug/traces", s.route(routeDebug, s.handleDebugTraces))
+	s.known = make(map[string]bool, numRoutes)
+	for i, name := range routeNames {
+		if i != routeOther {
+			s.known[name] = true
+		}
+	}
 	return s
 }
 
@@ -144,24 +188,135 @@ func NewSharded(se *flex.ShardedEngine, opts Options) *Server {
 // in-flight requests finish. Idempotent; there is no way back.
 func (s *Server) MarkDraining() { s.draining.Store(true) }
 
-// ServeHTTP dispatches to the route table.
+// ServeHTTP dispatches to the route table. Paths outside it short-
+// circuit to a 404 counted under the shared "other" label, so a
+// scanner walking random URLs cannot mint unbounded metric labels;
+// known paths go through the mux, which keeps its 405 behavior for
+// wrong-method requests.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.m.inFlight.Add(1)
 	defer s.m.inFlight.Add(-1)
+	if !s.known[r.URL.Path] {
+		s.route(routeOther, s.handleNotFound)(w, r)
+		return
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
-// route wraps a handler with its request counter and latency
-// histogram: the handler runs against a status-capturing writer and
-// the elapsed time lands in the (route, status code) histogram.
+func (s *Server) handleNotFound(w http.ResponseWriter, r *http.Request) {
+	writeError(w, http.StatusNotFound, "not found", nil)
+}
+
+// route wraps a handler with its request counter, latency histogram
+// and — for the API routes — the request trace: the handler runs
+// against a status-capturing writer with the trace in its context, the
+// elapsed time lands in the (route, status code) histogram, the trace
+// finishes into the tracer's ring, and the request logs one structured
+// line.
 func (s *Server) route(idx int, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		s.m.requests[idx].Add(1)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		var tr *obs.Trace
+		if s.tracer != nil && tracedRoute(idx) {
+			tr = s.tracer.Start(requestID(r))
+			r = r.WithContext(obs.NewContext(r.Context(), tr))
+			// Echo the ID before the handler writes the header, so
+			// the caller can correlate even a failed response with
+			// /debug/traces and the server log.
+			sw.Header().Set("X-Request-Id", tr.ID())
+		}
 		start := time.Now()
 		h(sw, r)
-		s.m.observe(idx, sw.code, time.Since(start))
+		d := time.Since(start)
+		s.m.observe(idx, sw.code, d)
+		var td obs.TraceData
+		if tr != nil {
+			td = tr.Finish()
+		}
+		s.logRequest(r, idx, sw.code, d, tr != nil, td)
 	}
+}
+
+// tracedRoute reports whether a route's requests get traces. The
+// observability endpoints themselves don't: a scraper polling /metrics
+// every few seconds would evict every interesting trace from the ring.
+func tracedRoute(idx int) bool {
+	switch idx {
+	case routeMetrics, routeHealthz, routeDebug, routeOther:
+		return false
+	}
+	return true
+}
+
+// requestID extracts the caller-supplied request ID: X-Request-Id
+// verbatim, else the trace-id field of a W3C traceparent header, else
+// empty (the tracer then generates one).
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" {
+		return id
+	}
+	if tp := r.Header.Get("traceparent"); tp != "" {
+		// version-traceid-parentid-flags; keep just the trace ID.
+		if i := strings.IndexByte(tp, '-'); i >= 0 {
+			rest := tp[i+1:]
+			if j := strings.IndexByte(rest, '-'); j > 0 {
+				return rest[:j]
+			}
+			if rest != "" {
+				return rest
+			}
+		}
+	}
+	return ""
+}
+
+// logRequest emits the per-request structured log line. The
+// observability endpoints log at Debug so a scraper doesn't drown the
+// stream; a traced request at least SlowRequest slow logs at WARN with
+// the span tree inlined.
+func (s *Server) logRequest(r *http.Request, idx, code int, d time.Duration, traced bool, td obs.TraceData) {
+	if s.logger == nil {
+		return
+	}
+	attrs := []any{
+		slog.String("method", r.Method),
+		slog.String("path", routeNames[idx]),
+		slog.Int("status", code),
+		slog.Duration("duration", d),
+	}
+	if traced {
+		attrs = append(attrs,
+			slog.String("trace_id", td.ID),
+			slog.Int64("offers", td.Offers),
+			slog.Int64("groups", td.Groups),
+		)
+	}
+	switch {
+	case idx == routeMetrics || idx == routeHealthz || idx == routeDebug:
+		s.logger.Debug("request", attrs...)
+	case traced && s.opts.SlowRequest > 0 && d >= s.opts.SlowRequest:
+		attrs = append(attrs, slog.String("spans", td.Tree()))
+		s.logger.Warn("slow request", attrs...)
+	default:
+		s.logger.Info("request", attrs...)
+	}
+}
+
+// handleDebugTraces serves the tracer's retained traces, newest first,
+// as a JSON array. ?n caps the count; without a tracer the ring is
+// just empty.
+func (s *Server) handleDebugTraces(w http.ResponseWriter, r *http.Request) {
+	n, err := qInt(r, "n", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error(), nil)
+		return
+	}
+	tds := s.tracer.Last(n)
+	if tds == nil {
+		tds = []obs.TraceData{}
+	}
+	writeJSON(w, http.StatusOK, tds)
 }
 
 // statusWriter records the response status code for the latency
@@ -221,8 +376,8 @@ func (s *Server) snapshot() []*flexoffer.FlexOffer {
 // many records replaced an existing offer and the store's total size
 // afterwards. A non-nil error means the durable layer refused the
 // batch and nothing was applied.
-func (s *Server) store(offers []*flexoffer.FlexOffer) (replaced, stored int, err error) {
-	muts, stored, err := s.stores.Add(offers)
+func (s *Server) store(ctx context.Context, offers []*flexoffer.FlexOffer) (replaced, stored int, err error) {
+	muts, stored, err := s.stores.Add(ctx, offers)
 	if err != nil {
 		return 0, stored, err
 	}
@@ -311,13 +466,14 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
-	replaced, stored, err := s.store(offers)
+	replaced, stored, err := s.store(r.Context(), offers)
 	if err != nil {
 		s.m.degradedRejects.Add(1)
 		s.writeDegraded(w, err)
 		return
 	}
 	s.m.ingestRecords.Add(int64(len(offers)))
+	obs.AddOffers(r.Context(), len(offers))
 	writeJSON(w, http.StatusOK, &IngestResponse{Ingested: len(offers), Replaced: replaced, Stored: stored})
 }
 
@@ -337,7 +493,7 @@ func (s *Server) handleStoreSize(w http.ResponseWriter, r *http.Request) {
 // durable — the log is rewritten so deleted offers cannot resurrect on
 // the next boot (see WALStore.Reset).
 func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
-	if err := s.stores.Reset(); err != nil {
+	if err := s.stores.Reset(r.Context()); err != nil {
 		s.m.degradedRejects.Add(1)
 		s.writeDegraded(w, err)
 		return

@@ -216,9 +216,9 @@ func TestStoreLastWriteWins(t *testing.T) {
 		f.ID = id
 		return f
 	}
-	s.store([]*flexoffer.FlexOffer{mk("x", 3), mk("y", 1)})
+	s.store(context.Background(), []*flexoffer.FlexOffer{mk("x", 3), mk("y", 1)})
 	before := s.snapshot()
-	if replaced, stored, err := s.store([]*flexoffer.FlexOffer{mk("x", 7)}); replaced != 1 || stored != 2 || err != nil {
+	if replaced, stored, err := s.store(context.Background(), []*flexoffer.FlexOffer{mk("x", 7)}); replaced != 1 || stored != 2 || err != nil {
 		t.Fatalf("replacement reported (%d, %d, %v), want (1, 2, nil)", replaced, stored, err)
 	}
 	after := s.snapshot()

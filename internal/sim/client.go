@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/obs"
 	"flexmeasures/internal/server"
 )
 
@@ -73,6 +74,9 @@ func (c *Client) do(ctx context.Context, method, path, query string, body io.Rea
 	if body != nil {
 		req.Header.Set("Content-Type", "application/x-ndjson")
 	}
+	// A client-minted request ID ties the server's trace and log line
+	// for this request back to the simulator's own records.
+	req.Header.Set("X-Request-Id", obs.NewRequestID())
 	start := time.Now()
 	resp, err := c.HTTP.Do(req)
 	if err != nil {

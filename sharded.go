@@ -9,6 +9,7 @@ import (
 
 	"flexmeasures/internal/aggregate"
 	"flexmeasures/internal/grouping"
+	"flexmeasures/internal/obs"
 	"flexmeasures/internal/sched"
 	"flexmeasures/internal/shard"
 )
@@ -188,6 +189,7 @@ func (se *ShardedEngine) AggregateRouted(ctx context.Context, parts [][]RoutedOf
 		return nil, err
 	}
 	n := len(groups)
+	obs.AddGroups(ctx, n)
 	if n == 0 {
 		// Delegate the empty case so the result (nil vs empty slice)
 		// matches Engine.Aggregate exactly.
@@ -205,7 +207,9 @@ func (se *ShardedEngine) AggregateRouted(ctx context.Context, parts [][]RoutedOf
 		wg.Add(1)
 		go func(k, lo, hi int) {
 			defer wg.Done()
-			ags, err := se.engines[k].aggregateGroups(ctx, groups[lo:hi], o)
+			// Each shard's block aggregates under its own shard-labeled
+			// span (started inside aggregateGroups' parallel stage).
+			ags, err := se.engines[k].aggregateGroups(obs.WithShard(ctx, k), groups[lo:hi], o)
 			if err != nil {
 				errs[k] = offsetBlockErr(err, lo)
 				return
@@ -232,6 +236,8 @@ func (se *ShardedEngine) Schedule(ctx context.Context, offers []*FlexOffer, targ
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	_, sp := obs.Start(ctx, obs.StageSchedule)
+	defer sp.End()
 	return sched.Schedule(offers, target, sched.Options{
 		PeakCap: o.peakCap,
 		Order:   o.placement,
@@ -276,10 +282,16 @@ func (se *ShardedEngine) PipelineRouted(ctx context.Context, parts [][]RoutedOff
 	if err != nil {
 		return nil, err
 	}
+	obs.AddGroups(ctx, len(groups))
 	items, n := se.scatterAggregateStream(ctx, groups, o)
 	sr, err := sched.ScheduleStream(ctx, items, n, target, sched.Options{PeakCap: o.peakCap, Order: o.placement})
 	if err != nil {
 		return nil, err
+	}
+	// Drain the exhausted stream so the merge goroutine has closed it —
+	// and ended the parent aggregate span — before the trace finishes
+	// (see Engine.pipeline for the same idiom).
+	for range items {
 	}
 	if err := ctx.Err(); err != nil {
 		// Never present a cancellation-truncated schedule as complete.
@@ -385,13 +397,15 @@ func (se *ShardedEngine) scatterGroup(ctx context.Context, parts [][]RoutedOffer
 	if o.grouper != nil {
 		return o.grouper.Group(ctx, shard.Flatten(parts))
 	}
-	merged := se.scatterSort(parts, o)
+	merged := se.scatterSort(ctx, parts, o)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if merged.Len() == 0 {
 		return nil, nil
 	}
+	_, psp := obs.Start(ctx, obs.StageGroupPack)
+	defer psp.End()
 	ends := grouping.Cuts(merged.ESTs, o.group.ESTTolerance)
 	if len(ends) == 1 {
 		return grouping.Pack(merged.Offers, merged.TFs, o.group), nil
@@ -425,8 +439,13 @@ func (se *ShardedEngine) scatterGroup(ctx context.Context, parts [][]RoutedOffer
 	return out, nil
 }
 
-// scatterSort sorts every part on its shard's pool and merges the runs.
-func (se *ShardedEngine) scatterSort(parts [][]RoutedOffer, o engineOptions) shard.Run {
+// scatterSort sorts every part on its shard's pool and merges the
+// runs. The whole stage runs under one group_sort span with a
+// shard-labeled child per non-empty part, so a trace shows both the
+// critical path (parent) and the per-shard skew (children).
+func (se *ShardedEngine) scatterSort(ctx context.Context, parts [][]RoutedOffer, o engineOptions) shard.Run {
+	ctx, sp := obs.Start(ctx, obs.StageGroupSort)
+	defer sp.End()
 	runs := make([]shard.Run, len(parts))
 	var wg sync.WaitGroup
 	for k := range parts {
@@ -436,6 +455,8 @@ func (se *ShardedEngine) scatterSort(parts [][]RoutedOffer, o engineOptions) sha
 		wg.Add(1)
 		go func(k int) {
 			defer wg.Done()
+			_, ssp := obs.Start(obs.WithShard(ctx, k), obs.StageGroupSort)
+			defer ssp.End()
 			part := parts[k]
 			offers := make([]*FlexOffer, len(part))
 			seqs := make([]uint64, len(part))
@@ -474,6 +495,11 @@ func (se *ShardedEngine) scatterAggregateStream(ctx context.Context, groups [][]
 	n := len(groups)
 	merged := make(chan aggregate.StreamItem, n)
 	bounds := blockBounds(n, len(se.engines))
+	// One parent aggregate span covers the whole fan-out; each shard's
+	// block stream starts its own shard-labeled child. The parent ends
+	// just before the merged channel closes, so draining the stream is
+	// enough to see it completed (PipelineRouted does).
+	actx, asp := obs.Start(ctx, obs.StageAggregate)
 	var wg sync.WaitGroup
 	for k := range se.engines {
 		lo, hi := bounds[k], bounds[k+1]
@@ -482,11 +508,12 @@ func (se *ShardedEngine) scatterAggregateStream(ctx context.Context, groups [][]
 		}
 		eng := se.engines[k]
 		pp := eng.parallelParams(ParallelParams{Workers: o.workers, ErrorMode: o.errMode})
+		sctx := obs.WithShard(actx, k)
 		var items <-chan aggregate.StreamItem
 		if o.safe {
-			items, _ = aggregate.AggregateGroupsSafeStream(ctx, groups[lo:hi], pp)
+			items, _ = aggregate.AggregateGroupsSafeStream(sctx, groups[lo:hi], pp)
 		} else {
-			items, _ = aggregate.AggregateGroupsStream(ctx, groups[lo:hi], pp)
+			items, _ = aggregate.AggregateGroupsStream(sctx, groups[lo:hi], pp)
 		}
 		wg.Add(1)
 		go func(off int, items <-chan aggregate.StreamItem) {
@@ -500,6 +527,7 @@ func (se *ShardedEngine) scatterAggregateStream(ctx context.Context, groups [][]
 	}
 	go func() {
 		wg.Wait()
+		asp.End()
 		close(merged)
 	}()
 	return merged, n
@@ -516,6 +544,8 @@ func (se *ShardedEngine) scatterDisaggregate(ctx context.Context, ags []*Aggrega
 		pp := se.engines[0].parallelParams(ParallelParams{Workers: o.workers, ErrorMode: o.errMode})
 		return aggregate.DisaggregateAllParallel(ctx, ags, assignments, pp)
 	}
+	ctx, sp := obs.Start(ctx, obs.StageDisaggregate)
+	defer sp.End()
 	bounds := blockBounds(n, len(se.engines))
 	out := make([][]Assignment, n)
 	errs := make([]error, len(se.engines))
@@ -530,7 +560,7 @@ func (se *ShardedEngine) scatterDisaggregate(ctx context.Context, ags []*Aggrega
 			defer wg.Done()
 			eng := se.engines[k]
 			pp := eng.parallelParams(ParallelParams{Workers: o.workers, ErrorMode: o.errMode})
-			parts, err := aggregate.DisaggregateAllParallel(ctx, ags[lo:hi], assignments[lo:hi], pp)
+			parts, err := aggregate.DisaggregateAllParallel(obs.WithShard(ctx, k), ags[lo:hi], assignments[lo:hi], pp)
 			if err != nil {
 				errs[k] = offsetBlockErr(err, lo)
 				return
