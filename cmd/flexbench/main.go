@@ -62,6 +62,18 @@
 //	flexbench -scatter 20000            # shard sweep, one worker per CPU per shard
 //	flexbench -scatter 20000 -workers 2 # pin the per-shard pool size
 //
+// -churn measures incremental continuous scheduling (flexd's
+// -incremental path): a fleet is ingested once, then re-scheduled
+// round after round while a small fraction of offers is re-submitted
+// between rounds — the steady-state traffic of a live aggregator. Each
+// round runs both a persistent WithIncremental engine, whose
+// content-addressed cache survives from round to round, and a
+// stateless full recompute of the same snapshot, verifying the results
+// are identical before comparing the times:
+//
+//	flexbench -churn 20000            # steady-state churn rounds, incremental vs full
+//	flexbench -churn 20000 -workers 4 # pin the per-shard pool size
+//
 // -replay measures the durable store (internal/persist): WAL append
 // throughput under each fsync policy, then boot-time replay of the
 // resulting log, serial vs fanned out across the worker pool
@@ -117,7 +129,8 @@ func run(args []string) error {
 	groupN := fs.Int("group", 0, "compare serial vs sharded grouping over N synthetic offers and exit")
 	scatterN := fs.Int("scatter", 0, "sweep the scatter-gather pipeline over shard counts 1/2/4/8 on N synthetic offers and exit")
 	replayN := fs.Int("replay", 0, "measure WAL append throughput per fsync policy and serial-vs-parallel replay over N synthetic offers and exit")
-	workers := fs.Int("workers", 0, "worker-pool size for -agg / -sched / -engine / -ingest / -group / -scatter / -replay (0: one per CPU)")
+	churnN := fs.Int("churn", 0, "compare incremental vs full-recompute scheduling over steady-state churn rounds on N synthetic offers and exit")
+	workers := fs.Int("workers", 0, "worker-pool size for -agg / -sched / -engine / -ingest / -group / -scatter / -replay / -churn (0: one per CPU)")
 	trace := fs.Bool("trace", false, "with -sched: print the traced pipeline run's span-tree breakdown")
 	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
@@ -126,6 +139,9 @@ func run(args []string) error {
 	if *version {
 		fmt.Println(buildinfo.String("flexbench"))
 		return nil
+	}
+	if *churnN > 0 {
+		return runChurnCompare(os.Stdout, *churnN, *workers)
 	}
 	if *replayN > 0 {
 		return runReplayCompare(os.Stdout, *replayN, *workers)
@@ -628,6 +644,117 @@ func runSchedCompare(out io.Writer, n, workers int, trace bool) error {
 	if trace {
 		fmt.Fprintln(out, td.Tree())
 	}
+	return nil
+}
+
+// runChurnCompare measures incremental continuous scheduling in its
+// steady state: a clustered-EST fleet (device arrival waves, so the
+// grouping's EST-gap cuts bound each change's blast radius) is
+// scheduled round after round while ~0.5% of offers are re-submitted
+// under their existing IDs between rounds. One persistent
+// WithIncremental sharded engine carries its cache across rounds; a
+// stateless engine recomputes every round from scratch. Every round's
+// results must be identical — the bit-identity contract that makes the
+// cache safe to leave on — before the times are compared. The cold
+// first round (every group a miss) is reported separately from the
+// steady-state rounds the cache exists for.
+func runChurnCompare(out io.Writer, n, workers int) error {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rng := rand.New(rand.NewSource(99))
+	offers, err := workload.Population(rng, n, 2, workload.DefaultMix())
+	if err != nil {
+		return err
+	}
+	const clusters, spacing = 64, 3
+	for i, f := range offers {
+		f.ID = fmt.Sprintf("c-%07d", i)
+		est := (i % clusters) * spacing
+		f.LatestStart += est - f.EarliestStart
+		f.EarliestStart = est
+	}
+	gp := flex.GroupParams{ESTTolerance: 2, TFTolerance: -1, MaxGroupSize: 64}
+	opts := []flex.Option{flex.WithWorkers(workers), flex.WithSafe(true), flex.WithGrouping(gp)}
+	incSE := flex.NewSharded(4, append([]flex.Option{flex.WithIncremental(true)}, opts...)...)
+	defer incSE.Close()
+	full := flex.NewSharded(4, opts...)
+	defer full.Close()
+
+	stores := shard.NewStores(shard.Router{Shards: 4})
+	stores.Add(offers)
+	horizon := 4 * workload.SlotsPerDay
+	var expected int64
+	for _, f := range offers {
+		expected += (f.TotalMin + f.TotalMax) / 2
+	}
+	target := workload.WindProfile(rng, horizon, expected/int64(horizon))
+
+	// Cold round: the cache is empty, every group misses.
+	parts := stores.Snapshot()
+	t0 := time.Now()
+	got, err := incSE.PipelineRouted(context.Background(), parts, target)
+	if err != nil {
+		return err
+	}
+	coldDur := time.Since(t0)
+	t0 = time.Now()
+	want, err := full.PipelineRouted(context.Background(), parts, target)
+	if err != nil {
+		return err
+	}
+	fullColdDur := time.Since(t0)
+	if !reflect.DeepEqual(got, want) {
+		return fmt.Errorf("cold incremental run diverged from full recompute over %d offers", n)
+	}
+
+	const rounds = 20
+	delta := n / 1000
+	if delta < 1 {
+		delta = 1
+	}
+	var incDur, fullDur time.Duration
+	for r := 0; r < rounds; r++ {
+		repl, err := workload.Population(rng, delta, 2, workload.DefaultMix())
+		if err != nil {
+			return err
+		}
+		for j, f := range repl {
+			// Deterministic spread over the fleet, each replacement kept in
+			// the replaced offer's EST cluster.
+			idx := (r*delta + j*17) % n
+			f.ID = fmt.Sprintf("c-%07d", idx)
+			est := (idx % clusters) * spacing
+			f.LatestStart += est - f.EarliestStart
+			f.EarliestStart = est
+		}
+		stores.Add(repl)
+		parts := stores.Snapshot()
+		t0 := time.Now()
+		got, err := incSE.PipelineRouted(context.Background(), parts, target)
+		if err != nil {
+			return err
+		}
+		incDur += time.Since(t0)
+		t0 = time.Now()
+		want, err := full.PipelineRouted(context.Background(), parts, target)
+		if err != nil {
+			return err
+		}
+		fullDur += time.Since(t0)
+		if !reflect.DeepEqual(got, want) {
+			return fmt.Errorf("round %d: incremental run diverged from full recompute", r)
+		}
+	}
+	st := incSE.IncrementalStats()
+	fmt.Fprintf(out, "fleet of %d offers, %d churn rounds of %d replacements (%.1f%%), 4 shards, %d workers/shard\n",
+		n, rounds, delta, 100*float64(delta)/float64(n), workers)
+	fmt.Fprintf(out, "cold round:        incremental %v, full %v\n", coldDur, fullColdDur)
+	fmt.Fprintf(out, "steady state:      incremental %v/round, full %v/round  (%.2fx speedup)\n",
+		incDur/rounds, fullDur/rounds, float64(fullDur)/float64(incDur))
+	fmt.Fprintf(out, "cache over %d runs: %d hits, %d misses; last round re-aggregated %d of %d groups, replayed %d placements\n",
+		st.Runs, st.Hits, st.Misses, st.LastDirty, st.LastGroups, st.LastReused)
+	fmt.Fprintln(out, "every round's incremental result is identical to the full recompute")
 	return nil
 }
 

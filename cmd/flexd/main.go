@@ -11,6 +11,17 @@
 // pipeline bit-identical to a single engine, so shards only change
 // where the work runs.
 //
+// Scheduling is incremental by default (-incremental): the engine
+// content-addresses each group's aggregate and replays the previous
+// run's placements for groups the churn since the last /v1/schedule
+// did not touch, so steady-state runs cost O(changed groups) instead
+// of O(fleet). Output is bit-identical to a full recompute — the
+// equivalence is property-tested — so the flag exists only as an
+// escape hatch. -inc-fallback tunes the dirty-group fraction above
+// which a run gives up on replay and places everything fresh (cost
+// only; never output). Cache effectiveness is observable on /metrics
+// as the flexd_sched_* families.
+//
 // With -data-dir the offer store is durable: every mutation is
 // appended to a write-ahead log (see package persist) before it is
 // applied, and a restart replays the log — parallel decode across the
@@ -26,6 +37,7 @@
 //	flexd -addr :9000 -workers 8   # pin address and pool size
 //	flexd -shards 4                # four engine shards, scatter-gather
 //	flexd -cap 500                 # default soft peak cap for /v1/schedule
+//	flexd -incremental=false       # full recompute on every /v1/schedule
 //	flexd -data-dir /var/lib/flexd # durable store (WAL + snapshots)
 //	flexd -data-dir d -fsync off   # durable but page-cache-paced
 //
@@ -95,6 +107,8 @@ func run(args []string) error {
 	shards := fs.Int("shards", 1, "engine shard count; /v1/schedule scatter-gathers across them")
 	safe := fs.Bool("safe", true, "safe aggregation: tighten constituents so every schedule disaggregates")
 	cap := fs.Int64("cap", 0, "default soft peak cap for scheduling (0: uncapped; per-request ?cap overrides)")
+	incremental := fs.Bool("incremental", true, "incremental scheduling: cache aggregates and replay placements for unchanged groups (bit-identical output)")
+	incFallback := fs.Float64("inc-fallback", 0, "dirty-group fraction above which an incremental run places everything fresh (0: default 0.5, 1: never fall back)")
 	inflight := fs.Int("max-inflight", 0, "concurrent expensive requests before 429 (0: 4x workers)")
 	maxBody := fs.Int64("max-body", 0, "ingest request body limit in bytes (0: 1 GiB)")
 	block := fs.Int("block", 0, "ingest decode block size in bytes (0: 1 MiB)")
@@ -127,6 +141,9 @@ func run(args []string) error {
 	if *cap < 0 {
 		return fmt.Errorf("-cap must be non-negative (0 means uncapped), got %d", *cap)
 	}
+	if *incFallback < 0 || *incFallback > 1 {
+		return fmt.Errorf("-inc-fallback must be in [0, 1], got %g", *incFallback)
+	}
 	if *inflight < 0 {
 		return fmt.Errorf("-max-inflight must be non-negative (0 means 4x workers), got %d", *inflight)
 	}
@@ -157,6 +174,8 @@ func run(args []string) error {
 		flex.WithWorkers(*workers),
 		flex.WithSafe(*safe),
 		flex.WithPeakCap(*cap),
+		flex.WithIncremental(*incremental),
+		flex.WithIncrementalThreshold(*incFallback),
 	)
 	defer se.Close()
 

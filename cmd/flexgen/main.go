@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"os"
 
+	"flexmeasures/internal/buildinfo"
 	"flexmeasures/internal/flexoffer"
 	"flexmeasures/internal/workload"
 )
@@ -44,8 +45,13 @@ func run(args []string, stdout io.Writer) error {
 	device := fs.String("device", "", "generate a single device class instead of a mix (ev, heat-pump, dishwasher, refrigerator, solar-panel, wind-turbine, vehicle-to-grid)")
 	format := fs.String("format", "json", `output format: "json", "ndjson" (flexd ingest) or "binary"`)
 	out := fs.String("o", "", "output file (default stdout)")
+	version := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *version {
+		fmt.Fprintln(stdout, buildinfo.String("flexgen"))
+		return nil
 	}
 	if *n <= 0 {
 		return fmt.Errorf("-n must be positive, got %d", *n)

@@ -141,3 +141,13 @@ func TestConsumptionMixFlag(t *testing.T) {
 		}
 	}
 }
+
+func TestVersionFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-version"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "flexgen ") {
+		t.Fatalf("-version output = %q, want flexgen banner", buf.String())
+	}
+}

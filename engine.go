@@ -9,6 +9,7 @@ import (
 	"flexmeasures/internal/aggregate"
 	"flexmeasures/internal/core"
 	"flexmeasures/internal/grouping"
+	"flexmeasures/internal/inc"
 	"flexmeasures/internal/obs"
 	"flexmeasures/internal/pool"
 	"flexmeasures/internal/sched"
@@ -39,6 +40,13 @@ type Engine struct {
 	// pool is nil when the engine is serial (WithWorkers(1)): methods
 	// then run entirely on the calling goroutine.
 	pool *pool.Pool
+	// incState is the incremental-scheduling cache behind
+	// WithIncremental, created lazily on the first incremental Pipeline
+	// call. Runs serialize on the state's own mutex: placement against
+	// one shared residual was always a serial stage per call, and the
+	// cache swap must be atomic with it.
+	incOnce  sync.Once
+	incState *inc.State
 }
 
 // engineOptions is the resolved option set of one Engine.
@@ -57,6 +65,11 @@ type engineOptions struct {
 	peakCap      int64
 	errMode      ErrorMode
 	norm         Norm
+	// incremental switches Pipeline to the stateful cached path
+	// (WithIncremental); incThreshold is its dirty-fraction fallback
+	// bound (WithIncrementalThreshold, 0 = inc.DefaultThreshold).
+	incremental  bool
+	incThreshold float64
 }
 
 // Option configures an Engine at construction (functional options) —
@@ -141,6 +154,33 @@ func WithSafe(safe bool) Option {
 // minimised. 0 (the default) disables the cap.
 func WithPeakCap(cap int64) Option {
 	return func(o *engineOptions) { o.peakCap = cap }
+}
+
+// WithIncremental switches Pipeline (and PipelineRouted on a sharded
+// engine) to incremental continuous scheduling: the engine keeps a
+// content-addressed cache of each group's aggregate and placement
+// across calls, so a call after a small fleet delta re-aggregates and
+// re-places only the groups whose membership changed — O(changed
+// groups) instead of O(fleet) — and replays the rest with O(profile)
+// integer adds. The output is bit-identical to the stateless pipeline
+// for every churn sequence, shard count and worker count (the
+// equivalence property test pins this); the stateless path remains the
+// oracle. Incremental runs serialize on the engine's cache; the
+// stateless stages still fan out across the worker pool. Only
+// OrderArrival placement is supported, exactly like the streaming
+// pipeline.
+func WithIncremental(on bool) Option {
+	return func(o *engineOptions) { o.incremental = on }
+}
+
+// WithIncrementalThreshold sets the dirty-fraction fallback bound of
+// incremental scheduling: when more than this fraction of groups
+// changed since the last call, the run re-places everything instead of
+// maintaining the reuse bookkeeping (cached aggregates are still
+// reused). 0 selects inc.DefaultThreshold (0.5); 1 never falls back.
+// The fallback changes cost only, never output.
+func WithIncrementalThreshold(frac float64) Option {
+	return func(o *engineOptions) { o.incThreshold = frac }
 }
 
 // WithErrorMode selects first-error or collect-all failure reporting
@@ -405,6 +445,9 @@ func (e *Engine) pipeline(ctx context.Context, offers []*FlexOffer, target Serie
 	if o.placement != OrderArrival {
 		return nil, sched.ErrStreamOrder
 	}
+	if o.incremental {
+		return e.pipelineIncremental(ctx, offers, target, o)
+	}
 	// Cancelling on return releases the grouping and aggregation workers
 	// if scheduling or disaggregation aborts early.
 	ctx, cancel := context.WithCancel(ctx)
@@ -475,6 +518,62 @@ func (e *Engine) pipeline(ctx context.Context, offers []*FlexOffer, target Serie
 		AggregateSchedule: &sr.Result,
 		Disaggregated:     parts,
 		Load:              sr.Load,
+	}, nil
+}
+
+// incrementalState returns the engine's incremental cache, creating it
+// on first use.
+func (e *Engine) incrementalState() *inc.State {
+	e.incOnce.Do(func() { e.incState = inc.NewState() })
+	return e.incState
+}
+
+// IncrementalStats reports the incremental-scheduling cache statistics
+// (all zero when WithIncremental was never used).
+func (e *Engine) IncrementalStats() inc.Stats {
+	return e.incrementalState().Stats()
+}
+
+// InvalidateIncremental drops the incremental-scheduling cache — the
+// hook a store reset calls. The next incremental Pipeline call runs
+// full and rebuilds it. Never needed for correctness (the cache is
+// content-addressed), only to release memory promptly.
+func (e *Engine) InvalidateIncremental() {
+	e.incrementalState().Invalidate()
+}
+
+// pipelineIncremental is the stateful cached pipeline behind
+// WithIncremental: materialize the partition (grouping always runs —
+// it is a cheap integer sort and the source of group identity), key
+// every group against the cache, aggregate only the misses on the
+// worker pool, merge-walk the placement, and disaggregate only the
+// groups whose assignment changed. Bit-identical to the streaming
+// stateless path for every input.
+func (e *Engine) pipelineIncremental(ctx context.Context, offers []*FlexOffer, target Series, o engineOptions) (*PipelineResult, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	groups, err := e.grouper(o).Group(ctx, offers)
+	if err != nil {
+		return nil, err
+	}
+	obs.AddGroups(ctx, len(groups))
+	pp := e.parallelParams(ParallelParams{Workers: o.workers, ErrorMode: o.errMode})
+	res, err := e.incrementalState().Run(ctx, groups, target,
+		inc.Config{PeakCap: o.peakCap, Safe: o.safe, Threshold: o.incThreshold},
+		func(ctx context.Context, gs [][]*FlexOffer) ([]*Aggregated, error) {
+			return e.aggregateGroups(ctx, gs, o)
+		},
+		func(ctx context.Context, ags []*Aggregated, asgs []Assignment) ([][]Assignment, error) {
+			return aggregate.DisaggregateAllParallel(ctx, ags, asgs, pp)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &PipelineResult{
+		Aggregates:        res.Aggregates,
+		AggregateSchedule: &sched.Result{Assignments: res.Assignments, Load: res.Load},
+		Disaggregated:     res.Disaggregated,
+		Load:              res.Load,
 	}, nil
 }
 

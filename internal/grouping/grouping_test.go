@@ -123,3 +123,55 @@ func TestOptimizeRequiresMeasureAndCombiner(t *testing.T) {
 		t.Fatalf("missing combiner: %v, want ErrNoCombiner", err)
 	}
 }
+
+// TestGroupSegmentStability pins the invariant incremental scheduling's
+// blast-radius bound rests on (internal/inc): when an offer is inserted
+// into one EST segment, groups in every other segment keep their exact
+// member pointers — so their content-addressed cache keys, and with
+// them the cached aggregates and placements, survive the change.
+func TestGroupSegmentStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	const clusters, spacing = 6, 10
+	var offers []*flexoffer.FlexOffer
+	for i := 0; i < 120; i++ {
+		est := (i % clusters) * spacing
+		offers = append(offers, mkOffer(t, est+rng.Intn(2), rng.Intn(4)))
+	}
+	p := Params{ESTTolerance: 2, TFTolerance: -1, MaxGroupSize: 8}
+	before := Group(offers, p)
+
+	// Insert one offer into segment 2 (EST 20).
+	after := Group(append(append([]*flexoffer.FlexOffer(nil), offers...), mkOffer(t, 20, 1)), p)
+	if len(after) < len(before) {
+		t.Fatalf("insertion shrank the grouping: %d -> %d groups", len(before), len(after))
+	}
+
+	segment := func(g []*flexoffer.FlexOffer) int { return g[0].EarliestStart / spacing }
+	match := func(groups [][]*flexoffer.FlexOffer, want []*flexoffer.FlexOffer) bool {
+		for _, g := range groups {
+			if len(g) != len(want) {
+				continue
+			}
+			same := true
+			for i := range g {
+				if g[i] != want[i] {
+					same = false
+					break
+				}
+			}
+			if same {
+				return true
+			}
+		}
+		return false
+	}
+	for _, g := range before {
+		if segment(g) == 2 {
+			continue // the perturbed segment may legitimately regroup
+		}
+		if !match(after, g) {
+			t.Errorf("segment-%d group of %d lost its exact membership after an insert into segment 2",
+				segment(g), len(g))
+		}
+	}
+}

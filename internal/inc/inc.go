@@ -1,0 +1,464 @@
+// Package inc implements incremental continuous scheduling: a
+// content-addressed aggregate cache plus delta re-placement, so a
+// /v1/schedule call after a small fleet delta costs O(changed groups)
+// instead of re-running group → aggregate → schedule → disaggregate
+// over the whole population.
+//
+// # Content addressing
+//
+// The shard stores are copy-on-write: a stored *flexoffer.FlexOffer is
+// never mutated in place — replacing an offer installs a new pointer
+// (see shard.Stores). Pointer identity therefore implies content
+// identity, and the cache keys each group by a hash of its members'
+// pointer identities (small dense IDs handed out per pointer, retained
+// across runs only for pointers still alive in the store). A group
+// whose members are all unchanged hashes to its previous key and reuses
+// the cached aggregate outright; any membership change — an offer
+// added, replaced (new pointer, even under the same ID and sequence
+// number) or deleted — changes the key and the group aggregates fresh.
+// No explicit invalidation is needed for correctness: stale entries
+// simply stop being addressed. EST-gap cuts bound the blast radius of
+// one offer change to the groups of its own gap segment — groups in
+// other segments keep their exact member pointers (the grouping
+// stability test pins this), so they keep their keys.
+//
+// Hash collisions cannot corrupt results: a key hit is verified by
+// comparing the stored member pointers, and a mismatch is treated as a
+// miss (slower, never wrong).
+//
+// # Delta re-placement
+//
+// Greedy placement is order- and residual-dependent, so reusing a
+// clean group's cached assignment is only sound when the residual it
+// would scan is identical to the one the previous run scanned. The
+// merge walk tracks exactly that with sched.Incremental's difference
+// accumulator: clean groups whose scan window shows a zero difference
+// replay their cached assignment with one O(profile) integer add;
+// everything else — dirty groups, and clean groups whose window was
+// perturbed by an earlier change — is re-placed against the true
+// residual. The output is bit-identical to a full recompute for every
+// churn sequence; when the dirty fraction exceeds Config.Threshold the
+// walk skips the difference bookkeeping and re-places everything (still
+// reusing cached aggregates, which are placement-independent).
+//
+// A State is the per-engine cached run; Engine/ShardedEngine own one
+// behind WithIncremental and serialize runs on it.
+package inc
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"flexmeasures/internal/aggregate"
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/obs"
+	"flexmeasures/internal/sched"
+	"flexmeasures/internal/timeseries"
+)
+
+// DefaultThreshold is the dirty-group fraction above which a run stops
+// maintaining the placement difference and re-places every group. Past
+// this point most windows are perturbed anyway, so the bookkeeping
+// costs more than the reuse saves; cached aggregates are still reused.
+const DefaultThreshold = 0.5
+
+// Config is the part of an engine's option set that incremental state
+// depends on.
+type Config struct {
+	// PeakCap is the soft peak cap (0: uncapped). Changing it (or the
+	// target) invalidates cached placements but not cached aggregates.
+	PeakCap int64
+	// Safe selects safe aggregation. Changing it invalidates the whole
+	// cache: the same member set aggregates differently.
+	Safe bool
+	// Threshold is the dirty-fraction fallback bound; 0 means
+	// DefaultThreshold, 1 disables the fallback.
+	Threshold float64
+}
+
+// AggregateFunc aggregates the given groups in order — the engine's
+// parallel fan-out plugs in here. Errors must be reported with group
+// indices relative to the given slice (the walk remaps them to global
+// group indices).
+type AggregateFunc func(ctx context.Context, groups [][]*flexoffer.FlexOffer) ([]*aggregate.Aggregated, error)
+
+// DisaggregateFunc disaggregates assignments[i] of ags[i] — the
+// engine's parallel fan-out plugs in here, with the same index-remap
+// contract as AggregateFunc.
+type DisaggregateFunc func(ctx context.Context, ags []*aggregate.Aggregated, assignments []flexoffer.Assignment) ([][]flexoffer.Assignment, error)
+
+// Result is one incremental pipeline run over materialized groups, in
+// group order — the engine wraps it into a PipelineResult.
+type Result struct {
+	Aggregates    []*aggregate.Aggregated
+	Assignments   []flexoffer.Assignment
+	Disaggregated [][]flexoffer.Assignment
+	Load          timeseries.Series
+}
+
+// Stats reports the cache's cumulative effectiveness plus the shape of
+// the most recent run — the numbers behind flexd's
+// flexd_sched_cache_hits_total and flexd_sched_dirty_groups metrics.
+type Stats struct {
+	// Runs counts completed incremental runs; FullRuns counts the ones
+	// that re-placed every group (first run, config change, or the
+	// dirty-fraction fallback).
+	Runs, FullRuns int64
+	// Hits and Misses count aggregate-cache lookups across all runs.
+	Hits, Misses int64
+	// Reused counts placements replayed from cache; Replaced counts
+	// clean groups re-placed because their window was perturbed; Placed
+	// counts dirty groups placed fresh.
+	Reused, Replaced, Placed int64
+	// LastGroups, LastDirty and LastReused describe the most recent run:
+	// total groups, groups whose aggregate was recomputed, and
+	// placements replayed from cache.
+	LastGroups, LastDirty, LastReused int
+}
+
+// entry is one cached group: the members addressing it, the aggregate
+// (a pure function of the members), the placement the previous run
+// committed, its disaggregation, and the scan window the reuse check
+// covers.
+type entry struct {
+	key     uint64
+	members []*flexoffer.FlexOffer
+	agg     *aggregate.Aggregated
+	asg     flexoffer.Assignment
+	parts   []flexoffer.Assignment
+	lo, hi  int
+}
+
+// State is the cached side of incremental scheduling for one engine:
+// the previous run's entries in group order, the pointer-identity map
+// keying them, and the config fingerprint guarding reuse. Run replaces
+// the whole state atomically on success and leaves it untouched on
+// error, so a failed or cancelled run never poisons the cache.
+type State struct {
+	mu     sync.Mutex
+	ids    map[*flexoffer.FlexOffer]uint64
+	nextID uint64
+	prev   []*entry
+	byKey  map[uint64]int
+
+	// Fingerprint of the run that produced prev: target and cap guard
+	// placement reuse, safe guards aggregate reuse.
+	target  timeseries.Series
+	peakCap int64
+	safe    bool
+	valid   bool
+
+	stats Stats
+}
+
+// NewState returns an empty incremental state.
+func NewState() *State {
+	return &State{ids: make(map[*flexoffer.FlexOffer]uint64)}
+}
+
+// Invalidate drops every cached entry — the store-reset hook. The
+// pointer-identity map is dropped too; a reset store hands out fresh
+// pointers anyway.
+func (s *State) Invalidate() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.prev, s.byKey, s.valid = nil, nil, false
+	s.ids = make(map[*flexoffer.FlexOffer]uint64)
+}
+
+// Stats returns a snapshot of the cache statistics.
+func (s *State) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// fnv1a folds one 64-bit word into an FNV-1a hash.
+func fnv1a(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= 1099511628211
+		v >>= 8
+	}
+	return h
+}
+
+// sameMembers reports whether two member slices hold the same pointers
+// in the same order — the collision-proof verification behind a key hit.
+func sameMembers(a, b []*flexoffer.FlexOffer) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Run executes one incremental pipeline pass over the materialized
+// groups: aggregate-cache lookups, parallel aggregation of the misses
+// through aggFn, the serial merge-walk placement, and parallel
+// disaggregation of the changed groups through disFn. On success the
+// state is replaced wholesale; on error it is left exactly as the last
+// successful run built it.
+func (s *State) Run(ctx context.Context, groups [][]*flexoffer.FlexOffer, target timeseries.Series, cfg Config, aggFn AggregateFunc, disFn DisaggregateFunc) (*Result, error) {
+	if len(groups) == 0 {
+		return nil, sched.ErrNoOffers
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	// Safe-mode change: the cached aggregates were built the other way,
+	// so nothing is addressable.
+	if s.valid && s.safe != cfg.Safe {
+		s.prev, s.byKey = nil, nil
+	}
+	// Target or cap change: aggregates stay valid (they never see the
+	// target), placements don't.
+	replayValid := s.valid && s.safe == cfg.Safe &&
+		s.peakCap == cfg.PeakCap && s.target.Equal(target)
+
+	n := len(groups)
+	next := make([]*entry, n)
+	newIDs := make(map[*flexoffer.FlexOffer]uint64, len(s.ids))
+
+	// Phase 1: key every group and match it against the previous run.
+	// Matches must advance monotonically through prev — clean groups
+	// keep their relative order across runs (the grouping sort is stable
+	// over unchanged keys), so an out-of-order hit is either a hash
+	// collision or a reordering we defensively treat as a miss.
+	match := make([]int, n) // prev index, or -1
+	dirty := 0
+	cursor := 0
+	for i, g := range groups {
+		key := uint64(14695981039346656037)
+		for _, f := range g {
+			id, ok := s.ids[f]
+			if !ok {
+				s.nextID++
+				id = s.nextID
+				s.ids[f] = id
+			}
+			newIDs[f] = id
+			key = fnv1a(key, id)
+		}
+		match[i] = -1
+		if p, ok := s.byKey[key]; ok && p >= cursor && sameMembers(s.prev[p].members, g) {
+			match[i] = p
+			cursor = p + 1
+			s.stats.Hits++
+		} else {
+			dirty++
+			s.stats.Misses++
+		}
+		next[i] = &entry{key: key, members: g}
+	}
+
+	threshold := cfg.Threshold
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	// Past the threshold the difference bookkeeping cannot pay for
+	// itself: place everything fresh (cached aggregates still reused).
+	fallback := float64(dirty)/float64(n) > threshold
+	replay := replayValid && !fallback
+	fullRun := !replay
+
+	// Phase 2: aggregate the misses in parallel, in global group order.
+	missIdx := make([]int, 0, dirty)
+	missGroups := make([][]*flexoffer.FlexOffer, 0, dirty)
+	for i := range groups {
+		if match[i] < 0 {
+			missIdx = append(missIdx, i)
+			missGroups = append(missGroups, groups[i])
+		}
+	}
+	if len(missGroups) > 0 {
+		ags, err := aggFn(ctx, missGroups)
+		if err != nil {
+			return nil, remapGroupErr(err, missIdx)
+		}
+		for j, ag := range ags {
+			next[missIdx[j]].agg = ag
+		}
+	}
+	for i := range groups {
+		if p := match[i]; p >= 0 {
+			next[i].agg = s.prev[p].agg
+		}
+		next[i].lo = next[i].agg.Offer.EarliestStart
+		next[i].hi = next[i].agg.Offer.LatestEnd()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 3: the serial merge walk. rep scans dirty groups against the
+	// true residual and replays clean ones whose windows the difference
+	// accumulator proves undisturbed; prev entries passed over by the
+	// walk (their groups vanished or changed) are retired from the
+	// difference so later windows see the perturbation.
+	_, sp := obs.Start(ctx, obs.StageSchedule)
+	rep := sched.NewIncremental(target, cfg.PeakCap)
+	res := &Result{
+		Aggregates:  make([]*aggregate.Aggregated, n),
+		Assignments: make([]flexoffer.Assignment, n),
+	}
+	var reused int
+	j := 0 // retire cursor into prev
+	for i := range groups {
+		e := next[i]
+		res.Aggregates[i] = e.agg
+		p := match[i]
+		if !replay || p < 0 {
+			a, err := rep.Place(e.agg.Offer, i)
+			if err != nil {
+				sp.End()
+				return nil, err
+			}
+			e.asg = a
+			res.Assignments[i] = a
+			continue
+		}
+		// Retire every prev entry the walk passes over before the
+		// matched one: their load is in the previous run's prefix but
+		// not in ours.
+		for ; j < p; j++ {
+			pe := s.prev[j]
+			rep.Retire(pe.asg.Start, pe.asg.Values)
+		}
+		pe := s.prev[p]
+		j = p + 1
+		if rep.CanReuse(e.lo, e.hi) {
+			// Zero difference over the scan window: a fresh scan would
+			// reproduce the cached assignment exactly, so commit it
+			// without scanning and keep its disaggregation too.
+			rep.Commit(pe.asg.Start, pe.asg.Values)
+			e.asg = pe.asg
+			e.parts = pe.parts
+			res.Assignments[i] = pe.asg
+			reused++
+			continue
+		}
+		// Clean group, perturbed window: lift the old assignment out of
+		// the difference and re-place against the true residual.
+		rep.Retire(pe.asg.Start, pe.asg.Values)
+		a, err := rep.Place(e.agg.Offer, i)
+		if err != nil {
+			sp.End()
+			return nil, err
+		}
+		e.asg = a
+		res.Assignments[i] = a
+		if assignmentsEqual(a, pe.asg) {
+			// Same placement after all — the disaggregation is a pure
+			// function of (aggregate, assignment), so it carries over.
+			e.parts = pe.parts
+		}
+		s.stats.Replaced++
+	}
+	res.Load = rep.Load()
+	sp.End()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Phase 4: disaggregate the groups whose (aggregate, assignment)
+	// changed, in parallel.
+	disIdx := make([]int, 0, n)
+	disAgs := make([]*aggregate.Aggregated, 0, n)
+	disAsgs := make([]flexoffer.Assignment, 0, n)
+	for i, e := range next {
+		if e.parts == nil {
+			disIdx = append(disIdx, i)
+			disAgs = append(disAgs, e.agg)
+			disAsgs = append(disAsgs, e.asg)
+		}
+	}
+	if len(disIdx) > 0 {
+		parts, err := disFn(ctx, disAgs, disAsgs)
+		if err != nil {
+			return nil, remapGroupErr(err, disIdx)
+		}
+		for j, p := range parts {
+			next[disIdx[j]].parts = p
+		}
+	}
+	res.Disaggregated = make([][]flexoffer.Assignment, n)
+	for i, e := range next {
+		res.Disaggregated[i] = e.parts
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Success: swap the state. Entries index by key (first wins on the
+	// astronomically unlikely intra-run collision; the loser just
+	// misses next time), and the identity map retains exactly the
+	// pointers still addressable.
+	byKey := make(map[uint64]int, n)
+	for i, e := range next {
+		if _, ok := byKey[e.key]; !ok {
+			byKey[e.key] = i
+		}
+	}
+	s.prev, s.byKey, s.ids = next, byKey, newIDs
+	s.target, s.peakCap, s.safe, s.valid = target, cfg.PeakCap, cfg.Safe, true
+
+	s.stats.Runs++
+	if fullRun {
+		s.stats.FullRuns++
+	}
+	s.stats.Reused += int64(reused)
+	s.stats.Placed += int64(n - reused)
+	s.stats.LastGroups = n
+	s.stats.LastDirty = dirty
+	s.stats.LastReused = reused
+	return res, nil
+}
+
+// assignmentsEqual reports whether two assignments are identical.
+func assignmentsEqual(a, b flexoffer.Assignment) bool {
+	if a.Start != b.Start || len(a.Values) != len(b.Values) {
+		return false
+	}
+	for i := range a.Values {
+		if a.Values[i] != b.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// remapGroupErr rewrites the group indices inside an aggregation or
+// disaggregation error from positions in the compacted miss slice to
+// global group indices, leaving non-group errors (cancellation)
+// untouched.
+func remapGroupErr(err error, idx []int) error {
+	remap := func(i int) int {
+		if i >= 0 && i < len(idx) {
+			return idx[i]
+		}
+		return i
+	}
+	var ges aggregate.GroupErrors
+	if errors.As(err, &ges) {
+		out := make(aggregate.GroupErrors, len(ges))
+		for i, e := range ges {
+			c := *e
+			c.Group = remap(c.Group)
+			out[i] = &c
+		}
+		return out
+	}
+	var ge *aggregate.GroupError
+	if errors.As(err, &ge) {
+		c := *ge
+		c.Group = remap(c.Group)
+		return &c
+	}
+	return err
+}

@@ -1,0 +1,129 @@
+package sched
+
+import (
+	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/timeseries"
+)
+
+// Incremental is the delta re-placement evaluator behind the engine's
+// WithIncremental pipeline (package inc). It wraps the same incremental
+// candidate evaluator Schedule uses, plus a *difference accumulator*
+// that tracks, slot by slot, how the load committed so far in the
+// current run differs from the load the previous run had committed at
+// the corresponding point of its own placement walk.
+//
+// The merge-walk caller (inc.State.Run) maintains the invariant with
+// three moves:
+//
+//   - Commit replays a clean group's cached assignment into the running
+//     load without re-scanning; both runs committed the same values at
+//     the same point, so the difference is untouched.
+//   - Place scans a dirty (new or changed) group against the true
+//     residual and adds its winning values to the difference — the
+//     current run has it, the previous run's aligned prefix does not.
+//   - Retire subtracts a previous-run assignment from the difference
+//     when its group disappeared or is about to be re-placed — the
+//     previous run had it, the current run does not.
+//
+// A cached assignment may be reused (Commit) exactly when CanReuse
+// reports the difference is zero over the group's whole scan window
+// [EarliestStart, LatestEnd()): the greedy scan is a pure function of
+// the residual (and load, which differs from the residual by the
+// run-constant target) over that window, so a zero difference means the
+// current scan would reproduce the cached assignment bit for bit. That
+// is the equivalence argument making incremental schedules identical to
+// full recomputes; the property test in incremental_test.go (package
+// flex) pins it across churn sequences, shard counts and worker counts.
+type Incremental struct {
+	ev *evaluator
+	// diff is (current run's committed load) − (previous run's aligned
+	// prefix load); nonzero counts its nonzero cells so the common
+	// no-churn case answers CanReuse in O(1).
+	diff    *timeseries.Accumulator
+	nonzero int
+}
+
+// NewIncremental starts a fresh placement run against the target with
+// an empty difference. One Incremental serves one run; the caller keeps
+// the cached assignments between runs, not this object.
+func NewIncremental(target timeseries.Series, cap int64) *Incremental {
+	return &Incremental{
+		ev:   newEvaluator(target, cap),
+		diff: timeseries.NewAccumulator(),
+	}
+}
+
+// Reserve pre-sizes the evaluator's window and scratch buffers for the
+// offers about to be placed, exactly like Schedule's batch path.
+func (r *Incremental) Reserve(offers []*flexoffer.FlexOffer) {
+	r.ev.reserve(offers)
+}
+
+// CanReuse reports whether the difference accumulator is zero over
+// [lo, hi) — the condition under which a clean group's cached
+// assignment is guaranteed to equal what a fresh scan would produce.
+func (r *Incremental) CanReuse(lo, hi int) bool {
+	if r.nonzero == 0 {
+		return true
+	}
+	for t := lo; t < hi; t++ {
+		if r.diff.At(t) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Commit folds a reused cached assignment into the running load and
+// residual without scanning and without touching the difference: the
+// previous run committed the same values at its aligned point.
+func (r *Incremental) Commit(start int, vals []int64) {
+	r.ev.addValues(start, vals)
+}
+
+// Place validates f, scans every feasible start against the true
+// current residual, commits the winner — the shared placeOffer step, so
+// this path cannot drift from Schedule — and adds the winning values to
+// the difference. idx labels errors with the global group index.
+func (r *Incremental) Place(f *flexoffer.FlexOffer, idx int) (flexoffer.Assignment, error) {
+	a, err := placeOffer(r.ev, f, idx)
+	if err != nil {
+		return flexoffer.Assignment{}, err
+	}
+	r.shift(a.Start, a.Values, +1)
+	return a, nil
+}
+
+// Retire subtracts a previous-run assignment from the difference: its
+// group is gone from the current run (deleted, changed, or about to be
+// re-placed by Place).
+func (r *Incremental) Retire(start int, vals []int64) {
+	r.shift(start, vals, -1)
+}
+
+// Load snapshots the committed load over the union range of the placed
+// assignments — identical to Schedule's Result.Load for the same
+// assignment set.
+func (r *Incremental) Load() timeseries.Series {
+	return r.ev.loadSeries()
+}
+
+// shift folds sign·vals into the difference, maintaining the nonzero
+// cell count that short-circuits CanReuse.
+func (r *Incremental) shift(start int, vals []int64, sign int64) {
+	if len(vals) == 0 {
+		return
+	}
+	cells := r.diff.Values(start, start+len(vals))
+	for i, v := range vals {
+		old := cells[i]
+		now := old + sign*v
+		cells[i] = now
+		switch {
+		case old == 0 && now != 0:
+			r.nonzero++
+		case old != 0 && now == 0:
+			r.nonzero--
+		}
+	}
+}

@@ -256,6 +256,32 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	write("# HELP flexd_groups_total Groups formed by traced pipeline runs.\n")
 	write("# TYPE flexd_groups_total counter\n")
 	write("flexd_groups_total %d\n", s.obsM.Groups())
+
+	// Incremental-scheduling cache effectiveness. All zeros when the
+	// engine runs without WithIncremental; the dirty/reused gauges
+	// describe the most recent /v1/schedule run.
+	st := s.se.IncrementalStats()
+	write("# HELP flexd_sched_cache_hits_total Groups whose cached aggregate was reused across all schedule runs.\n")
+	write("# TYPE flexd_sched_cache_hits_total counter\n")
+	write("flexd_sched_cache_hits_total %d\n", st.Hits)
+	write("# HELP flexd_sched_cache_misses_total Groups re-aggregated because their membership changed.\n")
+	write("# TYPE flexd_sched_cache_misses_total counter\n")
+	write("flexd_sched_cache_misses_total %d\n", st.Misses)
+	write("# HELP flexd_sched_incremental_runs_total Schedule runs served by the incremental pipeline.\n")
+	write("# TYPE flexd_sched_incremental_runs_total counter\n")
+	write("flexd_sched_incremental_runs_total %d\n", st.Runs)
+	write("# HELP flexd_sched_full_recompute_total Incremental runs that fell back to placing every group (cold cache, changed target, or dirty fraction over threshold).\n")
+	write("# TYPE flexd_sched_full_recompute_total counter\n")
+	write("flexd_sched_full_recompute_total %d\n", st.FullRuns)
+	write("# HELP flexd_sched_dirty_groups Groups re-aggregated by the most recent schedule run.\n")
+	write("# TYPE flexd_sched_dirty_groups gauge\n")
+	write("flexd_sched_dirty_groups %d\n", st.LastDirty)
+	write("# HELP flexd_sched_reused_placements Groups whose placement was replayed unchanged by the most recent schedule run.\n")
+	write("# TYPE flexd_sched_reused_placements gauge\n")
+	write("flexd_sched_reused_placements %d\n", st.LastReused)
+	write("# HELP flexd_sched_pending_mutations Store mutations since the last successful schedule run.\n")
+	write("# TYPE flexd_sched_pending_mutations gauge\n")
+	write("flexd_sched_pending_mutations %d\n", s.tracker.Pending())
 }
 
 // writeHistogram renders one histogram series over the stage buckets

@@ -14,6 +14,7 @@ import (
 
 	flex "flexmeasures"
 	"flexmeasures/internal/flexoffer"
+	"flexmeasures/internal/inc"
 	"flexmeasures/internal/ingest"
 	"flexmeasures/internal/obs"
 	"flexmeasures/internal/persist"
@@ -108,6 +109,11 @@ type Server struct {
 	// 503 so load balancers stop routing here while in-flight requests
 	// finish.
 	draining atomic.Bool
+
+	// tracker counts store mutations against the last schedule run —
+	// the dirty tracker behind flexd_sched_pending_mutations. Ingest
+	// and reset feed it; a successful schedule marks it absorbed.
+	tracker inc.Tracker
 
 	// tracer/logger are the observability hooks from Options; obsM is
 	// the stage-metrics sink — the tracer's when one is installed, a
@@ -388,6 +394,7 @@ func (s *Server) store(ctx context.Context, offers []*flexoffer.FlexOffer) (repl
 			s.m.shardIngest[k].Add(int64(c))
 		}
 	}
+	s.tracker.Note(len(muts))
 	return replaced, stored, nil
 }
 
@@ -498,6 +505,11 @@ func (s *Server) handleReset(w http.ResponseWriter, r *http.Request) {
 		s.writeDegraded(w, err)
 		return
 	}
+	// Drop the incremental-scheduling cache with the offers it indexed.
+	// Content addressing would age it out anyway (a reset store hands
+	// out fresh pointers); invalidating releases the memory now.
+	s.se.InvalidateIncremental()
+	s.tracker.Note(1)
 	writeJSON(w, http.StatusOK, &StoreResponse{Stored: 0})
 }
 
@@ -606,6 +618,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusUnprocessableEntity, err.Error(), nil)
 		return
 	}
+	s.tracker.MarkScheduled()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
 	_ = StreamScheduleResponse(w, BuildScheduleResponse(total, res, target, horizon, level))

@@ -14,9 +14,10 @@ import (
 
 // newFlexd boots a fresh in-process flexd (memory store) the way the
 // binary would configure it: safe aggregation on, small worker pool.
-func newFlexd(t *testing.T, shards int) *Client {
+// Extra engine options are appended to that baseline.
+func newFlexd(t *testing.T, shards int, engOpts ...flex.Option) *Client {
 	t.Helper()
-	opts := []flex.Option{flex.WithWorkers(2), flex.WithSafe(true)}
+	opts := append([]flex.Option{flex.WithWorkers(2), flex.WithSafe(true)}, engOpts...)
 	var h *server.Server
 	if shards > 1 {
 		se := flex.NewSharded(shards, opts...)
@@ -273,5 +274,43 @@ func TestClosedLoopBadInput(t *testing.T) {
 	}
 	if _, err := ClosedLoop(context.Background(), Scenario{}, client, 1, 1); err == nil {
 		t.Error("empty scenario accepted")
+	}
+}
+
+// TestIncrementalServerParity drives the ev-morning and city-day
+// scenarios — churn-heavy closed loops whose dispatch rounds
+// re-schedule an evolving fleet, exactly the traffic incremental
+// scheduling exists for — against a flexd with incremental scheduling
+// on (the binary's default) and one recomputing from scratch. The
+// deterministic reports must be byte-identical: the cache may change
+// where time goes, never a byte of schedule output.
+func TestIncrementalServerParity(t *testing.T) {
+	for _, name := range []string{"ev-morning", "city-day"} {
+		t.Run(name, func(t *testing.T) {
+			sc, ok := Lookup(name)
+			if !ok {
+				t.Fatalf("%s not registered", name)
+			}
+			ctx := context.Background()
+			inc, err := ClosedLoop(ctx, sc, newFlexd(t, 2, flex.WithIncremental(true)), 42, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := ClosedLoop(ctx, sc, newFlexd(t, 2), 42, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if inc.OffersSubmitted == 0 || len(inc.Rounds) == 0 {
+				t.Fatalf("run submitted %d offers over %d rounds — scenario window misses its waves",
+					inc.OffersSubmitted, len(inc.Rounds))
+			}
+			if inc.Failed != 0 || full.Failed != 0 {
+				t.Fatalf("failed requests: incremental %d, full %d", inc.Failed, full.Failed)
+			}
+			di, df := inc.Deterministic(), full.Deterministic()
+			if !bytes.Equal(di, df) {
+				t.Errorf("deterministic reports diverge between incremental and full-recompute flexd:\n%s\n---\n%s", di, df)
+			}
+		})
 	}
 }

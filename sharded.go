@@ -9,6 +9,7 @@ import (
 
 	"flexmeasures/internal/aggregate"
 	"flexmeasures/internal/grouping"
+	"flexmeasures/internal/inc"
 	"flexmeasures/internal/obs"
 	"flexmeasures/internal/sched"
 	"flexmeasures/internal/shard"
@@ -45,6 +46,12 @@ type ShardedEngine struct {
 	engines []*Engine
 	router  shard.Router
 	opts    engineOptions
+	// incState is the incremental-scheduling cache behind
+	// WithIncremental — the sharded surface keeps its own (distinct
+	// from any shard engine's) because its aggregation fan-out spans
+	// every shard pool. Created lazily; runs serialize on its mutex.
+	incOnce  sync.Once
+	incState *inc.State
 }
 
 // NewSharded returns a ShardedEngine of `shards` engine shards (values
@@ -188,8 +195,16 @@ func (se *ShardedEngine) AggregateRouted(ctx context.Context, parts [][]RoutedOf
 	if err != nil {
 		return nil, err
 	}
+	obs.AddGroups(ctx, len(groups))
+	return se.scatterAggregateGroups(ctx, groups, o)
+}
+
+// scatterAggregateGroups fans per-group aggregation out across the
+// shard engines in contiguous blocks — the materialized counterpart of
+// scatterAggregateStream, shared by AggregateRouted and the incremental
+// pipeline's miss aggregation.
+func (se *ShardedEngine) scatterAggregateGroups(ctx context.Context, groups [][]*FlexOffer, o engineOptions) ([]*Aggregated, error) {
 	n := len(groups)
-	obs.AddGroups(ctx, n)
 	if n == 0 {
 		// Delegate the empty case so the result (nil vs empty slice)
 		// matches Engine.Aggregate exactly.
@@ -283,6 +298,9 @@ func (se *ShardedEngine) PipelineRouted(ctx context.Context, parts [][]RoutedOff
 		return nil, err
 	}
 	obs.AddGroups(ctx, len(groups))
+	if o.incremental {
+		return se.pipelineRoutedIncremental(ctx, groups, target, o)
+	}
 	items, n := se.scatterAggregateStream(ctx, groups, o)
 	sr, err := sched.ScheduleStream(ctx, items, n, target, sched.Options{PeakCap: o.peakCap, Order: o.placement})
 	if err != nil {
@@ -306,6 +324,53 @@ func (se *ShardedEngine) PipelineRouted(ctx context.Context, parts [][]RoutedOff
 		AggregateSchedule: &sr.Result,
 		Disaggregated:     disagg,
 		Load:              sr.Load,
+	}, nil
+}
+
+// incrementalState returns the sharded engine's incremental cache,
+// creating it on first use.
+func (se *ShardedEngine) incrementalState() *inc.State {
+	se.incOnce.Do(func() { se.incState = inc.NewState() })
+	return se.incState
+}
+
+// IncrementalStats reports the incremental-scheduling cache statistics
+// (all zero when WithIncremental was never used) — the numbers behind
+// flexd's flexd_sched_cache_hits_total and flexd_sched_dirty_groups.
+func (se *ShardedEngine) IncrementalStats() inc.Stats {
+	return se.incrementalState().Stats()
+}
+
+// InvalidateIncremental drops the incremental-scheduling cache — the
+// hook the server's store reset calls. Never needed for correctness
+// (the cache is content-addressed), only to release memory promptly.
+func (se *ShardedEngine) InvalidateIncremental() {
+	se.incrementalState().Invalidate()
+}
+
+// pipelineRoutedIncremental is the sharded incremental pipeline: the
+// partition comes from the scatter-gather grouping stage exactly as in
+// the stateless path (so group identity is bit-identical across shard
+// counts), aggregate-cache misses fan out across the shard pools in
+// contiguous blocks, the merge-walk placement runs at the gather point,
+// and only the changed groups disaggregate.
+func (se *ShardedEngine) pipelineRoutedIncremental(ctx context.Context, groups [][]*FlexOffer, target Series, o engineOptions) (*PipelineResult, error) {
+	res, err := se.incrementalState().Run(ctx, groups, target,
+		inc.Config{PeakCap: o.peakCap, Safe: o.safe, Threshold: o.incThreshold},
+		func(ctx context.Context, gs [][]*FlexOffer) ([]*Aggregated, error) {
+			return se.scatterAggregateGroups(ctx, gs, o)
+		},
+		func(ctx context.Context, ags []*Aggregated, asgs []Assignment) ([][]Assignment, error) {
+			return se.scatterDisaggregate(ctx, ags, asgs, o)
+		})
+	if err != nil {
+		return nil, err
+	}
+	return &PipelineResult{
+		Aggregates:        res.Aggregates,
+		AggregateSchedule: &sched.Result{Assignments: res.Assignments, Load: res.Load},
+		Disaggregated:     res.Disaggregated,
+		Load:              res.Load,
 	}, nil
 }
 
